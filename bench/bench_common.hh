@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table bench binaries.
+ *
+ * Every binary prints (a) the paper's reference numbers where useful and
+ * (b) the values this reproduction measures, in the same units, so
+ * shape-level agreement can be read off directly. Absolute values differ
+ * from the paper (scaled runs, synthetic traces; see DESIGN.md §5).
+ */
+
+#ifndef DSARP_BENCH_BENCH_COMMON_HH
+#define DSARP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/runner.hh"
+#include "workload/workload.hh"
+
+namespace dsarp::bench {
+
+/** All three paper densities, in order. */
+inline std::vector<Density>
+densities()
+{
+    return {Density::k8Gb, Density::k16Gb, Density::k32Gb};
+}
+
+/** Print a figure/table banner. */
+inline void
+banner(const char *id, const char *what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s: %s\n", id, what);
+    std::printf("==============================================================\n");
+}
+
+/** Print the run-scale footer so outputs are self-describing. */
+inline void
+footer(const Runner &runner)
+{
+    std::printf("\n[scale: %llu warmup + %llu measured DRAM cycles, "
+                "%d workloads/category; env DSARP_BENCH_* raises fidelity]\n\n",
+                static_cast<unsigned long long>(runner.warmupTicks()),
+                static_cast<unsigned long long>(runner.measureTicks()),
+                runner.workloadsPerCategory());
+}
+
+/** Percentage improvement of @p x over @p base. */
+inline double
+pctOver(double x, double base)
+{
+    return (x / base - 1.0) * 100.0;
+}
+
+/** Geometric-mean percentage improvement across paired samples. */
+inline double
+gmeanPctOver(const std::vector<double> &xs, const std::vector<double> &bases)
+{
+    std::vector<double> ratios;
+    ratios.reserve(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        ratios.push_back(xs[i] / bases[i]);
+    return (gmean(ratios) - 1.0) * 100.0;
+}
+
+/** Maximum percentage improvement across paired samples. */
+inline double
+maxPctOver(const std::vector<double> &xs, const std::vector<double> &bases)
+{
+    double best = -1e9;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        best = std::max(best, pctOver(xs[i], bases[i]));
+    return best;
+}
+
+/** Run one mechanism over a workload list; progress to stderr. */
+inline std::vector<RunResult>
+sweep(Runner &runner, const RunConfig &cfg,
+      const std::vector<Workload> &workloads)
+{
+    std::vector<RunResult> out;
+    out.reserve(workloads.size());
+    for (const Workload &w : workloads) {
+        std::fprintf(stderr, "  [%s %s] workload %d/%zu\r",
+                     densityName(cfg.density),
+                     cfg.mechanismName().c_str(), w.index + 1,
+                     workloads.size());
+        out.push_back(runner.run(cfg, w));
+    }
+    std::fprintf(stderr, "%60s\r", "");
+    return out;
+}
+
+/** Pull WS samples from a result vector. */
+inline std::vector<double>
+wsOf(const std::vector<RunResult> &results)
+{
+    std::vector<double> out;
+    out.reserve(results.size());
+    for (const RunResult &r : results)
+        out.push_back(r.ws);
+    return out;
+}
+
+/** Pull energy-per-access samples from a result vector. */
+inline std::vector<double>
+energyOf(const std::vector<RunResult> &results)
+{
+    std::vector<double> out;
+    out.reserve(results.size());
+    for (const RunResult &r : results)
+        out.push_back(r.energyPerAccessNj);
+    return out;
+}
+
+} // namespace dsarp::bench
+
+#endif // DSARP_BENCH_BENCH_COMMON_HH

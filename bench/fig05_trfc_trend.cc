@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 5: tRFCab scaling trend versus DRAM density.
+ *
+ * Reproduces the paper's linear extrapolations: Projection 1 fits the
+ * 1/2/4 Gb generations, Projection 2 (the optimistic one the paper uses)
+ * fits 4 and 8 Gb. The paper reads ~1.6 us at 64 Gb off Projection 2.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace {
+
+struct Point
+{
+    double gb;
+    double ns;
+};
+
+/** Least-squares line through the points. */
+void
+fitLine(const std::vector<Point> &pts, double &slope, double &intercept)
+{
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    const double n = static_cast<double>(pts.size());
+    for (const Point &p : pts) {
+        sx += p.gb;
+        sy += p.ns;
+        sxx += p.gb * p.gb;
+        sxy += p.gb * p.ns;
+    }
+    slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    intercept = (sy - slope * sx) / n;
+}
+
+} // namespace
+
+int
+main()
+{
+    dsarp::bench::banner("Figure 5", "refresh latency (tRFCab) trend");
+
+    // Datasheet tRFCab values for shipped DDR3 generations [11, 29].
+    const std::vector<Point> present = {
+        {1, 110.0}, {2, 160.0}, {4, 260.0}, {8, 350.0}};
+
+    double s1, c1, s2, c2;
+    fitLine({present[0], present[1], present[2]}, s1, c1);  // 1/2/4 Gb.
+    fitLine({present[2], present[3]}, s2, c2);              // 4/8 Gb.
+
+    std::printf("%-10s %12s %14s %14s\n", "density", "present(ns)",
+                "projection1", "projection2");
+    for (int gb : {1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 64}) {
+        std::printf("%-10d", gb);
+        bool found = false;
+        for (const Point &p : present) {
+            if (static_cast<int>(p.gb) == gb) {
+                std::printf(" %12.0f", p.ns);
+                found = true;
+            }
+        }
+        if (!found)
+            std::printf(" %12s", "-");
+        std::printf(" %14.0f %14.0f\n", s1 * gb + c1, s2 * gb + c2);
+    }
+
+    const double at64 = s2 * 64 + c2;
+    std::printf("\nProjection 2 at 64 Gb: %.2f us  (paper: ~1.6 us)\n",
+                at64 / 1000.0);
+    std::printf("Projection 2 at 16/32 Gb: %.0f / %.0f ns "
+                "(paper Table 1 uses 530 / 890 ns)\n\n",
+                s2 * 16 + c2, s2 * 32 + c2);
+    return 0;
+}

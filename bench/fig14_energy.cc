@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 14: DRAM energy per memory access for every mechanism and
+ * density (Micron power-calculator methodology).
+ *
+ * Paper reference: DSARP cuts energy/access by 3.0/5.2/9.0% versus
+ * REFab at 8/16/32 Gb, mostly by reducing static energy per access
+ * through higher performance.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace dsarp;
+using namespace dsarp::bench;
+
+int
+main()
+{
+    banner("Figure 14", "energy per access (nJ) by mechanism");
+
+    Runner runner;
+    const auto workloads =
+        makeWorkloads(runner.workloadsPerCategory(), 8, 1);
+
+    std::printf("%-10s %7s %7s %8s %7s %7s %7s %7s %7s %10s\n", "density",
+                "REFab", "REFpb", "Elastic", "DARP", "SARPab", "SARPpb",
+                "DSARP", "NoREF", "DSARPvAB");
+    for (Density d : densities()) {
+        const auto refab =
+            energyOf(sweep(runner, mechRefAb(d), workloads));
+        std::printf("%-10s %7.2f", densityName(d), mean(refab));
+        double dsarp_mean = 0.0;
+        for (const RunConfig &cfg :
+             {mechRefPb(d), mechElastic(d), mechDarp(d), mechSarpAb(d),
+              mechSarpPb(d), mechDsarp(d), mechNoRef(d)}) {
+            const auto e = energyOf(sweep(runner, cfg, workloads));
+            if (cfg.mechanismName() == "DSARP")
+                dsarp_mean = mean(e);
+            std::printf(" %7.2f", mean(e));
+        }
+        std::printf(" %8.1f%%\n",
+                    (1.0 - dsarp_mean / mean(refab)) * 100.0);
+    }
+    std::printf("\n[paper: DSARP reduces energy/access by 3.0/5.2/9.0%% "
+                "vs REFab at 8/16/32Gb]\n");
+    footer(runner);
+    return 0;
+}

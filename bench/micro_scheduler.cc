@@ -1,0 +1,123 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot paths:
+ * address decode, FR-FCFS picks, and whole-system tick throughput per
+ * refresh mechanism. These guard the simulation speed that the
+ * experiment harnesses depend on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "controller/scheduler.hh"
+#include "dram/address.hh"
+#include "sim/system.hh"
+#include "workload/benchmark.hh"
+
+using namespace dsarp;
+
+namespace {
+
+void
+BM_AddressDecode(benchmark::State &state)
+{
+    MemOrg org;
+    AddressMap map(org);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.decode(addr));
+        addr = (addr + 8191 * 64) % map.capacityBytes();
+    }
+}
+BENCHMARK(BM_AddressDecode);
+
+void
+BM_AddressRoundTrip(benchmark::State &state)
+{
+    MemOrg org;
+    AddressMap map(org);
+    Addr addr = 64;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.encode(map.decode(addr)));
+        addr = (addr + 12345 * 64) % map.capacityBytes();
+    }
+}
+BENCHMARK(BM_AddressRoundTrip);
+
+void
+BM_FrFcfsPickFullQueue(benchmark::State &state)
+{
+    MemConfig cfg;
+    cfg.finalize();
+    const TimingParams timing = TimingParams::ddr3_1333(cfg);
+    Channel channel(&cfg, &timing);
+    RequestQueue queue(64, 2, 8);
+    // Fill the queue across banks/rows; none issuable after we consume
+    // the first pick, which is the worst-case scan.
+    for (int i = 0; i < 64; ++i) {
+        Request req;
+        req.id = i;
+        req.loc.rank = i % 2;
+        req.loc.bank = (i / 2) % 8;
+        req.loc.row = 100 + i;
+        queue.push(req);
+    }
+    const std::vector<std::uint8_t> no_bank(16, 0);
+    const std::vector<std::uint8_t> no_rank(2, 0);
+    Tick now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            FrFcfs::pick(queue, channel, now, no_bank, no_rank, 8));
+        ++now;
+    }
+}
+BENCHMARK(BM_FrFcfsPickFullQueue);
+
+void
+SystemTicks(benchmark::State &state, RefreshMode mode, bool sarp)
+{
+    SystemConfig cfg;
+    cfg.numCores = 8;
+    cfg.mem.density = Density::k32Gb;
+    cfg.mem.refresh = mode;
+    cfg.mem.sarp = sarp;
+    std::vector<int> mix;
+    for (int c = 0; c < 8; ++c)
+        mix.push_back(intensiveBenchmarks()[c % 11]);
+    System sys(cfg, mix);
+    sys.run(5000);  // Warm the queues.
+    for (auto _ : state)
+        sys.run(1000);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void
+BM_SystemTicks_NoRef(benchmark::State &state)
+{
+    SystemTicks(state, RefreshMode::kNoRefresh, false);
+}
+BENCHMARK(BM_SystemTicks_NoRef);
+
+void
+BM_SystemTicks_RefAb(benchmark::State &state)
+{
+    SystemTicks(state, RefreshMode::kAllBank, false);
+}
+BENCHMARK(BM_SystemTicks_RefAb);
+
+void
+BM_SystemTicks_RefPb(benchmark::State &state)
+{
+    SystemTicks(state, RefreshMode::kPerBank, false);
+}
+BENCHMARK(BM_SystemTicks_RefPb);
+
+void
+BM_SystemTicks_Dsarp(benchmark::State &state)
+{
+    SystemTicks(state, RefreshMode::kDarp, true);
+}
+BENCHMARK(BM_SystemTicks_Dsarp);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Scenario: replaying a custom application through the full
+ * core -> LLC -> memory-controller -> DRAM path.
+ *
+ * Demonstrates the extension points of the public API: a user-defined
+ * TraceSource (here, a tiled matrix-sweep access pattern), filtered
+ * through the 512 KB LLC slice model so only real misses -- and real
+ * dirty evictions -- reach DRAM, then run under REFab and DSARP.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/cache.hh"
+#include "sim/system.hh"
+
+using namespace dsarp;
+
+namespace {
+
+/**
+ * A blocked matrix sweep: walks a large array in tiles, revisiting each
+ * tile several times (temporal locality the LLC can capture) before
+ * moving on, and writing one element in four.
+ */
+class TiledSweepTrace : public TraceSource
+{
+  public:
+    TiledSweepTrace(Addr base, Addr span, int tileLines, int revisits)
+        : base_(base), span_(span), tileLines_(tileLines),
+          revisits_(revisits)
+    {}
+
+    TraceRecord
+    next() override
+    {
+        TraceRecord rec;
+        rec.gap = 6;  // A handful of ALU ops per element.
+        rec.readAddr = base_ + (tile_ * tileLines_ + line_) * 64 % span_;
+        if (++line_ >= tileLines_) {
+            line_ = 0;
+            if (++pass_ >= revisits_) {
+                pass_ = 0;
+                ++tile_;
+            }
+        }
+        return rec;
+    }
+
+  private:
+    Addr base_;
+    Addr span_;
+    int tileLines_;
+    int revisits_;
+    long tile_ = 0;
+    int line_ = 0;
+    int pass_ = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.mem.density = Density::k32Gb;
+    cfg.finalize();
+
+    for (RefreshMode mode : {RefreshMode::kAllBank, RefreshMode::kDarp}) {
+        cfg.mem.refresh = mode;
+        cfg.mem.sarp = (mode == RefreshMode::kDarp);
+
+        // Per-core raw traces, LLC slices, and cache-filtered adapters.
+        std::vector<std::unique_ptr<TiledSweepTrace>> raw;
+        std::vector<std::unique_ptr<CacheSlice>> llc;
+        std::vector<std::unique_ptr<CacheFilteredTrace>> filtered;
+        std::vector<TraceSource *> sources;
+        for (int c = 0; c < cfg.numCores; ++c) {
+            raw.push_back(std::make_unique<TiledSweepTrace>(
+                Addr(c) << 28, Addr(1) << 27, 256, 3));
+            llc.push_back(
+                std::make_unique<CacheSlice>(512 * 1024, 16, 64));
+            filtered.push_back(std::make_unique<CacheFilteredTrace>(
+                *raw.back(), *llc.back(), 0.25, 1000 + c));
+            sources.push_back(filtered.back().get());
+        }
+
+        System sys(cfg, sources);
+        sys.run(50000);
+        sys.resetStats();
+        sys.run(200000);
+
+        std::uint64_t reads = 0, writes = 0;
+        for (int ch = 0; ch < sys.numChannels(); ++ch) {
+            reads += sys.controller(ch).stats().readsCompleted;
+            writes += sys.controller(ch).stats().writesIssued;
+        }
+        double ipc = 0.0;
+        for (double v : sys.coreIpc())
+            ipc += v;
+
+        std::printf("%-18s aggregate IPC %6.2f | DRAM reads %8llu | "
+                    "writebacks %7llu | LLC0 miss rate %.1f%%\n",
+                    cfg.mem.sarp ? "DSARP (DARP+SARP)" : "REFab baseline",
+                    ipc, static_cast<unsigned long long>(reads),
+                    static_cast<unsigned long long>(writes),
+                    100.0 * llc[0]->misses() /
+                        (llc[0]->hits() + llc[0]->misses()));
+    }
+
+    std::printf("\nThe LLC converts the tiled sweep's revisits into hits; "
+                "only compulsory/capacity\nmisses and their dirty "
+                "evictions reach DRAM, where DSARP hides the refresh "
+                "stalls.\n");
+    return 0;
+}

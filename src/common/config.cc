@@ -1,0 +1,78 @@
+#include "common/config.hh"
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+const char *
+refreshModeName(RefreshMode mode)
+{
+    switch (mode) {
+      case RefreshMode::kNoRefresh: return "NoREF";
+      case RefreshMode::kAllBank: return "REFab";
+      case RefreshMode::kPerBank: return "REFpb";
+      case RefreshMode::kElastic: return "Elastic";
+      case RefreshMode::kDarp: return "DARP";
+      case RefreshMode::kFgr2x: return "FGR2x";
+      case RefreshMode::kFgr4x: return "FGR4x";
+      case RefreshMode::kAdaptive: return "AR";
+    }
+    return "?";
+}
+
+const char *
+densityName(Density d)
+{
+    switch (d) {
+      case Density::k8Gb: return "8Gb";
+      case Density::k16Gb: return "16Gb";
+      case Density::k32Gb: return "32Gb";
+    }
+    return "?";
+}
+
+int
+rowsPerBankFor(Density d)
+{
+    switch (d) {
+      case Density::k8Gb: return 65536;
+      case Density::k16Gb: return 131072;
+      case Density::k32Gb: return 262144;
+    }
+    return 65536;
+}
+
+double
+tRfcAbNsFor(Density d)
+{
+    // Paper Table 1: tRFCab = 350/530/890 ns for 8/16/32 Gb chips.
+    switch (d) {
+      case Density::k8Gb: return 350.0;
+      case Density::k16Gb: return 530.0;
+      case Density::k32Gb: return 890.0;
+    }
+    return 350.0;
+}
+
+void
+MemConfig::finalize()
+{
+    org.rowsPerBank = rowsPerBankFor(density);
+
+    if (org.channels < 1 || org.ranksPerChannel < 1 || org.banksPerRank < 1)
+        DSARP_FATAL("memory geometry must have >= 1 of each level");
+    if (org.subarraysPerBank < 1 ||
+        org.rowsPerBank % org.subarraysPerBank != 0) {
+        DSARP_FATAL("subarraysPerBank must divide rowsPerBank");
+    }
+    if (org.rowBytes % org.lineBytes != 0)
+        DSARP_FATAL("lineBytes must divide rowBytes");
+    if (writeLowWatermark >= writeHighWatermark)
+        DSARP_FATAL("write low watermark must be below high watermark");
+    if (writeHighWatermark > writeQueueSize)
+        DSARP_FATAL("write high watermark exceeds write queue size");
+    if (retentionMs != 32 && retentionMs != 64)
+        DSARP_FATAL("retention must be 32 or 64 ms");
+}
+
+} // namespace dsarp

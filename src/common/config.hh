@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Configuration structures for the memory system, cores, and full system.
+ *
+ * Defaults reproduce Table 1 of Chang et al., HPCA 2014: an 8-core 4 GHz
+ * system with 2 DDR3-1333 channels, 2 ranks/channel, 8 banks/rank,
+ * 8 subarrays/bank, 64K rows/bank, 8 KB rows, FR-FCFS, closed-row policy,
+ * 64/64-entry read/write queues with batched writes (low watermark 32),
+ * and 32 ms retention.
+ */
+
+#ifndef DSARP_COMMON_CONFIG_HH
+#define DSARP_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dsarp {
+
+/** Refresh mechanisms evaluated in the paper (Sections 6.1 and 6.5). */
+enum class RefreshMode {
+    kNoRefresh,  ///< Ideal baseline: refresh eliminated.
+    kAllBank,    ///< REFab: rank-level refresh (DDR/LPDDR baseline).
+    kPerBank,    ///< REFpb: sequential round-robin per-bank (LPDDR).
+    kElastic,    ///< Elastic refresh [Stuecheli+, MICRO'10].
+    kDarp,       ///< DARP: out-of-order REFpb + write-refresh parallelization.
+    kFgr2x,      ///< DDR4 fine granularity refresh, 2x rate.
+    kFgr4x,      ///< DDR4 fine granularity refresh, 4x rate.
+    kAdaptive,   ///< Adaptive refresh (AR) [Mukundan+, ISCA'13]: 1x/4x FGR.
+};
+
+/** Human-readable mechanism name, e.g. for bench table headers. */
+const char *refreshModeName(RefreshMode mode);
+
+/** DRAM chip density; determines rows/bank and tRFC (paper Table 1). */
+enum class Density { k8Gb, k16Gb, k32Gb };
+
+const char *densityName(Density d);
+
+/** Rows per bank for a density (64K at 8 Gb, doubling per step). */
+int rowsPerBankFor(Density d);
+
+/** All-bank refresh latency in nanoseconds (350/530/890 ns, Table 1). */
+double tRfcAbNsFor(Density d);
+
+/** DRAM geometry. */
+struct MemOrg
+{
+    int channels = 2;
+    int ranksPerChannel = 2;
+    int banksPerRank = 8;
+    int subarraysPerBank = 8;
+    int rowsPerBank = 65536;   ///< Overridden from Density by MemConfig.
+    int rowBytes = 8192;       ///< 8 KB rows.
+    int lineBytes = 64;        ///< Cache line (memory burst) size.
+
+    /** Cache lines per row. */
+    int columns() const { return rowBytes / lineBytes; }
+
+    /** Rows per subarray group. */
+    int rowsPerSubarray() const { return rowsPerBank / subarraysPerBank; }
+};
+
+/** Memory-system configuration: geometry, density, refresh policy. */
+struct MemConfig
+{
+    MemOrg org;
+    Density density = Density::k8Gb;
+    int retentionMs = 32;   ///< 32 ms (server/LPDDR) or 64 ms.
+
+    RefreshMode refresh = RefreshMode::kAllBank;
+    bool sarp = false;      ///< Subarray access refresh parallelization.
+
+    /**
+     * Enable DARP's second component (write-refresh parallelization).
+     * Disabled only for the Section 6.1.2 breakdown, which isolates the
+     * out-of-order per-bank refresh component.
+     */
+    bool darpWriteRefresh = true;
+
+    int readQueueSize = 64;
+    int writeQueueSize = 64;
+    int writeHighWatermark = 54;  ///< Enter writeback mode at this occupancy.
+    int writeLowWatermark = 32;   ///< Leave writeback mode at this occupancy.
+
+    /**
+     * Cross-rank phase of the REFab/Elastic schedules: rank r is offset
+     * by tREFIab / (divisor * ranks). Large divisors nearly align the
+     * ranks' refreshes (performance-optimal: the channel degrades once
+     * per interval instead of twice); divisor 2 spreads them evenly.
+     * The ablation bench sweeps this choice.
+     */
+    int refabStaggerDivisor = 8;
+
+    /**
+     * Extension of paper footnote 5: the LPDDR standard disallows
+     * overlapping per-bank refreshes within a rank purely for
+     * simplicity. Values > 1 model a modified standard that allows up
+     * to this many concurrent REFpb per rank, with tFAW/tRRD inflated
+     * per in-flight refresh for power integrity (cf. Eq. 1-3).
+     * 1 reproduces the standard (and the paper's) behaviour.
+     */
+    int maxOverlappedRefPb = 1;
+
+    /** Overrides in DRAM cycles for the tFAW sweep (0 = datasheet value). */
+    int tFawOverride = 0;
+    int tRrdOverride = 0;
+
+    /**
+     * SARP power-integrity inflation of tFAW/tRRD while a refresh is in
+     * flight (Eq. 1-3): 2.1x during REFab, 1.138x during REFpb, derived
+     * from Micron 8 Gb IDD values.
+     */
+    double sarpInflationAb = 2.1;
+    double sarpInflationPb = 1.138;
+
+    /** Apply density defaults (rowsPerBank) and validate. */
+    void finalize();
+};
+
+/** Core model configuration (Table 1 processor row). */
+struct CoreConfig
+{
+    int cpuCyclesPerTick = 6;  ///< 4 GHz CPU over 667 MHz DRAM command clk.
+    int windowSize = 128;      ///< Instruction window entries.
+    int retireWidth = 3;       ///< Instructions retired per CPU cycle.
+    int mshrs = 8;             ///< Outstanding read misses per core.
+};
+
+/** Whole-system configuration. */
+struct SystemConfig
+{
+    MemConfig mem;
+    CoreConfig core;
+    int numCores = 8;
+    std::uint64_t seed = 1;
+    bool enableChecker = false;  ///< Attach the timing-invariant checker.
+
+    void finalize() { mem.finalize(); }
+};
+
+} // namespace dsarp
+
+#endif // DSARP_COMMON_CONFIG_HH

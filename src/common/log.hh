@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 idiom.
+ *
+ * panic() is for conditions that indicate a simulator bug and should never
+ * happen regardless of configuration; fatal() is for user-caused conditions
+ * (bad configuration, invalid arguments); warn() reports suspicious but
+ * recoverable situations.
+ */
+
+#ifndef DSARP_COMMON_LOG_HH
+#define DSARP_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dsarp {
+
+/** Abort due to an internal simulator bug. */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+/** Exit due to a user error (bad configuration or arguments). */
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+/** Report a suspicious but non-fatal condition. */
+inline void
+warnImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg, file, line);
+}
+
+} // namespace dsarp
+
+#define DSARP_PANIC(msg) ::dsarp::panicImpl(__FILE__, __LINE__, (msg))
+#define DSARP_FATAL(msg) ::dsarp::fatalImpl(__FILE__, __LINE__, (msg))
+#define DSARP_WARN(msg) ::dsarp::warnImpl(__FILE__, __LINE__, (msg))
+
+/** Cheap always-on invariant check used on hot simulator paths. */
+#define DSARP_ASSERT(cond, msg) \
+    do { \
+        if (!(cond)) \
+            DSARP_PANIC(msg); \
+    } while (0)
+
+#endif // DSARP_COMMON_LOG_HH

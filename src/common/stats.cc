@@ -1,0 +1,101 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+    sum_ += x;
+    ++count_;
+}
+
+void
+LatencyHistogram::add(std::uint64_t value)
+{
+    int bucket = 0;
+    std::uint64_t bound = 2;
+    while (bucket < kBuckets - 1 && value >= bound) {
+        bound <<= 1;
+        ++bucket;
+    }
+    ++buckets_[bucket];
+    ++count_;
+    sum_ += value;
+}
+
+double
+LatencyHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double target = p / 100.0 * static_cast<double>(count_);
+    double seen = 0.0;
+    for (int i = 0; i < kBuckets; ++i) {
+        if (seen + buckets_[i] >= target && buckets_[i] > 0) {
+            // Interpolate linearly inside the bucket [2^i, 2^(i+1)).
+            const double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << i);
+            const double hi = static_cast<double>(1ULL << (i + 1));
+            const double frac = (target - seen) / buckets_[i];
+            return lo + frac * (hi - lo);
+        }
+        seen += buckets_[i];
+    }
+    return static_cast<double>(1ULL << kBuckets);
+}
+
+void
+LatencyHistogram::reset()
+{
+    *this = LatencyHistogram{};
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+gmean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double x : xs) {
+        DSARP_ASSERT(x > 0.0, "gmean requires positive samples");
+        logSum += std::log(x);
+    }
+    return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    double m = 0.0;
+    bool first = true;
+    for (double x : xs) {
+        if (first || x > m)
+            m = x;
+        first = false;
+    }
+    return m;
+}
+
+} // namespace dsarp

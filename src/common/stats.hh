@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Small statistics helpers: running mean/min/max accumulation and the
+ * summary reductions (arithmetic mean, geometric mean) used to report the
+ * paper's tables.
+ */
+
+#ifndef DSARP_COMMON_STATS_HH
+#define DSARP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dsarp {
+
+/** Incremental accumulator for mean/min/max of a sample stream. */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Power-of-two bucketed latency histogram: bucket i counts samples in
+ * [2^i, 2^(i+1)), bucket 0 covers [0, 2). Cheap enough for the
+ * controller's per-read hot path; percentile() interpolates within the
+ * hit bucket.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr int kBuckets = 24;  ///< Up to ~16M-cycle latencies.
+
+    void add(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucket(int i) const { return buckets_[i]; }
+
+    /** Approximate p-th percentile (p in [0, 100]); 0 when empty. */
+    double percentile(double p) const;
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+    }
+
+    void reset();
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/** Arithmetic mean of a sample vector (0 for empty input). */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; all samples must be positive. */
+double gmean(const std::vector<double> &xs);
+
+/** Maximum (0 for empty input). */
+double maxOf(const std::vector<double> &xs);
+
+} // namespace dsarp
+
+#endif // DSARP_COMMON_STATS_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types and identifiers shared across the simulator.
+ *
+ * One simulation tick equals one DRAM bus clock cycle (1.5 ns for
+ * DDR3-1333). All latencies and timestamps in the DRAM and controller
+ * layers are expressed in ticks; the core model internally advances a
+ * faster CPU clock (cpuCyclesPerTick CPU cycles per tick).
+ */
+
+#ifndef DSARP_COMMON_TYPES_HH
+#define DSARP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace dsarp {
+
+/** Simulation time in DRAM bus cycles. */
+using Tick = std::uint64_t;
+
+/** A tick value that no real event ever reaches. */
+constexpr Tick kTickNever = ~Tick(0);
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Identifier types; plain ints keep arithmetic painless. */
+using CoreId = int;
+using ChannelId = int;
+using RankId = int;
+using BankId = int;
+using SubarrayId = int;
+using RowId = int;
+
+/** Marker for "no row open" / "no subarray". */
+constexpr int kNone = -1;
+
+} // namespace dsarp
+
+#endif // DSARP_COMMON_TYPES_HH

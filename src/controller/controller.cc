@@ -1,0 +1,240 @@
+#include "controller/controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+ChannelController::ChannelController(ChannelId id, const MemConfig *cfg,
+                                     const TimingParams *timing,
+                                     std::uint64_t seed)
+    : id_(id), cfg_(cfg), timing_(timing), channel_(cfg, timing),
+      rng_(seed ^ (0x5851f42d4c957f2dULL * (id + 1))),
+      readQ_(cfg->readQueueSize, cfg->org.ranksPerChannel,
+             cfg->org.banksPerRank),
+      writeQ_(cfg->writeQueueSize, cfg->org.ranksPerChannel,
+              cfg->org.banksPerRank),
+      writeDrain_(cfg->writeHighWatermark, cfg->writeLowWatermark)
+{
+    refreshSched_ = makeRefreshScheduler(*cfg, *timing, *this);
+    blockedActBank_.assign(
+        cfg->org.ranksPerChannel * cfg->org.banksPerRank, 0);
+    blockedActRank_.assign(cfg->org.ranksPerChannel, 0);
+    lastDemandActivity_.assign(cfg->org.ranksPerChannel, 0);
+    pendingReads_.reserve(cfg->readQueueSize);
+    urgentScratch_.reserve(8);
+}
+
+bool
+ChannelController::enqueueRead(const Request &req, Tick now)
+{
+    // Forward from the write queue when a not-yet-drained write to the
+    // same line exists (the controller holds the freshest data). The
+    // completion is delivered on the next tick, never synchronously.
+    if (writeQ_.findAddr(req.addr) >= 0) {
+        ++stats_.forwardedReads;
+        pendingReads_.push_back({now + 1, req});
+        return true;
+    }
+    if (!readQ_.push(req))
+        return false;
+    ++stats_.readsEnqueued;
+    lastDemandActivity_[req.loc.rank] = now;
+    return true;
+}
+
+bool
+ChannelController::enqueueWrite(const Request &req, Tick now)
+{
+    if (!writeQ_.push(req))
+        return false;
+    ++stats_.writesEnqueued;
+    lastDemandActivity_[req.loc.rank] = now;
+    return true;
+}
+
+int
+ChannelController::pendingDemands(RankId r, BankId b) const
+{
+    return readQ_.bankCount(r, b) + writeQ_.bankCount(r, b);
+}
+
+int
+ChannelController::pendingReads(RankId r, BankId b) const
+{
+    return readQ_.bankCount(r, b);
+}
+
+int
+ChannelController::pendingWrites(RankId r, BankId b) const
+{
+    return writeQ_.bankCount(r, b);
+}
+
+int
+ChannelController::pendingDemandsRank(RankId r) const
+{
+    return readQ_.rankCount(r) + writeQ_.rankCount(r);
+}
+
+Tick
+ChannelController::lastDemandActivity(RankId r) const
+{
+    return lastDemandActivity_[r];
+}
+
+void
+ChannelController::resetStats()
+{
+    stats_ = ControllerStats{};
+    channel_.resetStats();
+    refreshSched_->resetStats();
+}
+
+Command
+ChannelController::toCommand(const RefreshRequest &req) const
+{
+    Command cmd;
+    cmd.type = req.allBank ? CommandType::kRefAb : CommandType::kRefPb;
+    cmd.rank = req.rank;
+    cmd.bank = req.bank;
+    cmd.tRfcOverride = req.tRfcOverride;
+    cmd.rowsOverride = req.rowsOverride;
+    return cmd;
+}
+
+bool
+ChannelController::tryIssue(const Command &cmd, Tick now)
+{
+    if (!channel_.canIssue(cmd, now))
+        return false;
+    channel_.issue(cmd, now);
+    if (cmdLog_)
+        cmdLog_->push_back({now, cmd});
+    return true;
+}
+
+void
+ChannelController::serveDemand(RequestQueue &queue, const CmdChoice &choice,
+                               Tick now)
+{
+    const Tick data_tick = channel_.issue(choice.cmd, now);
+    if (cmdLog_)
+        cmdLog_->push_back({now, choice.cmd});
+    lastDemandActivity_[choice.cmd.rank] = now;
+
+    if (!isColumnCmd(choice.cmd.type))
+        return;  // ACT: the request stays queued for its column command.
+
+    Request req = queue.pop(choice.queueIndex);
+    if (req.isWrite) {
+        ++stats_.writesIssued;
+    } else {
+        pendingReads_.push_back({data_tick, req});
+    }
+}
+
+void
+ChannelController::arbitrate(Tick now)
+{
+    urgentScratch_.clear();
+    refreshSched_->urgent(now, urgentScratch_);
+
+    // Mark targets of blocking refreshes so FR-FCFS stops opening rows
+    // there and the bank/rank drains.
+    std::fill(blockedActBank_.begin(), blockedActBank_.end(), 0);
+    std::fill(blockedActRank_.begin(), blockedActRank_.end(), 0);
+    for (const RefreshRequest &req : urgentScratch_) {
+        if (!req.blocking)
+            continue;
+        if (req.allBank) {
+            blockedActRank_[req.rank] = 1;
+        } else {
+            blockedActBank_[req.rank * cfg_->org.banksPerRank + req.bank] =
+                1;
+        }
+    }
+
+    // 1. Urgent refreshes, in policy priority order.
+    for (const RefreshRequest &req : urgentScratch_) {
+        if (tryIssue(toCommand(req), now)) {
+            refreshSched_->onIssued(req, now);
+            return;
+        }
+    }
+
+    // 2. Demand commands: writes during writeback mode, reads otherwise.
+    RequestQueue &queue = writeDrain_.active() ? writeQ_ : readQ_;
+    CmdChoice choice = FrFcfs::pick(queue, channel_, now, blockedActBank_,
+                                    blockedActRank_,
+                                    cfg_->org.banksPerRank);
+    if (choice.valid) {
+        serveDemand(queue, choice, now);
+        return;
+    }
+
+    // 3. Precharge assist: a blocking refresh target still has a row open
+    //    (e.g. read row hits stranded by writeback mode); close it.
+    for (const RefreshRequest &req : urgentScratch_) {
+        if (!req.blocking)
+            continue;
+        const int lo = req.allBank ? 0 : req.bank;
+        const int hi = req.allBank ? cfg_->org.banksPerRank - 1 : req.bank;
+        for (BankId b = lo; b <= hi; ++b) {
+            const Bank &bank = channel_.rank(req.rank).bank(b);
+            if (!bank.isOpen())
+                continue;
+            Command pre;
+            pre.type = CommandType::kPre;
+            pre.rank = req.rank;
+            pre.bank = b;
+            if (tryIssue(pre, now))
+                return;
+        }
+    }
+
+    // 4. Opportunistic refresh (DARP's idle-bank pull-in).
+    RefreshRequest opp;
+    if (refreshSched_->opportunistic(now, opp)) {
+        if (tryIssue(toCommand(opp), now)) {
+            refreshSched_->onIssued(opp, now);
+            return;
+        }
+    }
+}
+
+void
+ChannelController::tick(Tick now)
+{
+    ++stats_.ticks;
+
+    refreshSched_->tick(now);
+    writeDrain_.update(writeQ_.size());
+    if (writeDrain_.active())
+        ++stats_.writebackModeTicks;
+
+    // Deliver read data that has arrived.
+    for (std::size_t i = 0; i < pendingReads_.size();) {
+        if (pendingReads_[i].done <= now) {
+            const PendingRead pr = pendingReads_[i];
+            pendingReads_[i] = pendingReads_.back();
+            pendingReads_.pop_back();
+            ++stats_.readsCompleted;
+            stats_.readLatencySum += pr.done - pr.req.arrival;
+            stats_.readLatency.add(pr.done - pr.req.arrival);
+            if (readCallback_)
+                readCallback_(pr.req, pr.done);
+        } else {
+            ++i;
+        }
+    }
+
+    arbitrate(now);
+
+    stats_.readQueueOccupancySum += readQ_.size();
+    stats_.writeQueueOccupancySum += writeQ_.size();
+    channel_.sampleActivity(now);
+}
+
+} // namespace dsarp

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Per-channel memory controller.
+ *
+ * Implements the paper's controller (Table 1): 64/64-entry read/write
+ * queues, FR-FCFS, closed-row policy, batched writes with a low
+ * watermark, and a pluggable refresh scheduling policy. Arbitration each
+ * tick: urgent refreshes, then demand commands (writes during writeback
+ * mode, reads otherwise), then a precharge assist for blocked refreshes,
+ * then opportunistic refreshes.
+ *
+ * The controller implements ControllerView so refresh policies can
+ * observe queue occupancies (DARP) and idleness (elastic refresh), and
+ * exposes the DRAM-side refresh state (SARP's shadow refresh-subarray
+ * counters, Section 4.3.2, are realized by reading the modeled refresh
+ * unit the controller mirrors).
+ */
+
+#ifndef DSARP_CONTROLLER_CONTROLLER_HH
+#define DSARP_CONTROLLER_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "controller/queues.hh"
+#include "controller/scheduler.hh"
+#include "controller/write_drain.hh"
+#include "dram/channel.hh"
+#include "refresh/scheduler.hh"
+
+namespace dsarp {
+
+/** A command with its issue tick, for the offline timing checker. */
+struct TimedCommand
+{
+    Tick tick;
+    Command cmd;
+};
+
+struct ControllerStats
+{
+    std::uint64_t readsEnqueued = 0;
+    std::uint64_t writesEnqueued = 0;
+    std::uint64_t readsCompleted = 0;
+    std::uint64_t writesIssued = 0;
+    std::uint64_t readLatencySum = 0;  ///< Arrival to data return, ticks.
+    LatencyHistogram readLatency;      ///< Same samples, bucketed.
+    std::uint64_t forwardedReads = 0;  ///< Served from the write queue.
+    std::uint64_t writebackModeTicks = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t readQueueOccupancySum = 0;
+    std::uint64_t writeQueueOccupancySum = 0;
+};
+
+class ChannelController : public ControllerView
+{
+  public:
+    using ReadCallback =
+        std::function<void(const Request &, Tick doneTick)>;
+
+    ChannelController(ChannelId id, const MemConfig *cfg,
+                      const TimingParams *timing, std::uint64_t seed);
+
+    /** Enqueue a demand request; false when the relevant queue is full. */
+    bool enqueueRead(const Request &req, Tick now);
+    bool enqueueWrite(const Request &req, Tick now);
+
+    bool readQueueFull() const { return readQ_.full(); }
+    bool writeQueueFull() const { return writeQ_.full(); }
+
+    /** Invoked when read data returns (at its data-burst end tick). */
+    void setReadCallback(ReadCallback cb) { readCallback_ = std::move(cb); }
+
+    /** Advance one DRAM cycle: refresh policy, arbitration, stats. */
+    void tick(Tick now);
+
+    /** @name ControllerView */
+    /// @{
+    int pendingDemands(RankId r, BankId b) const override;
+    int pendingReads(RankId r, BankId b) const override;
+    int pendingWrites(RankId r, BankId b) const override;
+    int pendingDemandsRank(RankId r) const override;
+    bool inWritebackMode() const override { return writeDrain_.active(); }
+    Tick lastDemandActivity(RankId r) const override;
+    const Channel &dram() const override { return channel_; }
+    Rng &schedulerRng() override { return rng_; }
+    /// @}
+
+    Channel &channel() { return channel_; }
+    const ControllerStats &stats() const { return stats_; }
+    const RefreshSchedStats &refreshStats() const
+    {
+        return refreshSched_->stats();
+    }
+    const RefreshScheduler &refreshScheduler() const
+    {
+        return *refreshSched_;
+    }
+
+    /** Attach a command log for the offline timing checker (or nullptr). */
+    void setCommandLog(std::vector<TimedCommand> *log) { cmdLog_ = log; }
+
+    /** Zero all measurement counters (queues and DRAM state persist). */
+    void resetStats();
+
+    ChannelId id() const { return id_; }
+
+  private:
+    void arbitrate(Tick now);
+    bool tryIssue(const Command &cmd, Tick now);
+    Command toCommand(const RefreshRequest &req) const;
+
+    /** Issue the chosen demand command and retire its request if column. */
+    void serveDemand(RequestQueue &queue, const CmdChoice &choice, Tick now);
+
+    ChannelId id_;
+    const MemConfig *cfg_;
+    const TimingParams *timing_;
+    Channel channel_;
+    Rng rng_;
+
+    RequestQueue readQ_;
+    RequestQueue writeQ_;
+    WriteDrain writeDrain_;
+    std::unique_ptr<RefreshScheduler> refreshSched_;
+
+    struct PendingRead
+    {
+        Tick done;
+        Request req;
+    };
+    std::vector<PendingRead> pendingReads_;
+
+    std::vector<std::uint8_t> blockedActBank_;
+    std::vector<std::uint8_t> blockedActRank_;
+    std::vector<RefreshRequest> urgentScratch_;
+    std::vector<Tick> lastDemandActivity_;
+
+    ReadCallback readCallback_;
+    ControllerStats stats_;
+    std::vector<TimedCommand> *cmdLog_ = nullptr;
+};
+
+} // namespace dsarp
+
+#endif // DSARP_CONTROLLER_CONTROLLER_HH

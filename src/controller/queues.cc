@@ -1,0 +1,66 @@
+#include "controller/queues.hh"
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+RequestQueue::RequestQueue(int capacity, int ranks, int banks_per_rank)
+    : capacity_(capacity), banks_(banks_per_rank)
+{
+    bankCount_.assign(ranks * banks_per_rank, 0);
+    entries_.reserve(capacity);
+}
+
+bool
+RequestQueue::push(const Request &req)
+{
+    if (full())
+        return false;
+    entries_.push_back(req);
+    ++bankCount_[req.loc.rank * banks_ + req.loc.bank];
+    return true;
+}
+
+Request
+RequestQueue::pop(int i)
+{
+    DSARP_ASSERT(i >= 0 && i < size(), "queue index out of range");
+    Request req = entries_[i];
+    entries_.erase(entries_.begin() + i);
+    --bankCount_[req.loc.rank * banks_ + req.loc.bank];
+    DSARP_ASSERT(bankCount_[req.loc.rank * banks_ + req.loc.bank] >= 0,
+                 "bank count underflow");
+    return req;
+}
+
+int
+RequestQueue::rankCount(RankId r) const
+{
+    int total = 0;
+    for (int b = 0; b < banks_; ++b)
+        total += bankCount_[r * banks_ + b];
+    return total;
+}
+
+int
+RequestQueue::findAddr(Addr addr) const
+{
+    for (int i = 0; i < size(); ++i) {
+        if (entries_[i].addr == addr)
+            return i;
+    }
+    return -1;
+}
+
+int
+RequestQueue::rowCount(RankId r, BankId b, RowId row) const
+{
+    int count = 0;
+    for (const Request &req : entries_) {
+        if (req.loc.rank == r && req.loc.bank == b && req.loc.row == row)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace dsarp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bounded request queue with per-bank occupancy counters.
+ *
+ * Requests are kept in arrival order (index 0 is the oldest) so the
+ * FR-FCFS scan can honour age. The per-bank counters are what DARP's
+ * out-of-order refresh monitors (paper Section 4.2.1).
+ */
+
+#ifndef DSARP_CONTROLLER_QUEUES_HH
+#define DSARP_CONTROLLER_QUEUES_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "controller/request.hh"
+
+namespace dsarp {
+
+class RequestQueue
+{
+  public:
+    RequestQueue(int capacity, int ranks, int banksPerRank);
+
+    bool full() const { return size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    int size() const { return static_cast<int>(entries_.size()); }
+    int capacity() const { return capacity_; }
+
+    /** Append a request; returns false when the queue is full. */
+    bool push(const Request &req);
+
+    /** Oldest-first access. */
+    const Request &at(int i) const { return entries_[i]; }
+
+    /** Remove and return the request at index @p i. */
+    Request pop(int i);
+
+    /** Queued requests targeting a bank. */
+    int bankCount(RankId r, BankId b) const
+    {
+        return bankCount_[r * banks_ + b];
+    }
+
+    /** Queued requests targeting a rank. */
+    int rankCount(RankId r) const;
+
+    /** First index whose request matches @p addr, or -1. */
+    int findAddr(Addr addr) const;
+
+    /** Requests queued for (rank, bank, row), e.g. row-hit bookkeeping. */
+    int rowCount(RankId r, BankId b, RowId row) const;
+
+  private:
+    int capacity_;
+    int banks_;
+    std::vector<Request> entries_;
+    std::vector<int> bankCount_;
+};
+
+} // namespace dsarp
+
+#endif // DSARP_CONTROLLER_QUEUES_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * A memory request as seen by the memory controller.
+ */
+
+#ifndef DSARP_CONTROLLER_REQUEST_HH
+#define DSARP_CONTROLLER_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/address.hh"
+
+namespace dsarp {
+
+struct Request
+{
+    std::uint64_t id = 0;
+    CoreId core = 0;
+    bool isWrite = false;
+    Addr addr = 0;
+    DecodedAddr loc;
+    Tick arrival = 0;  ///< Tick the request entered the controller.
+};
+
+} // namespace dsarp
+
+#endif // DSARP_CONTROLLER_REQUEST_HH

@@ -1,0 +1,24 @@
+#include "controller/write_drain.hh"
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+WriteDrain::WriteDrain(int high_watermark, int low_watermark)
+    : high_(high_watermark), low_(low_watermark)
+{
+    DSARP_ASSERT(low_ < high_, "watermarks inverted");
+}
+
+void
+WriteDrain::update(int write_queue_size)
+{
+    if (!active_ && write_queue_size >= high_) {
+        active_ = true;
+        ++batches_;
+    } else if (active_ && write_queue_size <= low_) {
+        active_ = false;
+    }
+}
+
+} // namespace dsarp

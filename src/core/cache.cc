@@ -1,0 +1,112 @@
+#include "core/cache.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+CacheSlice::CacheSlice(int size_bytes, int ways, int line_bytes)
+    : lineBytes_(line_bytes), ways_(ways)
+{
+    DSARP_ASSERT(ways > 0 && line_bytes > 0, "bad cache shape");
+    sets_ = size_bytes / (ways * line_bytes);
+    DSARP_ASSERT(sets_ > 0, "cache too small for its associativity");
+    lines_.assign(static_cast<std::size_t>(sets_) * ways_, Line{});
+}
+
+CacheSlice::AccessResult
+CacheSlice::access(Addr addr, bool is_write)
+{
+    AccessResult res;
+    const Addr line_addr = addr / lineBytes_;
+    const int set = static_cast<int>(line_addr % sets_);
+    const Addr tag = line_addr / sets_;
+    Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+
+    ++useClock_;
+
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            line.dirty = line.dirty || is_write;
+            ++hits_;
+            res.hit = true;
+            return res;
+        }
+    }
+
+    // Miss: prefer an invalid way, otherwise evict the LRU line.
+    int victim = 0;
+    for (int w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].lastUse < base[victim].lastUse)
+            victim = w;
+    }
+
+    ++misses_;
+    Line &line = base[victim];
+    if (line.valid && line.dirty) {
+        res.writeback = true;
+        res.victimAddr = (line.tag * sets_ + set) * lineBytes_;
+        ++writebacks_;
+    }
+    line.valid = true;
+    line.tag = tag;
+    line.dirty = is_write;
+    line.lastUse = useClock_;
+    return res;
+}
+
+bool
+CacheSlice::contains(Addr addr) const
+{
+    const Addr line_addr = addr / lineBytes_;
+    const int set = static_cast<int>(line_addr % sets_);
+    const Addr tag = line_addr / sets_;
+    const Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+CacheFilteredTrace::CacheFilteredTrace(TraceSource &raw, CacheSlice &cache,
+                                       double write_probability,
+                                       std::uint64_t seed)
+    : raw_(raw), cache_(cache), writeProbability_(write_probability),
+      rng_(seed)
+{
+}
+
+TraceRecord
+CacheFilteredTrace::next()
+{
+    long accumulated_gap = 0;
+    for (;;) {
+        TraceRecord rec = raw_.next();
+        accumulated_gap += rec.gap;
+        const bool is_write = rng_.chance(writeProbability_);
+        const CacheSlice::AccessResult res =
+            cache_.access(rec.readAddr, is_write);
+        if (res.hit) {
+            // A hit is just another (fast) instruction.
+            accumulated_gap += 1;
+            continue;
+        }
+        TraceRecord out;
+        out.gap = static_cast<int>(
+            std::min<long>(accumulated_gap, 1 << 20));
+        out.readAddr = rec.readAddr;
+        out.hasWriteback = res.writeback;
+        out.writebackAddr = res.victimAddr;
+        return out;
+    }
+}
+
+} // namespace dsarp

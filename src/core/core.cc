@@ -1,0 +1,120 @@
+#include "core/core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+Core::Core(CoreId id, const CoreConfig *cfg, TraceSource *trace)
+    : id_(id), cfg_(cfg), trace_(trace),
+      nextLoadId_((static_cast<std::uint64_t>(id) << 48) + 1)
+{
+}
+
+void
+Core::bind(SendRead send_read, SendWrite send_write)
+{
+    sendRead_ = std::move(send_read);
+    sendWrite_ = std::move(send_write);
+}
+
+void
+Core::onReadComplete(std::uint64_t id)
+{
+    completed_.insert(id);
+    --outstanding_;
+    DSARP_ASSERT(outstanding_ >= 0, "read completion underflow");
+}
+
+void
+Core::resetStats()
+{
+    stats_ = CoreStats{};
+}
+
+void
+Core::fetch()
+{
+    while (windowInstrs_ < cfg_->windowSize) {
+        if (!havePending_) {
+            pending_ = trace_->next();
+            havePending_ = true;
+            pendingGapLeft_ = pending_.gap;
+            writebackSent_ = false;
+        }
+
+        if (pendingGapLeft_ > 0) {
+            const int take =
+                std::min(pendingGapLeft_, cfg_->windowSize - windowInstrs_);
+            if (!window_.empty() && !window_.back().isLoad) {
+                window_.back().instrs += take;
+            } else {
+                window_.push_back({false, 0, take});
+            }
+            windowInstrs_ += take;
+            pendingGapLeft_ -= take;
+            continue;
+        }
+
+        // The record's read. Its writeback (dirty eviction) goes out
+        // first, fire-and-forget; a full write queue stalls fetch.
+        if (pending_.hasWriteback && !writebackSent_) {
+            if (!sendWrite_(pending_.writebackAddr))
+                return;
+            writebackSent_ = true;
+            ++stats_.writebacksIssued;
+        }
+        if (outstanding_ >= cfg_->mshrs)
+            return;
+        const std::uint64_t load_id = nextLoadId_++;
+        if (!sendRead_(load_id, pending_.readAddr))
+            return;
+        ++outstanding_;
+        ++stats_.readsIssued;
+        window_.push_back({true, load_id, 1});
+        windowInstrs_ += 1;
+        havePending_ = false;
+    }
+}
+
+void
+Core::retire()
+{
+    int budget = cfg_->retireWidth;
+    while (budget > 0 && !window_.empty()) {
+        WindowEntry &head = window_.front();
+        if (head.isLoad) {
+            auto it = completed_.find(head.loadId);
+            if (it == completed_.end()) {
+                ++stats_.readStallCycles;
+                return;  // Oldest instruction is a pending load: stall.
+            }
+            completed_.erase(it);
+            window_.pop_front();
+            windowInstrs_ -= 1;
+            stats_.instructionsRetired += 1;
+            budget -= 1;
+        } else {
+            const int take = std::min(budget, head.instrs);
+            head.instrs -= take;
+            windowInstrs_ -= take;
+            stats_.instructionsRetired += take;
+            budget -= take;
+            if (head.instrs == 0)
+                window_.pop_front();
+        }
+    }
+}
+
+void
+Core::tick()
+{
+    for (int c = 0; c < cfg_->cpuCyclesPerTick; ++c) {
+        ++stats_.cpuCycles;
+        retire();
+        fetch();
+    }
+}
+
+} // namespace dsarp

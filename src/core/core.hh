@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Trace-driven core model (paper Table 1): 4 GHz, 3-wide retire,
+ * 128-entry instruction window, 8 MSHRs.
+ *
+ * The window retires up to retireWidth instructions per CPU cycle in
+ * order; a read at the window head blocks retirement until its data
+ * returns (reads are latency-critical). Writebacks are fire-and-forget
+ * into the memory controller's write queue (DRAM writes are not
+ * latency-critical, Section 4.2.2) -- the core only stalls on them when
+ * the write queue is full.
+ */
+
+#ifndef DSARP_CORE_CORE_HH
+#define DSARP_CORE_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "core/trace.hh"
+
+namespace dsarp {
+
+struct CoreStats
+{
+    std::uint64_t instructionsRetired = 0;
+    std::uint64_t cpuCycles = 0;
+    std::uint64_t readsIssued = 0;
+    std::uint64_t writebacksIssued = 0;
+    std::uint64_t readStallCycles = 0;  ///< Retire blocked on a load.
+
+    double
+    ipc() const
+    {
+        return cpuCycles
+            ? static_cast<double>(instructionsRetired) / cpuCycles
+            : 0.0;
+    }
+};
+
+class Core
+{
+  public:
+    /** Returns false when the memory system cannot accept the request. */
+    using SendRead = std::function<bool(std::uint64_t id, Addr addr)>;
+    using SendWrite = std::function<bool(Addr addr)>;
+
+    Core(CoreId id, const CoreConfig *cfg, TraceSource *trace);
+
+    void bind(SendRead sendRead, SendWrite sendWrite);
+
+    /** Advance cpuCyclesPerTick CPU cycles. */
+    void tick();
+
+    /** Read data for request @p id has returned. */
+    void onReadComplete(std::uint64_t id);
+
+    /** Zero the measurement counters (state is preserved). */
+    void resetStats();
+
+    CoreId id() const { return id_; }
+    const CoreStats &stats() const { return stats_; }
+    int outstandingReads() const { return outstanding_; }
+
+  private:
+    void fetch();
+    void retire();
+
+    struct WindowEntry
+    {
+        bool isLoad = false;
+        std::uint64_t loadId = 0;
+        int instrs = 0;  ///< For non-load batches.
+    };
+
+    CoreId id_;
+    const CoreConfig *cfg_;
+    TraceSource *trace_;
+    SendRead sendRead_;
+    SendWrite sendWrite_;
+
+    std::deque<WindowEntry> window_;
+    int windowInstrs_ = 0;
+    int outstanding_ = 0;
+    std::unordered_set<std::uint64_t> completed_;
+
+    TraceRecord pending_;
+    bool havePending_ = false;
+    int pendingGapLeft_ = 0;
+    bool writebackSent_ = false;
+
+    std::uint64_t nextLoadId_;
+    CoreStats stats_;
+};
+
+} // namespace dsarp
+
+#endif // DSARP_CORE_CORE_HH

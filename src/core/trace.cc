@@ -1,0 +1,82 @@
+#include "core/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+SyntheticTrace::SyntheticTrace(const TraceProfile &profile,
+                               const AddressMap &map, CoreId core_id,
+                               int core_partitions, std::uint64_t seed)
+    : profile_(profile), map_(map),
+      rng_(seed ^ (0x9e3779b97f4a7c15ULL * (core_id + 1)))
+{
+    DSARP_ASSERT(profile.mpki > 0.0, "MPKI must be positive");
+    const MemOrg &org = map.org();
+    const int region = org.rowsPerBank / std::max(core_partitions, 1);
+    rowBase_ = core_id % std::max(core_partitions, 1) * region;
+    rowSpan_ = std::min(profile.footprintRows, region);
+    if (rowSpan_ < 1)
+        rowSpan_ = 1;
+    meanGap_ = 1000.0 / profile.mpki;
+    jump();
+}
+
+void
+SyntheticTrace::jump()
+{
+    const MemOrg &org = map_.org();
+    cursor_.channel = static_cast<ChannelId>(rng_.below(org.channels));
+    cursor_.rank = static_cast<RankId>(rng_.below(org.ranksPerChannel));
+    cursor_.bank = static_cast<BankId>(rng_.below(org.banksPerRank));
+    cursor_.row = rowBase_ + static_cast<RowId>(rng_.below(rowSpan_));
+    cursor_.column = static_cast<int>(rng_.below(org.columns()));
+    cursor_.subarray = cursor_.row / org.rowsPerSubarray();
+}
+
+Addr
+SyntheticTrace::randomLine()
+{
+    const MemOrg &org = map_.org();
+    DecodedAddr d;
+    d.channel = static_cast<ChannelId>(rng_.below(org.channels));
+    d.rank = static_cast<RankId>(rng_.below(org.ranksPerChannel));
+    d.bank = static_cast<BankId>(rng_.below(org.banksPerRank));
+    d.row = rowBase_ + static_cast<RowId>(rng_.below(rowSpan_));
+    d.column = static_cast<int>(rng_.below(org.columns()));
+    return map_.encode(d);
+}
+
+TraceRecord
+SyntheticTrace::next()
+{
+    TraceRecord rec;
+
+    // Exponentially distributed instruction gap with the profile's mean,
+    // matching the bursty arrival behaviour of cache-filtered streams.
+    const double u = std::max(rng_.uniform(), 1e-12);
+    rec.gap = static_cast<int>(-meanGap_ * std::log(u));
+
+    if (profile_.randomAccess || !rng_.chance(profile_.rowLocality)) {
+        jump();
+    } else {
+        // Continue streaming through the current row.
+        const MemOrg &org = map_.org();
+        if (++cursor_.column >= org.columns()) {
+            cursor_.column = 0;
+            cursor_.row = rowBase_ + (cursor_.row - rowBase_ + 1) % rowSpan_;
+            cursor_.subarray = cursor_.row / org.rowsPerSubarray();
+        }
+    }
+    rec.readAddr = map_.encode(cursor_);
+
+    if (rng_.chance(profile_.writebackFraction)) {
+        rec.hasWriteback = true;
+        rec.writebackAddr = randomLine();
+    }
+    return rec;
+}
+
+} // namespace dsarp

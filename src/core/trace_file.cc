@@ -1,0 +1,90 @@
+#include "core/trace_file.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+TraceFileSource::TraceFileSource(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        DSARP_FATAL("cannot open trace file");
+
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Strip comments and whitespace-only lines.
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        bool blank = true;
+        for (char c : line) {
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                blank = false;
+        }
+        if (blank)
+            continue;
+
+        std::istringstream fields(line);
+        TraceRecord rec;
+        std::string read_hex, wb_hex;
+        if (!(fields >> rec.gap >> read_hex)) {
+            std::fprintf(stderr, "trace %s:%d malformed\n", path.c_str(),
+                         lineno);
+            DSARP_FATAL("malformed trace line");
+        }
+        rec.readAddr =
+            static_cast<Addr>(std::stoull(read_hex, nullptr, 16));
+        if (fields >> wb_hex) {
+            rec.hasWriteback = true;
+            rec.writebackAddr =
+                static_cast<Addr>(std::stoull(wb_hex, nullptr, 16));
+        }
+        if (rec.gap < 0)
+            DSARP_FATAL("negative gap in trace");
+        records_.push_back(rec);
+    }
+    if (records_.empty())
+        DSARP_FATAL("trace file has no records");
+}
+
+TraceFileSource::TraceFileSource(std::vector<TraceRecord> records)
+    : records_(std::move(records))
+{
+    DSARP_ASSERT(!records_.empty(), "empty programmatic trace");
+}
+
+TraceRecord
+TraceFileSource::next()
+{
+    const TraceRecord rec = records_[cursor_];
+    if (++cursor_ >= records_.size()) {
+        cursor_ = 0;
+        ++loops_;
+    }
+    return rec;
+}
+
+void
+TraceFileSource::write(const std::string &path,
+                       const std::vector<TraceRecord> &records)
+{
+    std::ofstream out(path);
+    if (!out)
+        DSARP_FATAL("cannot write trace file");
+    out << "# dsarp trace: gap readAddr [writebackAddr]\n";
+    for (const TraceRecord &rec : records) {
+        out << rec.gap << " " << std::hex << rec.readAddr;
+        if (rec.hasWriteback)
+            out << " " << rec.writebackAddr;
+        out << std::dec << "\n";
+    }
+}
+
+} // namespace dsarp

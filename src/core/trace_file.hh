@@ -1,0 +1,56 @@
+/**
+ * @file
+ * File-backed traces.
+ *
+ * Downstream users with real miss traces (e.g. Pin- or simulator-
+ * generated, like the paper's) can replay them instead of the synthetic
+ * generators. The format is line-oriented text:
+ *
+ *     # comment
+ *     <gap> <readAddrHex> [<writebackAddrHex>]
+ *
+ * gap is the number of non-memory instructions before the read;
+ * addresses are hex with or without the 0x prefix. The trace loops when
+ * it reaches the end (the core model expects an infinite stream), which
+ * matches the paper's fixed-cycle-count methodology.
+ */
+
+#ifndef DSARP_CORE_TRACE_FILE_HH
+#define DSARP_CORE_TRACE_FILE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/trace.hh"
+
+namespace dsarp {
+
+class TraceFileSource : public TraceSource
+{
+  public:
+    /** Load a trace file; fatal on unreadable files or malformed lines. */
+    explicit TraceFileSource(const std::string &path);
+
+    /** Build from in-memory records (testing, programmatic traces). */
+    explicit TraceFileSource(std::vector<TraceRecord> records);
+
+    TraceRecord next() override;
+
+    std::size_t size() const { return records_.size(); }
+
+    /** Number of times the trace has wrapped around. */
+    std::uint64_t loops() const { return loops_; }
+
+    /** Serialize records to @p path in the same format. */
+    static void write(const std::string &path,
+                      const std::vector<TraceRecord> &records);
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t cursor_ = 0;
+    std::uint64_t loops_ = 0;
+};
+
+} // namespace dsarp
+
+#endif // DSARP_CORE_TRACE_FILE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Physical address mapping.
+ *
+ * The interleaving is line:channel:column:bank:rank:row from least to most
+ * significant, i.e. consecutive cache lines alternate across channels, then
+ * walk the columns of one row within a channel. This gives streaming
+ * workloads both channel-level parallelism and row-buffer locality, the
+ * standard layout for FR-FCFS studies.
+ */
+
+#ifndef DSARP_DRAM_ADDRESS_HH
+#define DSARP_DRAM_ADDRESS_HH
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace dsarp {
+
+/** A fully decoded physical address. */
+struct DecodedAddr
+{
+    ChannelId channel = 0;
+    RankId rank = 0;
+    BankId bank = 0;
+    RowId row = 0;
+    int column = 0;
+    SubarrayId subarray = 0;
+
+    bool
+    operator==(const DecodedAddr &o) const
+    {
+        return channel == o.channel && rank == o.rank && bank == o.bank &&
+            row == o.row && column == o.column && subarray == o.subarray;
+    }
+};
+
+/** Bidirectional mapping between physical addresses and DRAM coordinates. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const MemOrg &org);
+
+    /** Decode a physical byte address. */
+    DecodedAddr decode(Addr addr) const;
+
+    /** Compose a physical byte address from DRAM coordinates. */
+    Addr encode(const DecodedAddr &d) const;
+
+    /** Total bytes covered by the mapping. */
+    Addr capacityBytes() const { return capacity_; }
+
+    const MemOrg &org() const { return org_; }
+
+  private:
+    MemOrg org_;
+    Addr capacity_;
+};
+
+} // namespace dsarp
+
+#endif // DSARP_DRAM_ADDRESS_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-bank DRAM state machine.
+ *
+ * Tracks the open row, earliest-allowed command times, and refresh state.
+ * SARP support (Section 4.3): while the bank is refreshing, the refreshing
+ * subarray is recorded; ACTs to *other* subarrays are permitted when SARP
+ * is enabled, and the refresh neither uses nor blocks the global bitlines
+ * (the AND-gate isolation of Figure 11b).
+ */
+
+#ifndef DSARP_DRAM_BANK_HH
+#define DSARP_DRAM_BANK_HH
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace dsarp {
+
+class Bank
+{
+  public:
+    Bank(const TimingParams *timing, int rowsPerSubarray, int rowsPerBank,
+         bool sarp);
+
+    /** @name Command legality (bank-local constraints only). */
+    /// @{
+    bool canAct(Tick now, RowId row) const;
+    bool canRead(Tick now) const;
+    bool canWrite(Tick now) const;
+    bool canPre(Tick now) const;
+
+    /** Bank idle (precharged, no refresh) so a refresh may start. */
+    bool canRefresh(Tick now) const;
+    /// @}
+
+    /** @name State transitions; caller must have checked legality. */
+    /// @{
+    void onAct(Tick now, RowId row, SubarrayId subarray);
+    void onRead(Tick now, bool autoPrecharge);
+    void onWrite(Tick now, bool autoPrecharge);
+    void onPre(Tick now);
+
+    /**
+     * Begin refreshing @p rows rows (0 = the TimingParams default)
+     * starting at the internal row counter; occupies the counter's
+     * subarray for tRfc cycles.
+     */
+    void onRefresh(Tick now, int tRfc, int rows = 0);
+    /// @}
+
+    /** @name Observers. */
+    /// @{
+    RowId openRow() const { return openRow_; }
+    bool isOpen() const { return openRow_ != kNone; }
+    bool refreshing(Tick now) const { return refreshUntil_ > now; }
+    Tick refreshUntil() const { return refreshUntil_; }
+
+    /** Subarray currently being refreshed (kNone when not refreshing). */
+    SubarrayId
+    refreshingSubarray(Tick now) const
+    {
+        return refreshing(now) ? refreshSubarray_ : kNone;
+    }
+
+    /** Next row the refresh unit will refresh (DARP keeps these per bank). */
+    RowId refreshRowCounter() const { return refRowCounter_; }
+
+    SubarrayId subarrayOf(RowId row) const { return row / rowsPerSubarray_; }
+
+    /** Earliest tick an ACT could be accepted (ignores rank constraints). */
+    Tick actReadyAt() const { return actAllowedAt_; }
+    /// @}
+
+  private:
+    const TimingParams *timing_;
+    int rowsPerSubarray_;
+    int rowsPerBank_;
+    bool sarp_;
+
+    RowId openRow_ = kNone;
+    SubarrayId openSubarray_ = kNone;
+
+    Tick actAllowedAt_ = 0;   ///< Earliest next ACT (tRC/tRP/refresh).
+    Tick colAllowedAt_ = 0;   ///< Earliest column command (ACT + tRCD).
+    Tick preAllowedAt_ = 0;   ///< Earliest precharge (tRAS/tRTP/tWR).
+
+    Tick refreshUntil_ = 0;
+    SubarrayId refreshSubarray_ = kNone;
+    RowId refRowCounter_ = 0;
+};
+
+} // namespace dsarp
+
+#endif // DSARP_DRAM_BANK_HH

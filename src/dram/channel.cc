@@ -1,0 +1,145 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+Channel::Channel(const MemConfig *cfg, const TimingParams *timing)
+    : cfg_(cfg), timing_(timing)
+{
+    ranks_.reserve(cfg->org.ranksPerChannel);
+    for (int r = 0; r < cfg->org.ranksPerChannel; ++r)
+        ranks_.emplace_back(cfg, timing);
+    wrDataEnd_.assign(cfg->org.ranksPerChannel, 0);
+}
+
+bool
+Channel::busOkForRead(RankId r, Tick now) const
+{
+    const Tick data_start = now + timing_->tCl;
+    // The burst must find the bus free, plus a rank-switch gap.
+    Tick bus_free = busBusyUntil_;
+    if (lastBurstRank_ != kNone && lastBurstRank_ != r)
+        bus_free += timing_->tRtrs;
+    if (data_start < bus_free)
+        return false;
+    // Write-to-read turnaround within the same rank (tWTR counts from the
+    // end of write data to the read command).
+    if (now < wrDataEnd_[r] + static_cast<Tick>(timing_->tWtr))
+        return false;
+    return true;
+}
+
+bool
+Channel::busOkForWrite(RankId r, Tick now) const
+{
+    const Tick data_start = now + timing_->tCwl;
+    Tick bus_free = busBusyUntil_;
+    if (lastBurstRank_ != kNone && lastBurstRank_ != r)
+        bus_free += timing_->tRtrs;
+    if (data_start < bus_free)
+        return false;
+    // Read-to-write command turnaround on the shared bus.
+    if (lastRdCmdAt_ != kTickNever &&
+        now < lastRdCmdAt_ + static_cast<Tick>(timing_->tRtw)) {
+        return false;
+    }
+    return true;
+}
+
+bool
+Channel::canIssue(const Command &cmd, Tick now) const
+{
+    const Rank &rk = ranks_[cmd.rank];
+    switch (cmd.type) {
+      case CommandType::kAct:
+        return rk.bank(cmd.bank).canAct(now, cmd.row) &&
+            rk.canActRankLevel(now);
+      case CommandType::kRd:
+      case CommandType::kRdA:
+        return rk.bank(cmd.bank).canRead(now) && busOkForRead(cmd.rank, now);
+      case CommandType::kWr:
+      case CommandType::kWrA:
+        return rk.bank(cmd.bank).canWrite(now) &&
+            busOkForWrite(cmd.rank, now);
+      case CommandType::kPre:
+        return rk.bank(cmd.bank).canPre(now);
+      case CommandType::kRefPb:
+        return rk.canRefPbRankLevel(now) && rk.bank(cmd.bank).canRefresh(now);
+      case CommandType::kRefAb:
+        return rk.canRefAb(now);
+    }
+    return false;
+}
+
+Tick
+Channel::issue(const Command &cmd, Tick now)
+{
+    DSARP_ASSERT(canIssue(cmd, now), "issuing illegal command");
+    Rank &rk = ranks_[cmd.rank];
+    switch (cmd.type) {
+      case CommandType::kAct:
+        rk.bank(cmd.bank).onAct(now, cmd.row, cmd.subarray);
+        rk.onAct(now);
+        ++stats_.acts;
+        return 0;
+
+      case CommandType::kRd:
+      case CommandType::kRdA: {
+        rk.bank(cmd.bank).onRead(now, cmd.type == CommandType::kRdA);
+        const Tick data_end = now + timing_->tCl + timing_->tBl;
+        busBusyUntil_ = data_end;
+        lastBurstWasWrite_ = false;
+        lastBurstRank_ = cmd.rank;
+        lastRdCmdAt_ = now;
+        ++stats_.reads;
+        return data_end;
+      }
+
+      case CommandType::kWr:
+      case CommandType::kWrA: {
+        rk.bank(cmd.bank).onWrite(now, cmd.type == CommandType::kWrA);
+        const Tick data_end = now + timing_->tCwl + timing_->tBl;
+        busBusyUntil_ = data_end;
+        lastBurstWasWrite_ = true;
+        lastBurstRank_ = cmd.rank;
+        wrDataEnd_[cmd.rank] = data_end;
+        ++stats_.writes;
+        return data_end;
+      }
+
+      case CommandType::kPre:
+        rk.bank(cmd.bank).onPre(now);
+        ++stats_.pres;
+        return 0;
+
+      case CommandType::kRefPb:
+        rk.onRefPb(now, cmd.bank, cmd.tRfcOverride, cmd.rowsOverride);
+        ++stats_.refPb;
+        stats_.refPbCycles +=
+            cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcPb;
+        return 0;
+
+      case CommandType::kRefAb:
+        rk.onRefAb(now, cmd.tRfcOverride, cmd.rowsOverride);
+        ++stats_.refAb;
+        stats_.refAbCycles +=
+            cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcAb;
+        return 0;
+    }
+    return 0;
+}
+
+void
+Channel::sampleActivity(Tick now)
+{
+    for (const Rank &rk : ranks_) {
+        ++stats_.rankTotalTicks;
+        if (rk.isActive(now))
+            ++stats_.rankActiveTicks;
+    }
+}
+
+} // namespace dsarp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-channel DRAM model: owns the ranks, enforces the shared data-bus
+ * constraints (burst occupancy, read/write turnaround tWTR/tRTW, rank
+ * switch tRTRS), and dispatches commands to rank/bank state machines.
+ *
+ * The command bus allows one command per cycle; the controller enforces
+ * that by issuing at most one command per channel per tick.
+ */
+
+#ifndef DSARP_DRAM_CHANNEL_HH
+#define DSARP_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/rank.hh"
+
+namespace dsarp {
+
+/** Command counters consumed by the energy model and tests. */
+struct ChannelStats
+{
+    std::uint64_t acts = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t pres = 0;
+    std::uint64_t refAb = 0;
+    std::uint64_t refPb = 0;
+    /** Cycles actually spent in refresh, honouring FGR/AR overrides. */
+    std::uint64_t refAbCycles = 0;
+    std::uint64_t refPbCycles = 0;
+    /** Rank-ticks with an open row or refresh in flight (background pwr). */
+    std::uint64_t rankActiveTicks = 0;
+    std::uint64_t rankTotalTicks = 0;
+};
+
+class Channel
+{
+  public:
+    Channel(const MemConfig *cfg, const TimingParams *timing);
+
+    Rank &rank(RankId r) { return ranks_[r]; }
+    const Rank &rank(RankId r) const { return ranks_[r]; }
+    int numRanks() const { return static_cast<int>(ranks_.size()); }
+
+    /** Full legality check: bank, rank, and data-bus constraints. */
+    bool canIssue(const Command &cmd, Tick now) const;
+
+    /**
+     * Issue a command (must be legal). Returns the tick the data burst
+     * completes for column commands (read data arrival / write data end);
+     * 0 for non-column commands.
+     */
+    Tick issue(const Command &cmd, Tick now);
+
+    /** Accumulate per-tick activity for the energy model. */
+    void sampleActivity(Tick now);
+
+    const ChannelStats &stats() const { return stats_; }
+    const TimingParams &timing() const { return *timing_; }
+
+    /** Zero the counters (DRAM state is preserved). */
+    void resetStats() { stats_ = ChannelStats{}; }
+
+  private:
+    bool busOkForRead(RankId r, Tick now) const;
+    bool busOkForWrite(RankId r, Tick now) const;
+
+    const MemConfig *cfg_;
+    const TimingParams *timing_;
+    std::vector<Rank> ranks_;
+
+    Tick busBusyUntil_ = 0;        ///< End of the last data burst.
+    bool lastBurstWasWrite_ = false;
+    RankId lastBurstRank_ = kNone;
+    Tick lastRdCmdAt_ = kTickNever;
+    std::vector<Tick> wrDataEnd_;  ///< Per-rank last write-data end (tWTR).
+
+    ChannelStats stats_;
+};
+
+} // namespace dsarp
+
+#endif // DSARP_DRAM_CHANNEL_HH

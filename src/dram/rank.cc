@@ -1,0 +1,187 @@
+#include "dram/rank.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+Rank::Rank(const MemConfig *cfg, const TimingParams *timing)
+    : cfg_(cfg), timing_(timing)
+{
+    banks_.reserve(cfg->org.banksPerRank);
+    for (int b = 0; b < cfg->org.banksPerRank; ++b) {
+        banks_.emplace_back(timing, cfg->org.rowsPerSubarray(),
+                            cfg->org.rowsPerBank, cfg->sarp);
+    }
+    const auto inflate = [](int base, double mult) {
+        return static_cast<int>(std::ceil(base * mult - 1e-9));
+    };
+    tRrdInflAb_ = inflate(timing->tRrd,
+                          refreshInflationMult(*cfg, true, 0));
+    tRrdInflPb_ = inflate(timing->tRrd,
+                          refreshInflationMult(*cfg, false, 1));
+    tFawInflAb_ = inflate(timing->tFaw,
+                          refreshInflationMult(*cfg, true, 0));
+    tFawInflPb_ = inflate(timing->tFaw,
+                          refreshInflationMult(*cfg, false, 1));
+    refPbEnds_.reserve(cfg->maxOverlappedRefPb);
+}
+
+double
+Rank::refreshInflationMult(const MemConfig &cfg, bool ab_in_flight,
+                           int pb_in_flight)
+{
+    // Without SARP and without the overlapped-REFpb extension, the
+    // baseline never activates during refresh, so no inflation applies.
+    const bool extended = cfg.sarp || cfg.maxOverlappedRefPb > 1;
+    if (!extended)
+        return 1.0;
+    if (ab_in_flight)
+        return cfg.sarpInflationAb;
+    if (pb_in_flight > 0) {
+        // Each in-flight per-bank refresh adds one refresh current's
+        // worth of overhead on top of the four-activate budget.
+        return 1.0 + pb_in_flight * (cfg.sarpInflationPb - 1.0);
+    }
+    return 1.0;
+}
+
+int
+Rank::refPbCount(Tick now) const
+{
+    // Prune completed refreshes; the vector never exceeds the overlap
+    // cap, so this is a handful of comparisons.
+    auto it = std::remove_if(refPbEnds_.begin(), refPbEnds_.end(),
+                             [now](Tick end) { return end <= now; });
+    refPbEnds_.erase(it, refPbEnds_.end());
+    return static_cast<int>(refPbEnds_.size());
+}
+
+int
+Rank::effTRrd(Tick now) const
+{
+    if (cfg_->sarp || cfg_->maxOverlappedRefPb > 1) {
+        if (refAbInFlight(now))
+            return tRrdInflAb_;
+        const int pb = refPbCount(now);
+        if (pb == 1)
+            return tRrdInflPb_;
+        if (pb > 1) {
+            return static_cast<int>(std::ceil(
+                timing_->tRrd *
+                    refreshInflationMult(*cfg_, false, pb) -
+                1e-9));
+        }
+    }
+    return timing_->tRrd;
+}
+
+int
+Rank::effTFaw(Tick now) const
+{
+    if (cfg_->sarp || cfg_->maxOverlappedRefPb > 1) {
+        if (refAbInFlight(now))
+            return tFawInflAb_;
+        const int pb = refPbCount(now);
+        if (pb == 1)
+            return tFawInflPb_;
+        if (pb > 1) {
+            return static_cast<int>(std::ceil(
+                timing_->tFaw *
+                    refreshInflationMult(*cfg_, false, pb) -
+                1e-9));
+        }
+    }
+    return timing_->tFaw;
+}
+
+bool
+Rank::canActRankLevel(Tick now) const
+{
+    if (lastActAt_ != kTickNever &&
+        now < lastActAt_ + static_cast<Tick>(effTRrd(now))) {
+        return false;
+    }
+    if (actsSeen_ >= 4) {
+        // Oldest of the last four ACTs bounds the four-activate window.
+        if (now < actWindow_[0] + static_cast<Tick>(effTFaw(now)))
+            return false;
+    }
+    return true;
+}
+
+bool
+Rank::canRefPbRankLevel(Tick now) const
+{
+    return refPbCount(now) < cfg_->maxOverlappedRefPb &&
+        !refAbInFlight(now);
+}
+
+bool
+Rank::canRefAb(Tick now) const
+{
+    if (refPbInFlight(now) || refAbInFlight(now))
+        return false;
+    for (const Bank &b : banks_) {
+        if (!b.canRefresh(now))
+            return false;
+    }
+    return true;
+}
+
+void
+Rank::onAct(Tick now)
+{
+    lastActAt_ = now;
+    // Slide the four-entry window.
+    actWindow_[0] = actWindow_[1];
+    actWindow_[1] = actWindow_[2];
+    actWindow_[2] = actWindow_[3];
+    actWindow_[3] = now;
+    if (actsSeen_ < 4)
+        ++actsSeen_;
+}
+
+void
+Rank::onRefPb(Tick now, BankId bank, int t_rfc_override, int rows_override)
+{
+    DSARP_ASSERT(canRefPbRankLevel(now), "REFpb exceeds the overlap limit");
+    const int t_rfc = t_rfc_override ? t_rfc_override : timing_->tRfcPb;
+    banks_[bank].onRefresh(now, t_rfc, rows_override);
+    refPbEnds_.push_back(now + t_rfc);
+}
+
+void
+Rank::onRefAb(Tick now, int t_rfc_override, int rows_override)
+{
+    DSARP_ASSERT(canRefAb(now), "REFab while rank not idle");
+    const int t_rfc = t_rfc_override ? t_rfc_override : timing_->tRfcAb;
+    for (Bank &b : banks_)
+        b.onRefresh(now, t_rfc, rows_override);
+    refAbUntil_ = now + t_rfc;
+}
+
+bool
+Rank::isActive(Tick now) const
+{
+    if (refAbInFlight(now) || refPbInFlight(now))
+        return true;
+    for (const Bank &b : banks_) {
+        if (b.isOpen())
+            return true;
+    }
+    return false;
+}
+
+Tick
+Rank::refreshBusyUntil() const
+{
+    Tick latest = refAbUntil_;
+    for (Tick end : refPbEnds_)
+        latest = std::max(latest, end);
+    return latest;
+}
+
+} // namespace dsarp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Per-rank DRAM state: tRRD/tFAW activation throttling (with SARP's
+ * power-integrity inflation while a refresh is in flight, Eq. 1-3),
+ * REFpb serialization (the LPDDR standard disallows overlapping per-bank
+ * refreshes within a rank), and REFab occupancy.
+ */
+
+#ifndef DSARP_DRAM_RANK_HH
+#define DSARP_DRAM_RANK_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "dram/bank.hh"
+
+namespace dsarp {
+
+class Rank
+{
+  public:
+    Rank(const MemConfig *cfg, const TimingParams *timing);
+
+    Bank &bank(BankId b) { return banks_[b]; }
+    const Bank &bank(BankId b) const { return banks_[b]; }
+    int numBanks() const { return static_cast<int>(banks_.size()); }
+
+    /** @name Rank-level command legality. */
+    /// @{
+
+    /** tRRD/tFAW check for a new ACT (inflated during refresh if SARP). */
+    bool canActRankLevel(Tick now) const;
+
+    /** A REFpb may start: previous REFpb done and no REFab in flight. */
+    bool canRefPbRankLevel(Tick now) const;
+
+    /** A REFab may start: all banks idle, no refresh in flight. */
+    bool canRefAb(Tick now) const;
+    /// @}
+
+    /** @name State transitions. */
+    /// @{
+    void onAct(Tick now);
+    void onRefPb(Tick now, BankId bank, int tRfcOverride = 0,
+                 int rowsOverride = 0);
+    void onRefAb(Tick now, int tRfcOverride = 0, int rowsOverride = 0);
+    /// @}
+
+    /** True while an all-bank refresh occupies the rank. */
+    bool refAbInFlight(Tick now) const { return refAbUntil_ > now; }
+
+    /** True while any per-bank refresh is in flight in this rank. */
+    bool refPbInFlight(Tick now) const { return refPbCount(now) > 0; }
+
+    /** Number of per-bank refreshes currently in flight. */
+    int refPbCount(Tick now) const;
+
+    /**
+     * Power-integrity multiplier for tRRD/tFAW given the refresh state
+     * (shared with the offline checker so both sides agree): the SARP
+     * factors from Eq. 1-3, and per-in-flight scaling when overlapped
+     * per-bank refresh (footnote 5 extension) is enabled.
+     */
+    static double refreshInflationMult(const MemConfig &cfg,
+                                       bool abInFlight, int pbInFlight);
+
+    /** Any bank active (open row) or refreshing; drives background power. */
+    bool isActive(Tick now) const;
+
+    /** End tick of the newest in-flight refresh (0 when none). */
+    Tick refreshBusyUntil() const;
+
+    /**
+     * Effective tRRD/tFAW at @p now: the datasheet value, multiplied by
+     * the SARP power-integrity factor while a refresh is in flight.
+     */
+    int effTRrd(Tick now) const;
+    int effTFaw(Tick now) const;
+
+  private:
+    const MemConfig *cfg_;
+    const TimingParams *timing_;
+    std::vector<Bank> banks_;
+
+    Tick lastActAt_ = kTickNever;  ///< kTickNever encodes "no ACT yet".
+    /** Timestamps of the last four ACTs, oldest first, for tFAW. */
+    Tick actWindow_[4] = {0, 0, 0, 0};
+    int actsSeen_ = 0;
+
+    /** End ticks of in-flight per-bank refreshes (pruned lazily). */
+    mutable std::vector<Tick> refPbEnds_;
+    Tick refAbUntil_ = 0;
+
+    /** Precomputed inflated values for the common cases (no fp math on
+     *  the hot path); counts above one in-flight REFpb fall back to the
+     *  shared formula. */
+    int tRrdInflAb_;
+    int tRrdInflPb_;
+    int tFawInflAb_;
+    int tFawInflPb_;
+};
+
+} // namespace dsarp
+
+#endif // DSARP_DRAM_RANK_HH

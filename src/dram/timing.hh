@@ -1,0 +1,73 @@
+/**
+ * @file
+ * DDR3-1333 timing parameters, density scaling, and FGR scaling.
+ *
+ * All values are in DRAM bus cycles (tCK = 1.5 ns). Refresh latencies
+ * follow the paper: tRFCab = 350/530/890 ns for 8/16/32 Gb chips,
+ * tRFCpb = tRFCab / 2.3 (the LPDDR2-derived ratio of Section 3.1), and
+ * tREFIab = retention / 8192 (3.9 us at 32 ms retention).
+ */
+
+#ifndef DSARP_DRAM_TIMING_HH
+#define DSARP_DRAM_TIMING_HH
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace dsarp {
+
+/** Complete timing parameter set used by the channel state machines. */
+struct TimingParams
+{
+    double tCkNs = 1.5;  ///< Bus clock period in nanoseconds.
+
+    // Core DDR3-1333 parameters (cycles).
+    int tCl = 9;    ///< CAS latency.
+    int tCwl = 7;   ///< CAS write latency.
+    int tRcd = 9;   ///< ACT to column command.
+    int tRp = 9;    ///< Precharge period.
+    int tRas = 24;  ///< ACT to PRE.
+    int tRc = 33;   ///< ACT to ACT, same bank.
+    int tBl = 4;    ///< Burst length on the data bus (BL8).
+    int tCcd = 4;   ///< Column command to column command.
+    int tRtp = 5;   ///< Read to precharge.
+    int tWr = 10;   ///< Write recovery (end of write data to precharge).
+    int tWtr = 5;   ///< End of write data to read command, same rank.
+    int tRtw = 8;   ///< Read to write command gap: tCL + tBL + 2 - tCWL.
+    int tRrd = 4;   ///< ACT to ACT, different banks, same rank.
+    int tFaw = 20;  ///< Four-activate window.
+    int tRtrs = 2;  ///< Rank-to-rank data-bus switch.
+
+    // Refresh parameters (cycles).
+    Tick tRefiAb = 2600;  ///< All-bank refresh command interval.
+    Tick tRefiPb = 325;   ///< Per-bank refresh command interval (tREFIab/8).
+    int tRfcAb = 234;     ///< All-bank refresh latency.
+    int tRfcPb = 102;     ///< Per-bank refresh latency (tRFCab/2.3).
+
+    /** Rows refreshed in each bank by one refresh command. */
+    int rowsPerRefresh = 8;
+
+    /** Number of REFab slots per retention period (JEDEC: 8192). */
+    int refreshesPerRetention = 8192;
+
+    /**
+     * Construct the DDR3-1333 parameter set for a memory configuration:
+     * applies density scaling, retention scaling (32/64 ms), FGR rate
+     * scaling for the kFgr* refresh modes, and the tFAW/tRRD overrides
+     * used by the Table 4 sweep.
+     */
+    static TimingParams ddr3_1333(const MemConfig &cfg);
+
+    /** Convert nanoseconds to (rounded-up) bus cycles. */
+    static int nsToCycles(double ns, double tCkNs);
+
+    /**
+     * DDR4 FGR scaling of tRFCab relative to the 1x value (Section 6.5):
+     * tRFC shrinks by 1.35x at 2x rate and 1.63x at 4x rate.
+     */
+    static double fgrRfcDivisor(int rateMultiplier);
+};
+
+} // namespace dsarp
+
+#endif // DSARP_DRAM_TIMING_HH

@@ -1,0 +1,49 @@
+#include "refresh/all_bank.hh"
+
+namespace dsarp {
+
+AllBankScheduler::AllBankScheduler(const MemConfig *cfg,
+                                   const TimingParams *timing,
+                                   ControllerView *view)
+    : RefreshScheduler(cfg, timing, view),
+      // One unit per rank, with a small phase offset between ranks: just
+      // enough that the commands do not collide on the command bus.
+      // Wide staggering is strictly worse for throughput -- it doubles
+      // the fraction of time the channel runs at half capacity -- so the
+      // near-aligned schedule is the strongest (fairest) baseline.
+      ledger_(cfg->org.ranksPerChannel, 1, timing->tRefiAb,
+              timing->tRefiAb /
+                  (cfg->refabStaggerDivisor * cfg->org.ranksPerChannel),
+              0)
+{
+}
+
+void
+AllBankScheduler::tick(Tick now)
+{
+    ledger_.advanceTo(now);
+}
+
+void
+AllBankScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
+{
+    (void)now;
+    for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        if (ledger_.due(r)) {
+            RefreshRequest req;
+            req.allBank = true;
+            req.rank = r;
+            req.blocking = true;
+            out.push_back(req);
+        }
+    }
+}
+
+void
+AllBankScheduler::onIssued(const RefreshRequest &req, Tick)
+{
+    ledger_.onRefresh(req.rank);
+    ++stats_.issued;
+}
+
+} // namespace dsarp

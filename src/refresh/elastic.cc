@@ -1,0 +1,85 @@
+#include "refresh/elastic.hh"
+
+namespace dsarp {
+
+ElasticScheduler::ElasticScheduler(const MemConfig *cfg,
+                                   const TimingParams *timing,
+                                   ControllerView *view)
+    : RefreshScheduler(cfg, timing, view),
+      // Same rank phasing as the REFab baseline.
+      ledger_(cfg->org.ranksPerChannel, 1, timing->tRefiAb,
+              timing->tRefiAb /
+                  (cfg->refabStaggerDivisor * cfg->org.ranksPerChannel),
+              0)
+{
+    // The most patient threshold: wait for an idle gap about as long as
+    // the average rank idle period that would hide a refresh.
+    maxIdleDelay_ = static_cast<Tick>(timing->tRfcAb) / 2;
+}
+
+Tick
+ElasticScheduler::idleThreshold(int owed) const
+{
+    if (owed <= 0)
+        return maxIdleDelay_;
+    const int slack = ledger_.maxSlack();
+    if (owed >= slack)
+        return 0;
+    // Linear decay: more postponed refreshes -> less patience.
+    return maxIdleDelay_ * static_cast<Tick>(slack - owed) / slack;
+}
+
+void
+ElasticScheduler::tick(Tick now)
+{
+    ledger_.advanceTo(now);
+}
+
+void
+ElasticScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
+{
+    for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        if (!ledger_.due(r))
+            continue;
+        if (ledger_.mustForce(r)) {
+            RefreshRequest req;
+            req.allBank = true;
+            req.rank = r;
+            req.blocking = true;
+            out.push_back(req);
+            ++stats_.forced;
+            continue;
+        }
+        // Release early if the rank has no demand and has been idle long
+        // enough for the current elasticity level.
+        if (view_->pendingDemandsRank(r) == 0) {
+            const Tick idle_for = now - view_->lastDemandActivity(r);
+            if (idle_for >= idleThreshold(ledger_.owed(r))) {
+                RefreshRequest req;
+                req.allBank = true;
+                req.rank = r;
+                req.blocking = true;
+                out.push_back(req);
+            }
+        }
+    }
+}
+
+bool
+ElasticScheduler::opportunistic(Tick, RefreshRequest &)
+{
+    // Elastic refresh never pulls in refreshes ahead of schedule
+    // (Section 6.1.1 calls this out as a shortcoming).
+    return false;
+}
+
+void
+ElasticScheduler::onIssued(const RefreshRequest &req, Tick)
+{
+    if (ledger_.owed(req.rank) > 1)
+        ++stats_.postponed;
+    ledger_.onRefresh(req.rank);
+    ++stats_.issued;
+}
+
+} // namespace dsarp

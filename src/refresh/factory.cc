@@ -1,0 +1,38 @@
+#include "common/log.hh"
+#include "refresh/all_bank.hh"
+#include "refresh/darp.hh"
+#include "refresh/elastic.hh"
+#include "refresh/fgr.hh"
+#include "refresh/no_refresh.hh"
+#include "refresh/per_bank.hh"
+#include "refresh/scheduler.hh"
+
+namespace dsarp {
+
+std::unique_ptr<RefreshScheduler>
+makeRefreshScheduler(const MemConfig &cfg, const TimingParams &timing,
+                     ControllerView &view)
+{
+    switch (cfg.refresh) {
+      case RefreshMode::kNoRefresh:
+        return std::make_unique<NoRefreshScheduler>(&cfg, &timing, &view);
+      case RefreshMode::kAllBank:
+        return std::make_unique<AllBankScheduler>(&cfg, &timing, &view);
+      case RefreshMode::kPerBank:
+        return std::make_unique<PerBankScheduler>(&cfg, &timing, &view);
+      case RefreshMode::kElastic:
+        return std::make_unique<ElasticScheduler>(&cfg, &timing, &view);
+      case RefreshMode::kDarp:
+        return std::make_unique<DarpScheduler>(&cfg, &timing, &view);
+      case RefreshMode::kFgr2x:
+      case RefreshMode::kFgr4x:
+        // Timing parameters are already rate-scaled; the schedule itself
+        // is the plain on-time all-bank policy.
+        return std::make_unique<AllBankScheduler>(&cfg, &timing, &view);
+      case RefreshMode::kAdaptive:
+        return std::make_unique<AdaptiveScheduler>(&cfg, &timing, &view);
+    }
+    DSARP_PANIC("unknown refresh mode");
+}
+
+} // namespace dsarp

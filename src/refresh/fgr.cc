@@ -1,0 +1,98 @@
+#include "refresh/fgr.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsarp {
+
+AdaptiveScheduler::AdaptiveScheduler(const MemConfig *cfg,
+                                     const TimingParams *timing,
+                                     ControllerView *view)
+    : RefreshScheduler(cfg, timing, view),
+      // Quarter-slot accrual: one quarter per tREFIab/4, forcing at
+      // 8 full commands' worth (32 quarters) of postponement.
+      ledger_(cfg->org.ranksPerChannel, 1, timing->tRefiAb / 4,
+              timing->tRefiAb / (8 * cfg->org.ranksPerChannel), 0,
+              8 * 4)
+{
+    tRfc4x_ = static_cast<int>(std::ceil(
+        timing->tRfcAb / TimingParams::fgrRfcDivisor(4) - 1e-9));
+    rows4x_ = std::max(1, timing->rowsPerRefresh / 4);
+    // Start with a full budget: a fresh system has banked no overrun.
+    budget_.assign(cfg->org.ranksPerChannel, 4.0 * timing->tRfcAb);
+    pending4x_.assign(cfg->org.ranksPerChannel, 0);
+}
+
+void
+AdaptiveScheduler::tick(Tick now)
+{
+    ledger_.advanceTo(now);
+    // Grant busy-time budget as obligations accrue: each quarter-slot is
+    // worth a quarter of a (slightly padded) 1x command. The cap keeps a
+    // long idle stretch from banking an unbounded 4x burst.
+    const std::uint64_t accrued = ledger_.totalAccrued();
+    if (accrued > lastAccrued_) {
+        const double grant = (accrued - lastAccrued_) *
+            (timing_->tRfcAb * arBudgetSlack / 4.0) /
+            ledger_.numRanks();
+        for (double &b : budget_)
+            b = std::min(b + grant, 4.0 * timing_->tRfcAb);
+        lastAccrued_ = accrued;
+    }
+    // 4x is attractive while the channel drains writes: the short
+    // lockout tucks under the batch.
+    fastMode_ = view_->inWritebackMode();
+}
+
+void
+AdaptiveScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
+{
+    (void)now;
+    for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        // A slot already being executed fine-grained finishes in 4x
+        // mode regardless of the current writeback state.
+        bool use_fast = pending4x_[r] > 0;
+
+        if (!use_fast) {
+            // AR keeps REFab's schedule: a refresh goes out when a full
+            // slot is due. The only choice is its granularity: split
+            // into 4x commands when a write drain is in progress and
+            // the busy-time budget covers the 2.45x inflation.
+            if (ledger_.owed(r) < 4)
+                continue;
+            if (ledger_.mustForce(r))
+                ++stats_.forced;
+            use_fast = fastMode_ && !ledger_.mustForce(r) &&
+                budget_[r] >= 4.0 * tRfc4x_;
+            if (use_fast)
+                pending4x_[r] = 4;
+        }
+
+        RefreshRequest req;
+        req.allBank = true;
+        req.rank = r;
+        req.blocking = true;
+        if (use_fast) {
+            req.tRfcOverride = tRfc4x_;
+            req.rowsOverride = rows4x_;
+            req.ledgerParts = 1;
+        } else {
+            req.ledgerParts = 4;
+        }
+        out.push_back(req);
+    }
+}
+
+void
+AdaptiveScheduler::onIssued(const RefreshRequest &req, Tick)
+{
+    const int parts = req.ledgerParts ? req.ledgerParts : 4;
+    ledger_.onPartialRefresh(req.rank, 0, parts);
+    budget_[req.rank] -=
+        req.tRfcOverride ? req.tRfcOverride : timing_->tRfcAb;
+    if (req.ledgerParts == 1 && pending4x_[req.rank] > 0)
+        --pending4x_[req.rank];
+    ++stats_.issued;
+}
+
+} // namespace dsarp

@@ -1,0 +1,89 @@
+#include "refresh/ledger.hh"
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+RefreshLedger::RefreshLedger(int ranks, int banks, Tick period,
+                             Tick rank_stagger, Tick unit_stagger,
+                             int max_slack)
+    : ranks_(ranks), banks_(banks), period_(period), maxSlack_(max_slack)
+{
+    DSARP_ASSERT(ranks > 0 && banks > 0 && period > 0, "bad ledger shape");
+    owed_.assign(ranks * banks, 0);
+    nextAccrual_.resize(ranks * banks);
+    firstAccrual_.resize(ranks * banks);
+    for (int r = 0; r < ranks; ++r) {
+        for (int b = 0; b < banks; ++b) {
+            // Stagger banks within a rank (the REFpb round-robin origin)
+            // and phase-shift ranks against each other; the first
+            // obligation lands one full period in, so a fresh system is
+            // not instantly behind.
+            const Tick offset =
+                period + rank_stagger * r + unit_stagger * b;
+            firstAccrual_[index(r, b)] = offset;
+            nextAccrual_[index(r, b)] = offset;
+        }
+    }
+}
+
+void
+RefreshLedger::setDenominator(int denom)
+{
+    DSARP_ASSERT(denom >= 1, "bad denominator");
+    DSARP_ASSERT(totalAccrued_ == 0, "set denominator before first accrual");
+    denom_ = denom;
+}
+
+void
+RefreshLedger::advanceTo(Tick now)
+{
+    for (int i = 0; i < static_cast<int>(owed_.size()); ++i) {
+        while (nextAccrual_[i] <= now) {
+            owed_[i] += denom_;
+            nextAccrual_[i] += period_;
+            ++totalAccrued_;
+        }
+    }
+}
+
+bool
+RefreshLedger::mustForce(RankId r, BankId b) const
+{
+    return owed(r, b) >= maxSlack_ * denom_;
+}
+
+bool
+RefreshLedger::canPullIn(RankId r, BankId b) const
+{
+    return owed(r, b) > -maxSlack_ * denom_;
+}
+
+void
+RefreshLedger::onRefresh(RankId r, BankId b)
+{
+    onPartialRefresh(r, b, denom_);
+}
+
+void
+RefreshLedger::onPartialRefresh(RankId r, BankId b, int parts)
+{
+    owed_[index(r, b)] -= parts;
+    ++totalRetired_;
+    DSARP_ASSERT(owed_[index(r, b)] >= -maxSlack_ * denom_,
+                 "pulled in beyond the JEDEC window");
+}
+
+bool
+RefreshLedger::accruedBetween(RankId r, BankId b, Tick prev, Tick now) const
+{
+    const Tick first = firstAccrual_[index(r, b)];
+    if (now < first)
+        return false;
+    // Largest accrual instant <= now; check it is > prev.
+    const Tick k = (now - first) / period_;
+    const Tick instant = first + k * period_;
+    return instant > prev;
+}
+
+} // namespace dsarp

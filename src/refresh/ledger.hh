@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Refresh obligation ledger.
+ *
+ * Each tracked unit (a bank for REFpb policies, a whole rank for REFab
+ * policies) accrues one refresh obligation per nominal refresh interval;
+ * issuing a refresh retires one. The signed balance ("owed") implements
+ * the JEDEC postpone/pull-in window:
+ *
+ *   owed ==  maxSlack : a refresh MUST be issued now (8 postponed is the
+ *                       limit; this enforces the paper's erratum -- a bank
+ *                       never goes more than 9 intervals unrefreshed).
+ *   owed == -maxSlack : no further refresh may be pulled in.
+ *
+ * Accrual instants are staggered across units so refreshes do not
+ * synchronize (bank b of rank r accrues at offset b*tREFIpb within its
+ * period, matching the round-robin origin of per-bank refresh).
+ */
+
+#ifndef DSARP_REFRESH_LEDGER_HH
+#define DSARP_REFRESH_LEDGER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dsarp {
+
+class RefreshLedger
+{
+  public:
+    /**
+     * @param ranks       number of ranks tracked
+     * @param banks       units per rank (1 for all-bank policies)
+     * @param period      nominal interval between accruals of one unit
+     * @param rankStagger phase offset between consecutive ranks
+     * @param unitStagger phase offset between banks within a rank
+     * @param maxSlack    postpone/pull-in window (JEDEC: 8)
+     */
+    RefreshLedger(int ranks, int banks, Tick period, Tick rankStagger,
+                  Tick unitStagger, int maxSlack = 8);
+
+    /** Accrue any obligations whose nominal instant has passed. */
+    void advanceTo(Tick now);
+
+    int owed(RankId r, BankId b = 0) const { return owed_[index(r, b)]; }
+
+    /** The unit reached the postpone limit; a refresh is mandatory. */
+    bool mustForce(RankId r, BankId b = 0) const;
+
+    /** Below the postpone limit but owes at least one refresh. */
+    bool due(RankId r, BankId b = 0) const { return owed(r, b) > 0; }
+
+    /** A refresh may be pulled in (not yet at the pull-in limit). */
+    bool canPullIn(RankId r, BankId b = 0) const;
+
+    /** Record an issued refresh for the unit. */
+    void onRefresh(RankId r, BankId b = 0);
+
+    /**
+     * Record an issued refresh worth a fraction of a nominal slot, in
+     * 1/denom units (used by FGR/AR where a 4x command retires 1/4 of a
+     * 1x obligation). The ledger internally tracks quarters in that case;
+     * plain onRefresh retires denom quarters.
+     */
+    void onPartialRefresh(RankId r, BankId b, int parts);
+
+    /** Units accrued since construction (for tests). */
+    std::uint64_t totalAccrued() const { return totalAccrued_; }
+    std::uint64_t totalRetired() const { return totalRetired_; }
+
+    int maxSlack() const { return maxSlack_; }
+    int numRanks() const { return ranks_; }
+    int banksPerRank() const { return banks_; }
+
+    /**
+     * Did an accrual for (r, b) happen in (prev, now]? Used by DARP to
+     * detect "the nominal refresh time of bank R has arrived".
+     */
+    bool accruedBetween(RankId r, BankId b, Tick prev, Tick now) const;
+
+  private:
+    int index(RankId r, BankId b) const { return r * banks_ + b; }
+
+    int ranks_;
+    int banks_;
+    Tick period_;
+    int maxSlack_;
+    std::vector<int> owed_;         ///< In denom_ sub-units.
+    std::vector<Tick> nextAccrual_;
+    std::vector<Tick> firstAccrual_;
+    int denom_ = 1;
+    std::uint64_t totalAccrued_ = 0;
+    std::uint64_t totalRetired_ = 0;
+
+  public:
+    /** Switch the ledger to fractional accounting (call before use). */
+    void setDenominator(int denom);
+};
+
+} // namespace dsarp
+
+#endif // DSARP_REFRESH_LEDGER_HH

@@ -1,0 +1,3 @@
+#include "refresh/no_refresh.hh"
+
+// All behaviour is inline; this translation unit anchors the vtable.

@@ -1,0 +1,50 @@
+#include "refresh/per_bank.hh"
+
+namespace dsarp {
+
+PerBankScheduler::PerBankScheduler(const MemConfig *cfg,
+                                   const TimingParams *timing,
+                                   ControllerView *view)
+    : RefreshScheduler(cfg, timing, view),
+      // One unit per bank, accruing every tREFIab, staggered by tREFIpb
+      // within the rank so each rank sees one obligation per tREFIpb in
+      // round-robin order; ranks are phase-shifted by half a slot.
+      ledger_(cfg->org.ranksPerChannel, cfg->org.banksPerRank,
+              timing->tRefiAb, timing->tRefiPb / 2, timing->tRefiPb),
+      rrIndex_(cfg->org.ranksPerChannel, 0)
+{
+}
+
+void
+PerBankScheduler::tick(Tick now)
+{
+    ledger_.advanceTo(now);
+    lastTick_ = now;
+}
+
+void
+PerBankScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
+{
+    (void)now;
+    for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        // Strict sequential order: only the round-robin bank may refresh.
+        const BankId b = rrIndex_[r];
+        if (ledger_.due(r, b)) {
+            RefreshRequest req;
+            req.rank = r;
+            req.bank = b;
+            req.blocking = true;
+            out.push_back(req);
+        }
+    }
+}
+
+void
+PerBankScheduler::onIssued(const RefreshRequest &req, Tick)
+{
+    ledger_.onRefresh(req.rank, req.bank);
+    rrIndex_[req.rank] = (req.bank + 1) % ledger_.banksPerRank();
+    ++stats_.issued;
+}
+
+} // namespace dsarp

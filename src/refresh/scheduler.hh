@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Refresh scheduling policy interface.
+ *
+ * A scheduler is consulted by its channel controller every tick. It may
+ * demand *urgent* refreshes (issued with priority over demand requests;
+ * blocking urgent requests also stop new ACTs to their target so the bank
+ * or rank drains) and *opportunistic* refreshes (issued only when the
+ * channel had nothing better to do this tick).
+ */
+
+#ifndef DSARP_REFRESH_SCHEDULER_HH
+#define DSARP_REFRESH_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "dram/channel.hh"
+#include "dram/timing.hh"
+
+namespace dsarp {
+
+/** Controller state a refresh policy may observe (paper Section 4.2.1:
+ *  DARP monitors the bank request queues' occupancies). */
+class ControllerView
+{
+  public:
+    virtual ~ControllerView() = default;
+
+    /** Pending read+write demand requests queued for a bank. */
+    virtual int pendingDemands(RankId r, BankId b) const = 0;
+    virtual int pendingReads(RankId r, BankId b) const = 0;
+    virtual int pendingWrites(RankId r, BankId b) const = 0;
+    virtual int pendingDemandsRank(RankId r) const = 0;
+
+    /** True while the channel drains a write batch (writeback mode). */
+    virtual bool inWritebackMode() const = 0;
+
+    /** Tick of the last demand activity on a rank (for idle prediction). */
+    virtual Tick lastDemandActivity(RankId r) const = 0;
+
+    virtual const Channel &dram() const = 0;
+    virtual Rng &schedulerRng() = 0;
+};
+
+/** One refresh the policy wants issued. */
+struct RefreshRequest
+{
+    bool allBank = false;
+    RankId rank = 0;
+    BankId bank = 0;        ///< Ignored for all-bank requests.
+    bool blocking = false;  ///< Stop new ACTs to the target until issued.
+    int tRfcOverride = 0;   ///< Nonzero: refresh latency in cycles (FGR/AR).
+    int rowsOverride = 0;   ///< Nonzero: rows advanced by this refresh.
+    int ledgerParts = 0;    ///< Ledger sub-units retired (0 = full slot).
+};
+
+/** Counters reported by every policy. */
+struct RefreshSchedStats
+{
+    std::uint64_t postponed = 0;  ///< Refreshes deferred past nominal time.
+    std::uint64_t pulledIn = 0;   ///< Refreshes issued ahead of schedule.
+    std::uint64_t forced = 0;     ///< Issued at the postpone limit.
+    std::uint64_t issued = 0;     ///< Total refresh commands issued.
+};
+
+class RefreshScheduler
+{
+  public:
+    RefreshScheduler(const MemConfig *cfg, const TimingParams *timing,
+                     ControllerView *view)
+        : cfg_(cfg), timing_(timing), view_(view)
+    {}
+
+    virtual ~RefreshScheduler() = default;
+
+    /** Advance internal obligation tracking to @p now. */
+    virtual void tick(Tick now) = 0;
+
+    /**
+     * Append refreshes that should be issued with priority over demands.
+     * Order matters: the controller issues the first legal one.
+     */
+    virtual void urgent(Tick now, std::vector<RefreshRequest> &out) = 0;
+
+    /** A refresh to issue only because the channel is otherwise idle. */
+    virtual bool opportunistic(Tick now, RefreshRequest &out) = 0;
+
+    /** Notification that @p req was put on the command bus at @p now. */
+    virtual void onIssued(const RefreshRequest &req, Tick now) = 0;
+
+    const RefreshSchedStats &stats() const { return stats_; }
+
+    /** Zero the counters (obligation state is preserved). */
+    void resetStats() { stats_ = RefreshSchedStats{}; }
+
+  protected:
+    const MemConfig *cfg_;
+    const TimingParams *timing_;
+    ControllerView *view_;
+    RefreshSchedStats stats_;
+};
+
+/** Build the policy selected by cfg.refresh for one channel. */
+std::unique_ptr<RefreshScheduler>
+makeRefreshScheduler(const MemConfig &cfg, const TimingParams &timing,
+                     ControllerView &view);
+
+} // namespace dsarp
+
+#endif // DSARP_REFRESH_SCHEDULER_HH

@@ -1,0 +1,302 @@
+#include "sim/checker.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+
+namespace dsarp {
+
+namespace {
+
+struct BankModel
+{
+    bool open = false;
+    RowId openRow = kNone;
+    Tick lastAct = kTickNever;
+    Tick actLegalAt = 0;   ///< After precharge completion.
+    Tick colLegalAt = 0;
+    Tick refreshUntil = 0;
+    SubarrayId refreshSubarray = kNone;
+    RowId refRowCounter = 0;
+    std::uint64_t refreshes = 0;
+    /** Nominal tREFIab slots' worth of rows refreshed so far. */
+    double slotsCovered = 0.0;
+};
+
+struct RankModel
+{
+    std::vector<BankModel> banks;
+    std::deque<Tick> acts;       ///< ACT history for tRRD/tFAW.
+    Tick refAbUntil = 0;         ///< All-bank refresh in flight.
+    std::vector<Tick> refPbEnds; ///< In-flight per-bank refresh ends.
+
+    int
+    pbInFlight(Tick now)
+    {
+        std::erase_if(refPbEnds, [now](Tick end) { return end <= now; });
+        return static_cast<int>(refPbEnds.size());
+    }
+};
+
+class Verifier
+{
+  public:
+    Verifier(const MemConfig &cfg, const TimingParams &timing)
+        : cfg_(cfg), t_(timing)
+    {
+        ranks_.resize(cfg.org.ranksPerChannel);
+        for (auto &r : ranks_)
+            r.banks.resize(cfg.org.banksPerRank);
+    }
+
+    void
+    fail(Tick tick, const Command &cmd, const char *what)
+    {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "t=%llu %s rank=%d bank=%d row=%d: %s",
+                      static_cast<unsigned long long>(tick),
+                      commandName(cmd.type), cmd.rank, cmd.bank, cmd.row,
+                      what);
+        report_.violations.push_back(buf);
+    }
+
+    double
+    inflation(RankModel &rank, Tick now) const
+    {
+        return Rank::refreshInflationMult(cfg_, rank.refAbUntil > now,
+                                          rank.pbInFlight(now));
+    }
+
+    void
+    checkAct(Tick now, const Command &cmd)
+    {
+        RankModel &rank = ranks_[cmd.rank];
+        BankModel &bank = rank.banks[cmd.bank];
+
+        if (bank.open)
+            fail(now, cmd, "ACT to an open bank");
+        if (bank.lastAct != kTickNever &&
+            now < bank.lastAct + static_cast<Tick>(t_.tRc)) {
+            fail(now, cmd, "tRC violated");
+        }
+        if (now < bank.actLegalAt)
+            fail(now, cmd, "tRP/refresh lockout violated");
+        if (bank.refreshUntil > now) {
+            const SubarrayId target =
+                cmd.row / cfg_.org.rowsPerSubarray();
+            if (!cfg_.sarp)
+                fail(now, cmd, "ACT to refreshing bank without SARP");
+            else if (target == bank.refreshSubarray)
+                fail(now, cmd, "ACT to the refreshing subarray");
+        }
+
+        const double mult = inflation(rank, now);
+        const Tick trrd =
+            static_cast<Tick>(std::ceil(t_.tRrd * mult - 1e-9));
+        if (!rank.acts.empty() && now < rank.acts.back() + trrd)
+            fail(now, cmd, "tRRD violated");
+        if (rank.acts.size() >= 4) {
+            const Tick tfaw =
+                static_cast<Tick>(std::ceil(t_.tFaw * mult - 1e-9));
+            const Tick fourth_last = rank.acts[rank.acts.size() - 4];
+            if (now < fourth_last + tfaw)
+                fail(now, cmd, "tFAW violated");
+        }
+
+        bank.open = true;
+        bank.openRow = cmd.row;
+        bank.lastAct = now;
+        bank.colLegalAt = now + t_.tRcd;
+        rank.acts.push_back(now);
+        if (rank.acts.size() > 8)
+            rank.acts.pop_front();
+    }
+
+    void
+    checkColumn(Tick now, const Command &cmd)
+    {
+        BankModel &bank = ranks_[cmd.rank].banks[cmd.bank];
+        if (!bank.open)
+            fail(now, cmd, "column command to closed bank");
+        else if (bank.openRow != cmd.row)
+            fail(now, cmd, "column command to the wrong row");
+        if (now < bank.colLegalAt)
+            fail(now, cmd, "tRCD/tCCD violated");
+        bank.colLegalAt = now + t_.tCcd;
+
+        // Data-bus occupancy.
+        const bool is_read = isReadCmd(cmd.type);
+        const Tick start = now + (is_read ? t_.tCl : t_.tCwl);
+        if (start < busBusyUntil_)
+            fail(now, cmd, "data bus burst overlap");
+        busBusyUntil_ = start + t_.tBl;
+
+        const bool auto_pre = cmd.type == CommandType::kRdA ||
+            cmd.type == CommandType::kWrA;
+        if (auto_pre) {
+            bank.open = false;
+            bank.openRow = kNone;
+            Tick pre_start;
+            if (is_read) {
+                pre_start = std::max(now + static_cast<Tick>(t_.tRtp),
+                                     bank.lastAct + t_.tRas);
+            } else {
+                pre_start = std::max(
+                    now + t_.tCwl + t_.tBl + static_cast<Tick>(t_.tWr),
+                    bank.lastAct + t_.tRas);
+            }
+            bank.actLegalAt =
+                std::max(bank.actLegalAt, pre_start + t_.tRp);
+        }
+    }
+
+    void
+    checkPre(Tick now, const Command &cmd)
+    {
+        BankModel &bank = ranks_[cmd.rank].banks[cmd.bank];
+        if (!bank.open)
+            fail(now, cmd, "PRE to closed bank");
+        if (bank.lastAct != kTickNever &&
+            now < bank.lastAct + static_cast<Tick>(t_.tRas)) {
+            fail(now, cmd, "tRAS violated by PRE");
+        }
+        bank.open = false;
+        bank.openRow = kNone;
+        bank.actLegalAt = std::max(bank.actLegalAt, now + t_.tRp);
+    }
+
+    void
+    refreshBank(Tick now, const Command &cmd, BankModel &bank, int t_rfc,
+                int rows)
+    {
+        if (bank.open)
+            fail(now, cmd, "refresh to an open bank");
+        if (now < bank.actLegalAt)
+            fail(now, cmd, "refresh before precharge completion");
+        if (bank.refreshUntil > now)
+            fail(now, cmd, "refresh overlaps refresh in the same bank");
+        bank.refreshUntil = now + t_rfc;
+        bank.refreshSubarray =
+            bank.refRowCounter / cfg_.org.rowsPerSubarray();
+        bank.refRowCounter =
+            (bank.refRowCounter + rows) % cfg_.org.rowsPerBank;
+        if (!cfg_.sarp)
+            bank.actLegalAt = std::max(bank.actLegalAt, bank.refreshUntil);
+        ++bank.refreshes;
+        bank.slotsCovered +=
+            static_cast<double>(rows) / t_.rowsPerRefresh;
+        ++report_.refreshesChecked;
+    }
+
+    void
+    checkRefresh(Tick now, const Command &cmd)
+    {
+        RankModel &rank = ranks_[cmd.rank];
+        const bool all_bank = cmd.type == CommandType::kRefAb;
+        const int pb_in_flight = rank.pbInFlight(now);
+        if (rank.refAbUntil > now) {
+            fail(now, cmd, "refresh overlaps an all-bank refresh");
+        } else if (all_bank && pb_in_flight > 0) {
+            fail(now, cmd, "REFab overlaps a per-bank refresh");
+        } else if (!all_bank &&
+                   pb_in_flight >= cfg_.maxOverlappedRefPb) {
+            // LPDDR disallows overlap (limit 1); the footnote-5
+            // extension raises the limit.
+            fail(now, cmd, "REFpb exceeds the rank overlap limit");
+        }
+        const int t_rfc = cmd.tRfcOverride
+            ? cmd.tRfcOverride
+            : (all_bank ? t_.tRfcAb : t_.tRfcPb);
+        const int rows =
+            cmd.rowsOverride ? cmd.rowsOverride : t_.rowsPerRefresh;
+        if (all_bank) {
+            for (auto &bank : rank.banks)
+                refreshBank(now, cmd, bank, t_rfc, rows);
+            rank.refAbUntil = now + t_rfc;
+        } else {
+            refreshBank(now, cmd, rank.banks[cmd.bank], t_rfc, rows);
+            rank.refPbEnds.push_back(now + t_rfc);
+        }
+    }
+
+    CheckerReport
+    run(const std::vector<TimedCommand> &log, Tick end_tick)
+    {
+        Tick prev = 0;
+        for (const TimedCommand &tc : log) {
+            if (tc.tick < prev) {
+                fail(tc.tick, tc.cmd, "log not in tick order");
+                break;
+            }
+            prev = tc.tick;
+            ++report_.commandsChecked;
+            switch (tc.cmd.type) {
+              case CommandType::kAct:
+                checkAct(tc.tick, tc.cmd);
+                break;
+              case CommandType::kRd:
+              case CommandType::kWr:
+              case CommandType::kRdA:
+              case CommandType::kWrA:
+                checkColumn(tc.tick, tc.cmd);
+                break;
+              case CommandType::kPre:
+                checkPre(tc.tick, tc.cmd);
+                break;
+              case CommandType::kRefAb:
+              case CommandType::kRefPb:
+                checkRefresh(tc.tick, tc.cmd);
+                break;
+            }
+            if (report_.violations.size() > 50)
+                break;  // Enough evidence.
+        }
+
+        // Refresh-completeness: over [0, endTick] every bank must have
+        // received its obligations within the 8-command JEDEC window
+        // (+1 for a boundary command still draining).
+        if (end_tick > 0 && cfg_.refresh != RefreshMode::kNoRefresh) {
+            // Slots are counted in rows: one nominal command's worth of
+            // rows per tREFIab (FGR timing already scales both together;
+            // AR's mixed 1x/4x commands contribute their row fraction).
+            const double slots =
+                static_cast<double>(end_tick) / t_.tRefiAb;
+            for (RankId r = 0; r < cfg_.org.ranksPerChannel; ++r) {
+                for (BankId b = 0; b < cfg_.org.banksPerRank; ++b) {
+                    const double behind =
+                        slots - ranks_[r].banks[b].slotsCovered;
+                    if (behind > 9.0) {
+                        char buf[128];
+                        std::snprintf(
+                            buf, sizeof(buf),
+                            "rank=%d bank=%d fell %.1f slots behind on "
+                            "refresh", r, b, behind);
+                        report_.violations.push_back(buf);
+                    }
+                }
+            }
+        }
+        return report_;
+    }
+
+  private:
+    const MemConfig &cfg_;
+    const TimingParams &t_;
+    std::vector<RankModel> ranks_;
+    Tick busBusyUntil_ = 0;
+    CheckerReport report_;
+};
+
+} // namespace
+
+CheckerReport
+verifyCommandLog(const std::vector<TimedCommand> &log, const MemConfig &cfg,
+                 const TimingParams &timing, Tick end_tick)
+{
+    Verifier verifier(cfg, timing);
+    return verifier.run(log, end_tick);
+}
+
+} // namespace dsarp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Offline command-stream verifier.
+ *
+ * Replays one channel's command log against an independent, simplified
+ * model of the JEDEC constraints and the paper's refresh rules:
+ *
+ *   - tRC between ACTs to a bank; tRRD between ACTs in a rank; at most
+ *     four ACTs per (SARP-inflated) tFAW window;
+ *   - column commands only to an open row, no earlier than tRCD;
+ *   - no ACT to a refreshing bank unless SARP is enabled and the target
+ *     subarray differs from the refreshing one;
+ *   - per-bank/all-bank refreshes never overlap within a rank; all-bank
+ *     refresh only on a fully precharged rank;
+ *   - data-bus bursts never overlap;
+ *   - every bank's refresh obligation balance stays within the JEDEC
+ *     postpone window (the erratum's data-integrity requirement).
+ *
+ * Tests run every refresh policy through this checker.
+ */
+
+#ifndef DSARP_SIM_CHECKER_HH
+#define DSARP_SIM_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "controller/controller.hh"
+#include "dram/timing.hh"
+
+namespace dsarp {
+
+struct CheckerReport
+{
+    std::vector<std::string> violations;
+    std::uint64_t commandsChecked = 0;
+    std::uint64_t refreshesChecked = 0;
+
+    bool ok() const { return violations.empty(); }
+};
+
+/**
+ * Verify one channel's command log.
+ *
+ * @param endTick   last simulated tick, used for the final obligation
+ *                  balance check (pass 0 to skip it, e.g. for hand-built
+ *                  fragments).
+ */
+CheckerReport verifyCommandLog(const std::vector<TimedCommand> &log,
+                               const MemConfig &cfg,
+                               const TimingParams &timing, Tick endTick);
+
+} // namespace dsarp
+
+#endif // DSARP_SIM_CHECKER_HH

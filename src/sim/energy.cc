@@ -1,0 +1,59 @@
+#include "sim/energy.hh"
+
+namespace dsarp {
+
+EnergyBreakdown
+channelEnergy(const ChannelStats &stats, const TimingParams &timing,
+              const EnergyParams &p, int banks_per_rank)
+{
+    EnergyBreakdown e;
+    // mA * V * ns = pJ; divide by 1000 for nJ.
+    const double tck = timing.tCkNs;
+    const double to_nj = 1e-3;
+
+    // Activate/precharge energy: IDD0 covers a full tRC cycle including
+    // the background component, which is subtracted to avoid double
+    // counting (Micron TN-41-01 formulation).
+    const double act_one = p.vdd *
+        (p.idd0 * timing.tRc -
+         (p.idd3n * timing.tRas + p.idd2n * (timing.tRc - timing.tRas))) *
+        tck * to_nj;
+    e.activateNj = act_one * static_cast<double>(stats.acts);
+
+    const double rd_one =
+        p.vdd * (p.idd4r - p.idd3n) * timing.tBl * tck * to_nj;
+    const double wr_one =
+        p.vdd * (p.idd4w - p.idd3n) * timing.tBl * tck * to_nj;
+    e.readNj = rd_one * static_cast<double>(stats.reads);
+    e.writeNj = wr_one * static_cast<double>(stats.writes);
+
+    // Refresh: all-bank commands draw IDD5B; a per-bank refresh draws
+    // about 1/banks of that above background (Section 4.3.3).
+    const double ref_cur = p.vdd * (p.idd5b - p.idd3n) * tck * to_nj;
+    e.refreshNj = ref_cur * static_cast<double>(stats.refAbCycles) +
+        ref_cur / banks_per_rank * static_cast<double>(stats.refPbCycles);
+
+    // Background: active standby while any bank is open or refreshing,
+    // precharge standby otherwise.
+    const double idle_ticks = static_cast<double>(
+        stats.rankTotalTicks - stats.rankActiveTicks);
+    e.backgroundNj = p.vdd *
+        (p.idd3n * static_cast<double>(stats.rankActiveTicks) +
+         p.idd2n * idle_ticks) *
+        tck * to_nj;
+    return e;
+}
+
+double
+energyPerAccessNj(const ChannelStats &stats, const TimingParams &timing,
+                  const EnergyParams &params, int banks_per_rank)
+{
+    const double accesses =
+        static_cast<double>(stats.reads + stats.writes);
+    if (accesses <= 0.0)
+        return 0.0;
+    return channelEnergy(stats, timing, params, banks_per_rank).totalNj() /
+        accesses;
+}
+
+} // namespace dsarp

@@ -1,0 +1,58 @@
+#include "sim/metrics.hh"
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+namespace {
+
+void
+checkShapes(const std::vector<double> &shared,
+            const std::vector<double> &alone)
+{
+    DSARP_ASSERT(shared.size() == alone.size() && !shared.empty(),
+                 "metric vectors must match and be non-empty");
+    for (std::size_t i = 0; i < shared.size(); ++i)
+        DSARP_ASSERT(shared[i] > 0.0 && alone[i] > 0.0,
+                     "IPCs must be positive");
+}
+
+} // namespace
+
+double
+weightedSpeedup(const std::vector<double> &shared_ipc,
+                const std::vector<double> &alone_ipc)
+{
+    checkShapes(shared_ipc, alone_ipc);
+    double ws = 0.0;
+    for (std::size_t i = 0; i < shared_ipc.size(); ++i)
+        ws += shared_ipc[i] / alone_ipc[i];
+    return ws;
+}
+
+double
+harmonicSpeedup(const std::vector<double> &shared_ipc,
+                const std::vector<double> &alone_ipc)
+{
+    checkShapes(shared_ipc, alone_ipc);
+    double denom = 0.0;
+    for (std::size_t i = 0; i < shared_ipc.size(); ++i)
+        denom += alone_ipc[i] / shared_ipc[i];
+    return static_cast<double>(shared_ipc.size()) / denom;
+}
+
+double
+maxSlowdown(const std::vector<double> &shared_ipc,
+            const std::vector<double> &alone_ipc)
+{
+    checkShapes(shared_ipc, alone_ipc);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < shared_ipc.size(); ++i) {
+        const double slowdown = alone_ipc[i] / shared_ipc[i];
+        if (slowdown > worst)
+            worst = slowdown;
+    }
+    return worst;
+}
+
+} // namespace dsarp

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Multi-programmed performance metrics used throughout the paper's
+ * evaluation: weighted speedup (WS) [Snavely & Tullsen, ASPLOS'00;
+ * Eyerman & Eeckhout], harmonic speedup [Luo et al., ISPASS'01], and
+ * maximum slowdown [Das+, Kim+].
+ */
+
+#ifndef DSARP_SIM_METRICS_HH
+#define DSARP_SIM_METRICS_HH
+
+#include <vector>
+
+namespace dsarp {
+
+/** WS = sum_i IPC_shared,i / IPC_alone,i. */
+double weightedSpeedup(const std::vector<double> &sharedIpc,
+                       const std::vector<double> &aloneIpc);
+
+/** HS = N / sum_i (IPC_alone,i / IPC_shared,i). */
+double harmonicSpeedup(const std::vector<double> &sharedIpc,
+                       const std::vector<double> &aloneIpc);
+
+/** Max slowdown = max_i IPC_alone,i / IPC_shared,i. */
+double maxSlowdown(const std::vector<double> &sharedIpc,
+                   const std::vector<double> &aloneIpc);
+
+} // namespace dsarp
+
+#endif // DSARP_SIM_METRICS_HH

@@ -1,0 +1,203 @@
+#include "sim/runner.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+#include "sim/metrics.hh"
+
+namespace dsarp {
+
+std::uint64_t
+envKnob(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value || parsed == 0)
+        return fallback;
+    return parsed;
+}
+
+std::string
+RunConfig::mechanismName() const
+{
+    if (sarp) {
+        if (refresh == RefreshMode::kAllBank)
+            return "SARPab";
+        if (refresh == RefreshMode::kPerBank)
+            return "SARPpb";
+        if (refresh == RefreshMode::kDarp)
+            return "DSARP";
+    }
+    return refreshModeName(refresh);
+}
+
+RunConfig
+mechRefAb(Density d)
+{
+    RunConfig cfg;
+    cfg.density = d;
+    cfg.refresh = RefreshMode::kAllBank;
+    return cfg;
+}
+
+RunConfig
+mechRefPb(Density d)
+{
+    RunConfig cfg = mechRefAb(d);
+    cfg.refresh = RefreshMode::kPerBank;
+    return cfg;
+}
+
+RunConfig
+mechElastic(Density d)
+{
+    RunConfig cfg = mechRefAb(d);
+    cfg.refresh = RefreshMode::kElastic;
+    return cfg;
+}
+
+RunConfig
+mechDarp(Density d)
+{
+    RunConfig cfg = mechRefAb(d);
+    cfg.refresh = RefreshMode::kDarp;
+    return cfg;
+}
+
+RunConfig
+mechSarpAb(Density d)
+{
+    RunConfig cfg = mechRefAb(d);
+    cfg.sarp = true;
+    return cfg;
+}
+
+RunConfig
+mechSarpPb(Density d)
+{
+    RunConfig cfg = mechRefPb(d);
+    cfg.sarp = true;
+    return cfg;
+}
+
+RunConfig
+mechDsarp(Density d)
+{
+    RunConfig cfg = mechDarp(d);
+    cfg.sarp = true;
+    return cfg;
+}
+
+RunConfig
+mechNoRef(Density d)
+{
+    RunConfig cfg = mechRefAb(d);
+    cfg.refresh = RefreshMode::kNoRefresh;
+    return cfg;
+}
+
+SystemConfig
+Runner::makeSystemConfig(const RunConfig &cfg)
+{
+    SystemConfig sys;
+    sys.mem.density = cfg.density;
+    sys.mem.retentionMs = cfg.retentionMs;
+    sys.mem.refresh = cfg.refresh;
+    sys.mem.sarp = cfg.sarp;
+    sys.mem.darpWriteRefresh = cfg.darpWriteRefresh;
+    sys.mem.org.subarraysPerBank = cfg.subarraysPerBank;
+    sys.mem.tFawOverride = cfg.tFawOverride;
+    sys.mem.tRrdOverride = cfg.tRrdOverride;
+    if (cfg.writeHighWatermark > 0)
+        sys.mem.writeHighWatermark = cfg.writeHighWatermark;
+    if (cfg.writeLowWatermark > 0)
+        sys.mem.writeLowWatermark = cfg.writeLowWatermark;
+    if (cfg.refabStaggerDivisor > 0)
+        sys.mem.refabStaggerDivisor = cfg.refabStaggerDivisor;
+    if (cfg.maxOverlappedRefPb > 0)
+        sys.mem.maxOverlappedRefPb = cfg.maxOverlappedRefPb;
+    sys.numCores = cfg.numCores;
+    sys.seed = cfg.seed;
+    return sys;
+}
+
+Runner::Runner()
+{
+    measure_ = envKnob("DSARP_BENCH_CYCLES", 250000);
+    warmup_ = envKnob("DSARP_BENCH_WARMUP", 30000);
+    perCategory_ =
+        static_cast<int>(envKnob("DSARP_BENCH_WORKLOADS_PER_CAT", 3));
+}
+
+double
+Runner::aloneIpc(int bench_idx, const RunConfig &cfg)
+{
+    std::ostringstream key;
+    key << bench_idx << ':' << densityName(cfg.density) << ':'
+        << cfg.retentionMs << ':' << cfg.subarraysPerBank << ':'
+        << cfg.tFawOverride << ':' << cfg.tRrdOverride;
+    const auto it = aloneCache_.find(key.str());
+    if (it != aloneCache_.end())
+        return it->second;
+
+    // Alone baseline: the benchmark alone on one core with refresh
+    // eliminated, same DRAM geometry.
+    RunConfig alone = cfg;
+    alone.refresh = RefreshMode::kNoRefresh;
+    alone.sarp = false;
+    alone.numCores = 1;
+    SystemConfig sys = makeSystemConfig(alone);
+    System system(sys, std::vector<int>{bench_idx});
+    system.run(warmup_);
+    system.resetStats();
+    system.run(measure_);
+    const double ipc = system.coreIpc()[0];
+    DSARP_ASSERT(ipc > 0.0, "alone run produced zero IPC");
+    aloneCache_[key.str()] = ipc;
+    return ipc;
+}
+
+RunResult
+Runner::run(const RunConfig &cfg, const Workload &workload)
+{
+    DSARP_ASSERT(static_cast<int>(workload.benchIdx.size()) ==
+                     cfg.numCores,
+                 "workload size does not match core count");
+
+    SystemConfig sys = makeSystemConfig(cfg);
+    System system(sys, workload.benchIdx);
+    system.run(warmup_);
+    system.resetStats();
+    system.run(measure_);
+
+    RunResult res;
+    res.ipc = system.coreIpc();
+    for (int bench : workload.benchIdx)
+        res.aloneIpc.push_back(aloneIpc(bench, cfg));
+    res.ws = weightedSpeedup(res.ipc, res.aloneIpc);
+    res.hs = harmonicSpeedup(res.ipc, res.aloneIpc);
+    res.maxSlowdown = maxSlowdown(res.ipc, res.aloneIpc);
+
+    const EnergyParams energy = EnergyParams::micron8GbDdr3();
+    double total_nj = 0.0;
+    double accesses = 0.0;
+    for (int ch = 0; ch < system.numChannels(); ++ch) {
+        const ChannelStats &cs = system.controller(ch).channel().stats();
+        total_nj += channelEnergy(cs, system.timing(), energy,
+                                  sys.mem.org.banksPerRank)
+                        .totalNj();
+        accesses += static_cast<double>(cs.reads + cs.writes);
+        res.refAb += cs.refAb;
+        res.refPb += cs.refPb;
+        res.readsCompleted += system.controller(ch).stats().readsCompleted;
+        res.writesIssued += system.controller(ch).stats().writesIssued;
+    }
+    res.energyPerAccessNj = accesses > 0.0 ? total_nj / accesses : 0.0;
+    return res;
+}
+
+} // namespace dsarp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Experiment runner shared by the bench harnesses, examples, and
+ * integration tests.
+ *
+ * Wraps System construction, warmup, measurement, metric computation
+ * (WS/HS/max-slowdown against cached alone-run IPCs), and the energy
+ * model. Run lengths come from environment knobs so the same binaries
+ * scale from smoke tests to paper-fidelity sweeps:
+ *
+ *   DSARP_BENCH_CYCLES             measurement ticks   (default 250000)
+ *   DSARP_BENCH_WARMUP             warmup ticks        (default 30000)
+ *   DSARP_BENCH_WORKLOADS_PER_CAT  mixes per category  (default 3)
+ */
+
+#ifndef DSARP_SIM_RUNNER_HH
+#define DSARP_SIM_RUNNER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/energy.hh"
+#include "sim/system.hh"
+#include "workload/workload.hh"
+
+namespace dsarp {
+
+/** One evaluated system point (mechanism x density x knobs). */
+struct RunConfig
+{
+    Density density = Density::k8Gb;
+    RefreshMode refresh = RefreshMode::kAllBank;
+    bool sarp = false;
+    int retentionMs = 32;
+    int numCores = 8;
+    int subarraysPerBank = 8;
+    int tFawOverride = 0;
+    int tRrdOverride = 0;
+    bool darpWriteRefresh = true;
+    /** 0 keeps the MemConfig defaults for the following four knobs. */
+    int writeHighWatermark = 0;
+    int writeLowWatermark = 0;
+    int refabStaggerDivisor = 0;
+    int maxOverlappedRefPb = 0;  ///< Footnote-5 extension (>1 overlaps).
+    std::uint64_t seed = 1;
+
+    /** The paper's mechanism names (REFab, REFpb, DARP, SARPab, ...). */
+    std::string mechanismName() const;
+};
+
+/** Canonical mechanism configurations from Section 6. */
+RunConfig mechRefAb(Density d);
+RunConfig mechRefPb(Density d);
+RunConfig mechElastic(Density d);
+RunConfig mechDarp(Density d);
+RunConfig mechSarpAb(Density d);
+RunConfig mechSarpPb(Density d);
+RunConfig mechDsarp(Density d);
+RunConfig mechNoRef(Density d);
+
+struct RunResult
+{
+    std::vector<double> ipc;       ///< Shared-run per-core IPC.
+    std::vector<double> aloneIpc;  ///< Cached single-core ideal IPC.
+    double ws = 0.0;
+    double hs = 0.0;
+    double maxSlowdown = 0.0;
+    double energyPerAccessNj = 0.0;
+    std::uint64_t readsCompleted = 0;
+    std::uint64_t writesIssued = 0;
+    std::uint64_t refAb = 0;
+    std::uint64_t refPb = 0;
+};
+
+class Runner
+{
+  public:
+    Runner();
+
+    Tick warmupTicks() const { return warmup_; }
+    Tick measureTicks() const { return measure_; }
+    int workloadsPerCategory() const { return perCategory_; }
+
+    /** Simulate @p workload under @p cfg and compute all metrics. */
+    RunResult run(const RunConfig &cfg, const Workload &workload);
+
+    /**
+     * Single-core refresh-free IPC for a benchmark under the same
+     * geometry (memoized; used as the alone baseline for WS).
+     */
+    double aloneIpc(int benchIdx, const RunConfig &cfg);
+
+    /** Build a SystemConfig from a RunConfig (public for tests). */
+    static SystemConfig makeSystemConfig(const RunConfig &cfg);
+
+  private:
+    Tick warmup_;
+    Tick measure_;
+    int perCategory_;
+    std::map<std::string, double> aloneCache_;
+};
+
+/** Read a positive integer environment knob with a default. */
+std::uint64_t envKnob(const char *name, std::uint64_t fallback);
+
+} // namespace dsarp
+
+#endif // DSARP_SIM_RUNNER_HH

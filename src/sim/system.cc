@@ -1,0 +1,130 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+namespace {
+
+SystemConfig
+finalized(SystemConfig cfg)
+{
+    cfg.finalize();
+    return cfg;
+}
+
+} // namespace
+
+System::System(const SystemConfig &cfg, const std::vector<int> &bench_idx)
+    : cfg_(finalized(cfg)), timing_(TimingParams::ddr3_1333(cfg_.mem)),
+      map_(cfg_.mem.org)
+{
+    DSARP_ASSERT(static_cast<int>(bench_idx.size()) == cfg_.numCores,
+                 "one benchmark per core required");
+
+    // Cores share the row space in eight fixed partitions so footprints
+    // are comparable across core counts (Table 3 sweeps 2/4/8 cores).
+    const int partitions = std::max(8, cfg_.numCores);
+    const auto &table = benchmarkTable();
+    for (int c = 0; c < cfg_.numCores; ++c) {
+        const int idx = bench_idx[c];
+        DSARP_ASSERT(idx >= 0 && idx < static_cast<int>(table.size()),
+                     "benchmark index out of range");
+        ownedTraces_.push_back(std::make_unique<SyntheticTrace>(
+            table[idx].profile, map_, c, partitions,
+            cfg_.seed + 0x1000 * (c + 1)));
+        traces_.push_back(ownedTraces_.back().get());
+    }
+    build();
+}
+
+System::System(const SystemConfig &cfg,
+               const std::vector<TraceSource *> &traces)
+    : cfg_(finalized(cfg)), timing_(TimingParams::ddr3_1333(cfg_.mem)),
+      map_(cfg_.mem.org), traces_(traces)
+{
+    DSARP_ASSERT(static_cast<int>(traces_.size()) == cfg_.numCores,
+                 "one trace per core required");
+    build();
+}
+
+void
+System::build()
+{
+    cmdLogs_.resize(cfg_.mem.org.channels);
+    for (ChannelId ch = 0; ch < cfg_.mem.org.channels; ++ch) {
+        controllers_.push_back(std::make_unique<ChannelController>(
+            ch, &cfg_.mem, &timing_, cfg_.seed));
+        if (cfg_.enableChecker)
+            controllers_.back()->setCommandLog(&cmdLogs_[ch]);
+        controllers_.back()->setReadCallback(
+            [this](const Request &req, Tick) {
+                cores_[req.core]->onReadComplete(req.id);
+            });
+    }
+
+    for (int c = 0; c < cfg_.numCores; ++c) {
+        cores_.push_back(
+            std::make_unique<Core>(c, &cfg_.core, traces_[c]));
+        Core *core = cores_.back().get();
+        core->bind(
+            [this, c](std::uint64_t id, Addr addr) {
+                Request req;
+                req.id = id;
+                req.core = c;
+                req.isWrite = false;
+                req.addr = addr;
+                req.loc = map_.decode(addr);
+                req.arrival = now_;
+                return controllers_[req.loc.channel]->enqueueRead(req,
+                                                                  now_);
+            },
+            [this, c](Addr addr) {
+                Request req;
+                req.id = 0;
+                req.core = c;
+                req.isWrite = true;
+                req.addr = addr;
+                req.loc = map_.decode(addr);
+                req.arrival = now_;
+                return controllers_[req.loc.channel]->enqueueWrite(req,
+                                                                   now_);
+            });
+    }
+}
+
+void
+System::run(Tick ticks)
+{
+    const Tick end = now_ + ticks;
+    while (now_ < end) {
+        for (auto &ctl : controllers_)
+            ctl->tick(now_);
+        for (auto &core : cores_)
+            core->tick();
+        ++now_;
+    }
+}
+
+void
+System::resetStats()
+{
+    for (auto &core : cores_)
+        core->resetStats();
+    for (auto &ctl : controllers_)
+        ctl->resetStats();
+}
+
+std::vector<double>
+System::coreIpc() const
+{
+    std::vector<double> out;
+    out.reserve(cores_.size());
+    for (const auto &core : cores_)
+        out.push_back(core->stats().ipc());
+    return out;
+}
+
+} // namespace dsarp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The full simulated system: cores driving synthetic traces through
+ * per-channel memory controllers into the DRAM model.
+ *
+ * This is the primary public entry point of the library; see
+ * examples/quickstart.cc for typical use.
+ */
+
+#ifndef DSARP_SIM_SYSTEM_HH
+#define DSARP_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "controller/controller.hh"
+#include "core/core.hh"
+#include "core/trace.hh"
+#include "dram/address.hh"
+#include "dram/timing.hh"
+#include "workload/benchmark.hh"
+
+namespace dsarp {
+
+class System
+{
+  public:
+    /**
+     * Build a system running one benchmark (by catalogue index) per core.
+     * @p benchIdx must have cfg.numCores entries.
+     */
+    System(const SystemConfig &cfg, const std::vector<int> &benchIdx);
+
+    /**
+     * Build a system with caller-provided trace sources (one per core);
+     * the sources must outlive the System.
+     */
+    System(const SystemConfig &cfg,
+           const std::vector<TraceSource *> &traces);
+
+    /** Advance the simulation by @p ticks DRAM cycles. */
+    void run(Tick ticks);
+
+    /** Zero all measurement counters; microarchitectural state persists. */
+    void resetStats();
+
+    Tick now() const { return now_; }
+    int numCores() const { return static_cast<int>(cores_.size()); }
+    int numChannels() const
+    {
+        return static_cast<int>(controllers_.size());
+    }
+
+    const Core &core(int i) const { return *cores_[i]; }
+    ChannelController &controller(int ch) { return *controllers_[ch]; }
+    const ChannelController &controller(int ch) const
+    {
+        return *controllers_[ch];
+    }
+
+    const AddressMap &addressMap() const { return map_; }
+    const TimingParams &timing() const { return timing_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Per-core IPC over the current measurement window. */
+    std::vector<double> coreIpc() const;
+
+    /** Per-channel command logs (non-null only with enableChecker). */
+    const std::vector<TimedCommand> &commandLog(int ch) const
+    {
+        return cmdLogs_[ch];
+    }
+
+  private:
+    void build();
+
+    SystemConfig cfg_;
+    TimingParams timing_;
+    AddressMap map_;
+    Tick now_ = 0;
+
+    std::vector<std::unique_ptr<SyntheticTrace>> ownedTraces_;
+    std::vector<TraceSource *> traces_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<ChannelController>> controllers_;
+    std::vector<std::vector<TimedCommand>> cmdLogs_;
+};
+
+} // namespace dsarp
+
+#endif // DSARP_SIM_SYSTEM_HH

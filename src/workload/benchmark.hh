@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Synthetic benchmark catalogue.
+ *
+ * Each entry is a statistical stand-in for one of the paper's benchmarks
+ * (SPEC CPU2006, STREAM, TPC, and an HPCC-RandomAccess-like
+ * microbenchmark; Section 5). Following the paper, a benchmark is
+ * memory-intensive when its LLC MPKI is at least 10.
+ */
+
+#ifndef DSARP_WORKLOAD_BENCHMARK_HH
+#define DSARP_WORKLOAD_BENCHMARK_HH
+
+#include <string>
+#include <vector>
+
+#include "core/trace.hh"
+
+namespace dsarp {
+
+struct Benchmark
+{
+    std::string name;
+    TraceProfile profile;
+
+    /** Paper classification: memory intensive iff MPKI >= 10. */
+    bool isIntensive() const { return profile.mpki >= 10.0; }
+};
+
+/** The full catalogue (stable order and indices). */
+const std::vector<Benchmark> &benchmarkTable();
+
+/** Index lookup by name; fatal on unknown names. */
+int benchmarkIndex(const std::string &name);
+
+/** Indices of all intensive / non-intensive benchmarks. */
+std::vector<int> intensiveBenchmarks();
+std::vector<int> nonIntensiveBenchmarks();
+
+} // namespace dsarp
+
+#endif // DSARP_WORKLOAD_BENCHMARK_HH

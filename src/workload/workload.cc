@@ -1,0 +1,56 @@
+#include "workload/workload.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace dsarp {
+
+namespace {
+
+Workload
+mixWorkload(int index, int category_pct, int num_cores, Rng &rng)
+{
+    const std::vector<int> intensive = intensiveBenchmarks();
+    const std::vector<int> non_intensive = nonIntensiveBenchmarks();
+
+    Workload w;
+    w.index = index;
+    w.categoryPct = category_pct;
+    const int num_intensive = num_cores * category_pct / 100;
+    for (int c = 0; c < num_cores; ++c) {
+        const bool pick_intensive = c < num_intensive;
+        const auto &pool = pick_intensive ? intensive : non_intensive;
+        w.benchIdx.push_back(
+            pool[static_cast<int>(rng.below(pool.size()))]);
+    }
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+makeWorkloads(int per_category, int num_cores, std::uint64_t seed)
+{
+    DSARP_ASSERT(per_category > 0 && num_cores > 0, "bad workload shape");
+    Rng rng(seed);
+    std::vector<Workload> out;
+    int index = 0;
+    for (int pct : {0, 25, 50, 75, 100}) {
+        for (int i = 0; i < per_category; ++i)
+            out.push_back(mixWorkload(index++, pct, num_cores, rng));
+    }
+    return out;
+}
+
+std::vector<Workload>
+makeIntensiveWorkloads(int count, int num_cores, std::uint64_t seed)
+{
+    DSARP_ASSERT(count > 0 && num_cores > 0, "bad workload shape");
+    Rng rng(seed);
+    std::vector<Workload> out;
+    for (int i = 0; i < count; ++i)
+        out.push_back(mixWorkload(i, 100, num_cores, rng));
+    return out;
+}
+
+} // namespace dsarp

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Multi-programmed workload construction (paper Section 5).
+ *
+ * Workloads are random mixes of benchmarks grouped into five categories
+ * by the fraction of memory-intensive members: 0%, 25%, 50%, 75%, 100%.
+ * The paper uses 20 mixes per category (100 workloads); the count per
+ * category is a parameter so benches can scale fidelity.
+ */
+
+#ifndef DSARP_WORKLOAD_WORKLOAD_HH
+#define DSARP_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/benchmark.hh"
+
+namespace dsarp {
+
+struct Workload
+{
+    int index = 0;        ///< Global workload number (sort key in Fig 12).
+    int categoryPct = 0;  ///< 0 / 25 / 50 / 75 / 100.
+    std::vector<int> benchIdx;  ///< One benchmark index per core.
+};
+
+/**
+ * Build perCategory workloads for each of the five intensity categories,
+ * with numCores benchmarks each, deterministically from @p seed.
+ */
+std::vector<Workload> makeWorkloads(int perCategory, int numCores,
+                                    std::uint64_t seed);
+
+/** Workloads where every member is intensive (sensitivity studies). */
+std::vector<Workload> makeIntensiveWorkloads(int count, int numCores,
+                                             std::uint64_t seed);
+
+} // namespace dsarp
+
+#endif // DSARP_WORKLOAD_WORKLOAD_HH

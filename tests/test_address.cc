@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit and property tests for the address mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dram/address.hh"
+
+using namespace dsarp;
+
+namespace {
+
+MemOrg
+defaultOrg()
+{
+    MemOrg org;
+    return org;
+}
+
+} // namespace
+
+TEST(Address, Capacity)
+{
+    AddressMap map(defaultOrg());
+    // 2 ch * 2 ranks * 8 banks * 64K rows * 8 KB rows = 16 GiB.
+    EXPECT_EQ(map.capacityBytes(), 16ULL << 30);
+}
+
+TEST(Address, RoundTripProperty)
+{
+    AddressMap map(defaultOrg());
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr =
+            rng.below(map.capacityBytes() / 64) * 64;  // Line aligned.
+        const DecodedAddr d = map.decode(addr);
+        EXPECT_EQ(map.encode(d), addr);
+    }
+}
+
+TEST(Address, EncodeDecodeRoundTripCoordinates)
+{
+    AddressMap map(defaultOrg());
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        DecodedAddr d;
+        d.channel = static_cast<int>(rng.below(2));
+        d.rank = static_cast<int>(rng.below(2));
+        d.bank = static_cast<int>(rng.below(8));
+        d.row = static_cast<int>(rng.below(65536));
+        d.column = static_cast<int>(rng.below(128));
+        d.subarray = d.row / 8192;
+        EXPECT_EQ(map.decode(map.encode(d)), d);
+    }
+}
+
+TEST(Address, ConsecutiveLinesAlternateChannels)
+{
+    AddressMap map(defaultOrg());
+    const DecodedAddr a = map.decode(0);
+    const DecodedAddr b = map.decode(64);
+    EXPECT_NE(a.channel, b.channel);
+    EXPECT_EQ(a.rank, b.rank);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+}
+
+TEST(Address, LinesWithinChannelWalkColumns)
+{
+    AddressMap map(defaultOrg());
+    const DecodedAddr a = map.decode(0);
+    const DecodedAddr c = map.decode(128);  // Two lines later: same chan.
+    EXPECT_EQ(a.channel, c.channel);
+    EXPECT_EQ(a.row, c.row);
+    EXPECT_EQ(c.column, a.column + 1);
+}
+
+TEST(Address, SubarrayDerivedFromRow)
+{
+    AddressMap map(defaultOrg());
+    DecodedAddr d;
+    d.row = 8192 * 3 + 17;
+    d.column = 5;
+    const DecodedAddr round = map.decode(map.encode(d));
+    EXPECT_EQ(round.subarray, 3);
+}
+
+TEST(Address, SingleChannelOrg)
+{
+    MemOrg org;
+    org.channels = 1;
+    org.ranksPerChannel = 1;
+    AddressMap map(org);
+    for (Addr a = 0; a < 64 * 300; a += 64)
+        EXPECT_EQ(map.decode(a).channel, 0);
+}
+
+TEST(Address, DenserOrgRoundTrip)
+{
+    MemOrg org;
+    org.rowsPerBank = 262144;  // 32 Gb.
+    AddressMap map(org);
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr addr = rng.below(map.capacityBytes() / 64) * 64;
+        EXPECT_EQ(map.encode(map.decode(addr)), addr);
+    }
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for channel-level constraints: data-bus occupancy, read/write
+ * turnaround, rank-switch gaps, and command dispatch bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/channel.hh"
+
+using namespace dsarp;
+
+namespace {
+
+class ChannelTest : public ::testing::Test
+{
+  protected:
+    ChannelTest()
+    {
+        cfg_.finalize();
+        timing_ = TimingParams::ddr3_1333(cfg_);
+    }
+
+    Command
+    act(RankId r, BankId b, RowId row)
+    {
+        Command cmd;
+        cmd.type = CommandType::kAct;
+        cmd.rank = r;
+        cmd.bank = b;
+        cmd.row = row;
+        return cmd;
+    }
+
+    Command
+    col(CommandType type, RankId r, BankId b, int column = 0)
+    {
+        Command cmd;
+        cmd.type = type;
+        cmd.rank = r;
+        cmd.bank = b;
+        cmd.column = column;
+        return cmd;
+    }
+
+    Command
+    refresh(CommandType type, RankId r, BankId b = 0)
+    {
+        Command cmd;
+        cmd.type = type;
+        cmd.rank = r;
+        cmd.bank = b;
+        return cmd;
+    }
+
+    MemConfig cfg_;
+    TimingParams timing_;
+};
+
+} // namespace
+
+TEST_F(ChannelTest, ReadReturnsDataTick)
+{
+    Channel ch(&cfg_, &timing_);
+    ch.issue(act(0, 0, 5), 0);
+    const Tick t = timing_.tRcd;
+    const Tick done = ch.issue(col(CommandType::kRdA, 0, 0), t);
+    EXPECT_EQ(done, t + timing_.tCl + timing_.tBl);
+    EXPECT_EQ(ch.stats().acts, 1u);
+    EXPECT_EQ(ch.stats().reads, 1u);
+}
+
+TEST_F(ChannelTest, BackToBackReadsSameBankSpacedByTccd)
+{
+    Channel ch(&cfg_, &timing_);
+    ch.issue(act(0, 0, 5), 0);
+    const Tick t = timing_.tRcd;
+    ch.issue(col(CommandType::kRd, 0, 0), t);
+    EXPECT_FALSE(ch.canIssue(col(CommandType::kRd, 0, 0), t + 3));
+    EXPECT_TRUE(ch.canIssue(col(CommandType::kRd, 0, 0), t + timing_.tCcd));
+}
+
+TEST_F(ChannelTest, ReadsAcrossBanksShareDataBus)
+{
+    Channel ch(&cfg_, &timing_);
+    ch.issue(act(0, 0, 5), 0);
+    ch.issue(act(0, 1, 6), timing_.tRrd);
+    const Tick t = timing_.tRrd + timing_.tRcd;
+    ch.issue(col(CommandType::kRd, 0, 0), t);
+    // The second read's burst may not overlap the first: effectively
+    // tBL spacing (tCCD = tBL here).
+    EXPECT_FALSE(ch.canIssue(col(CommandType::kRd, 0, 1), t + 1));
+    EXPECT_TRUE(
+        ch.canIssue(col(CommandType::kRd, 0, 1), t + timing_.tBl));
+}
+
+TEST_F(ChannelTest, WriteToReadTurnaround)
+{
+    Channel ch(&cfg_, &timing_);
+    ch.issue(act(0, 0, 5), 0);
+    ch.issue(act(0, 1, 6), timing_.tRrd);
+    const Tick tw = timing_.tRcd;
+    ch.issue(col(CommandType::kWr, 0, 0), tw);
+    const Tick data_end = tw + timing_.tCwl + timing_.tBl;
+    // tWTR counts from the end of write data to the read command.
+    EXPECT_FALSE(ch.canIssue(col(CommandType::kRd, 0, 1),
+                             data_end + timing_.tWtr - 1));
+    EXPECT_TRUE(
+        ch.canIssue(col(CommandType::kRd, 0, 1), data_end + timing_.tWtr));
+}
+
+TEST_F(ChannelTest, ReadToWriteTurnaround)
+{
+    Channel ch(&cfg_, &timing_);
+    ch.issue(act(0, 0, 5), 0);
+    ch.issue(act(0, 1, 6), timing_.tRrd);
+    const Tick tr = timing_.tRcd;
+    ch.issue(col(CommandType::kRd, 0, 0), tr);
+    EXPECT_FALSE(
+        ch.canIssue(col(CommandType::kWr, 0, 1), tr + timing_.tRtw - 1));
+    EXPECT_TRUE(
+        ch.canIssue(col(CommandType::kWr, 0, 1), tr + timing_.tRtw));
+}
+
+TEST_F(ChannelTest, RankSwitchAddsTrtrs)
+{
+    Channel ch(&cfg_, &timing_);
+    ch.issue(act(0, 0, 5), 0);
+    ch.issue(act(1, 0, 6), 1);  // Different rank: no tRRD coupling.
+    const Tick t = 1 + timing_.tRcd;
+    ch.issue(col(CommandType::kRd, 0, 0), t);
+    // Same-rank back-to-back would be legal at t + tBL; the rank switch
+    // adds tRTRS.
+    EXPECT_FALSE(ch.canIssue(col(CommandType::kRd, 1, 0), t + timing_.tBl));
+    EXPECT_TRUE(ch.canIssue(col(CommandType::kRd, 1, 0),
+                            t + timing_.tBl + timing_.tRtrs));
+}
+
+TEST_F(ChannelTest, RefreshCommandsTracked)
+{
+    Channel ch(&cfg_, &timing_);
+    ch.issue(refresh(CommandType::kRefPb, 0, 2), 0);
+    EXPECT_EQ(ch.stats().refPb, 1u);
+    EXPECT_EQ(ch.stats().refPbCycles,
+              static_cast<std::uint64_t>(timing_.tRfcPb));
+    ch.issue(refresh(CommandType::kRefAb, 1), 5);
+    EXPECT_EQ(ch.stats().refAb, 1u);
+    EXPECT_EQ(ch.stats().refAbCycles,
+              static_cast<std::uint64_t>(timing_.tRfcAb));
+}
+
+TEST_F(ChannelTest, RefreshOverrideChangesAccountedCycles)
+{
+    Channel ch(&cfg_, &timing_);
+    Command cmd = refresh(CommandType::kRefAb, 0);
+    cmd.tRfcOverride = 100;
+    ch.issue(cmd, 0);
+    EXPECT_EQ(ch.stats().refAbCycles, 100u);
+}
+
+TEST_F(ChannelTest, IndependentRanksActFreely)
+{
+    Channel ch(&cfg_, &timing_);
+    ch.issue(act(0, 0, 1), 0);
+    // tRRD does not couple ranks.
+    EXPECT_TRUE(ch.canIssue(act(1, 0, 1), 1));
+}
+
+TEST_F(ChannelTest, SampleActivityCountsRankTicks)
+{
+    Channel ch(&cfg_, &timing_);
+    ch.sampleActivity(0);
+    EXPECT_EQ(ch.stats().rankTotalTicks, 2u);
+    EXPECT_EQ(ch.stats().rankActiveTicks, 0u);
+    ch.issue(act(0, 0, 1), 0);
+    ch.sampleActivity(1);
+    EXPECT_EQ(ch.stats().rankTotalTicks, 4u);
+    EXPECT_EQ(ch.stats().rankActiveTicks, 1u);
+}
+
+TEST_F(ChannelTest, ResetStatsClearsCounters)
+{
+    Channel ch(&cfg_, &timing_);
+    ch.issue(act(0, 0, 1), 0);
+    ch.resetStats();
+    EXPECT_EQ(ch.stats().acts, 0u);
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for configuration structures and density tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+
+using namespace dsarp;
+
+TEST(Config, DensityRows)
+{
+    EXPECT_EQ(rowsPerBankFor(Density::k8Gb), 65536);
+    EXPECT_EQ(rowsPerBankFor(Density::k16Gb), 131072);
+    EXPECT_EQ(rowsPerBankFor(Density::k32Gb), 262144);
+}
+
+TEST(Config, DensityRefreshLatency)
+{
+    // Paper Table 1.
+    EXPECT_DOUBLE_EQ(tRfcAbNsFor(Density::k8Gb), 350.0);
+    EXPECT_DOUBLE_EQ(tRfcAbNsFor(Density::k16Gb), 530.0);
+    EXPECT_DOUBLE_EQ(tRfcAbNsFor(Density::k32Gb), 890.0);
+}
+
+TEST(Config, Names)
+{
+    EXPECT_STREQ(refreshModeName(RefreshMode::kAllBank), "REFab");
+    EXPECT_STREQ(refreshModeName(RefreshMode::kPerBank), "REFpb");
+    EXPECT_STREQ(refreshModeName(RefreshMode::kDarp), "DARP");
+    EXPECT_STREQ(refreshModeName(RefreshMode::kNoRefresh), "NoREF");
+    EXPECT_STREQ(densityName(Density::k16Gb), "16Gb");
+}
+
+TEST(Config, FinalizeAppliesDensity)
+{
+    MemConfig cfg;
+    cfg.density = Density::k16Gb;
+    cfg.finalize();
+    EXPECT_EQ(cfg.org.rowsPerBank, 131072);
+}
+
+TEST(Config, OrgDerived)
+{
+    MemOrg org;
+    EXPECT_EQ(org.columns(), 128);          // 8 KB row / 64 B line.
+    EXPECT_EQ(org.rowsPerSubarray(), 8192); // 64K rows / 8 subarrays.
+}
+
+TEST(Config, DefaultsMatchTable1)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.numCores, 8);
+    EXPECT_EQ(cfg.core.cpuCyclesPerTick, 6);  // 4 GHz over DDR3-1333.
+    EXPECT_EQ(cfg.core.windowSize, 128);
+    EXPECT_EQ(cfg.core.mshrs, 8);
+    EXPECT_EQ(cfg.mem.org.channels, 2);
+    EXPECT_EQ(cfg.mem.org.ranksPerChannel, 2);
+    EXPECT_EQ(cfg.mem.org.banksPerRank, 8);
+    EXPECT_EQ(cfg.mem.org.subarraysPerBank, 8);
+    EXPECT_EQ(cfg.mem.readQueueSize, 64);
+    EXPECT_EQ(cfg.mem.writeQueueSize, 64);
+    EXPECT_EQ(cfg.mem.writeLowWatermark, 32);
+    EXPECT_EQ(cfg.mem.retentionMs, 32);
+}
+
+TEST(ConfigDeath, RejectsBadWatermarks)
+{
+    MemConfig cfg;
+    cfg.writeLowWatermark = 60;
+    cfg.writeHighWatermark = 50;
+    EXPECT_EXIT(cfg.finalize(), testing::ExitedWithCode(1), "watermark");
+}
+
+TEST(ConfigDeath, RejectsBadRetention)
+{
+    MemConfig cfg;
+    cfg.retentionMs = 48;
+    EXPECT_EXIT(cfg.finalize(), testing::ExitedWithCode(1), "retention");
+}
+
+TEST(ConfigDeath, RejectsIndivisibleSubarrays)
+{
+    MemConfig cfg;
+    cfg.org.subarraysPerBank = 7;
+    EXPECT_EXIT(cfg.finalize(), testing::ExitedWithCode(1), "subarrays");
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the IDD-based energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy.hh"
+
+using namespace dsarp;
+
+namespace {
+
+TimingParams
+timing()
+{
+    MemConfig cfg;
+    cfg.finalize();
+    return TimingParams::ddr3_1333(cfg);
+}
+
+} // namespace
+
+TEST(Energy, ZeroStatsZeroEnergy)
+{
+    ChannelStats stats;
+    const EnergyBreakdown e = channelEnergy(
+        stats, timing(), EnergyParams::micron8GbDdr3(), 8);
+    EXPECT_DOUBLE_EQ(e.totalNj(), 0.0);
+}
+
+TEST(Energy, ComponentsScaleLinearlyWithCounts)
+{
+    const TimingParams t = timing();
+    const EnergyParams p = EnergyParams::micron8GbDdr3();
+    ChannelStats one;
+    one.acts = 1;
+    one.reads = 1;
+    one.writes = 1;
+    ChannelStats ten;
+    ten.acts = 10;
+    ten.reads = 10;
+    ten.writes = 10;
+    const EnergyBreakdown e1 = channelEnergy(one, t, p, 8);
+    const EnergyBreakdown e10 = channelEnergy(ten, t, p, 8);
+    EXPECT_NEAR(e10.activateNj, 10 * e1.activateNj, 1e-9);
+    EXPECT_NEAR(e10.readNj, 10 * e1.readNj, 1e-9);
+    EXPECT_NEAR(e10.writeNj, 10 * e1.writeNj, 1e-9);
+}
+
+TEST(Energy, AllComponentsPositive)
+{
+    const TimingParams t = timing();
+    ChannelStats stats;
+    stats.acts = 100;
+    stats.reads = 80;
+    stats.writes = 20;
+    stats.refAb = 4;
+    stats.refAbCycles = 4ULL * t.tRfcAb;
+    stats.refPb = 8;
+    stats.refPbCycles = 8ULL * t.tRfcPb;
+    stats.rankActiveTicks = 5000;
+    stats.rankTotalTicks = 20000;
+    const EnergyBreakdown e =
+        channelEnergy(stats, t, EnergyParams::micron8GbDdr3(), 8);
+    EXPECT_GT(e.activateNj, 0.0);
+    EXPECT_GT(e.readNj, 0.0);
+    EXPECT_GT(e.writeNj, 0.0);
+    EXPECT_GT(e.refreshNj, 0.0);
+    EXPECT_GT(e.backgroundNj, 0.0);
+    EXPECT_DOUBLE_EQ(e.totalNj(), e.activateNj + e.readNj + e.writeNj +
+                                      e.refreshNj + e.backgroundNj);
+}
+
+TEST(Energy, PerBankRefreshCheaperPerCycle)
+{
+    // Equal refresh cycle counts: the per-bank variant must cost ~1/8.
+    const TimingParams t = timing();
+    ChannelStats ab;
+    ab.refAbCycles = 1000;
+    ChannelStats pb;
+    pb.refPbCycles = 1000;
+    const EnergyParams p = EnergyParams::micron8GbDdr3();
+    const double e_ab = channelEnergy(ab, t, p, 8).refreshNj;
+    const double e_pb = channelEnergy(pb, t, p, 8).refreshNj;
+    EXPECT_NEAR(e_pb, e_ab / 8.0, 1e-9);
+}
+
+TEST(Energy, ActiveStandbyCostsMoreThanIdle)
+{
+    const TimingParams t = timing();
+    const EnergyParams p = EnergyParams::micron8GbDdr3();
+    ChannelStats active;
+    active.rankTotalTicks = 1000;
+    active.rankActiveTicks = 1000;
+    ChannelStats idle;
+    idle.rankTotalTicks = 1000;
+    idle.rankActiveTicks = 0;
+    EXPECT_GT(channelEnergy(active, t, p, 8).backgroundNj,
+              channelEnergy(idle, t, p, 8).backgroundNj);
+}
+
+TEST(Energy, PerAccessDivision)
+{
+    const TimingParams t = timing();
+    ChannelStats stats;
+    stats.acts = 10;
+    stats.reads = 8;
+    stats.writes = 2;
+    const EnergyParams p = EnergyParams::micron8GbDdr3();
+    const double total = channelEnergy(stats, t, p, 8).totalNj();
+    EXPECT_NEAR(energyPerAccessNj(stats, t, p, 8), total / 10.0, 1e-12);
+    ChannelStats empty;
+    EXPECT_DOUBLE_EQ(energyPerAccessNj(empty, t, p, 8), 0.0);
+}
+
+TEST(Energy, SingleAccessEnergyInPlausibleRange)
+{
+    // One activate + one read should land in the nJ range, not pJ or uJ.
+    const TimingParams t = timing();
+    ChannelStats stats;
+    stats.acts = 1;
+    stats.reads = 1;
+    const double nj =
+        channelEnergy(stats, t, EnergyParams::micron8GbDdr3(), 8).totalNj();
+    EXPECT_GT(nj, 0.5);
+    EXPECT_LT(nj, 20.0);
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the refresh obligation ledger (the JEDEC postpone /
+ * pull-in window and the erratum's data-integrity bound).
+ */
+
+#include <gtest/gtest.h>
+
+#include "refresh/ledger.hh"
+
+using namespace dsarp;
+
+TEST(Ledger, NothingOwedBeforeFirstAccrual)
+{
+    RefreshLedger ledger(1, 1, 1000, 0, 0);
+    ledger.advanceTo(999);
+    EXPECT_EQ(ledger.owed(0, 0), 0);
+    EXPECT_FALSE(ledger.due(0, 0));
+}
+
+TEST(Ledger, AccruesOncePerPeriod)
+{
+    RefreshLedger ledger(1, 1, 1000, 0, 0);
+    ledger.advanceTo(1000);
+    EXPECT_EQ(ledger.owed(0, 0), 1);
+    ledger.advanceTo(3999);
+    EXPECT_EQ(ledger.owed(0, 0), 3);
+    EXPECT_EQ(ledger.totalAccrued(), 3u);
+}
+
+TEST(Ledger, StaggerOffsetsUnits)
+{
+    RefreshLedger ledger(1, 4, 1000, 0, 100);
+    ledger.advanceTo(1000);
+    EXPECT_EQ(ledger.owed(0, 0), 1);
+    EXPECT_EQ(ledger.owed(0, 1), 0);
+    ledger.advanceTo(1100);
+    EXPECT_EQ(ledger.owed(0, 1), 1);
+    ledger.advanceTo(1300);
+    EXPECT_EQ(ledger.owed(0, 3), 1);
+}
+
+TEST(Ledger, RefreshRetiresObligation)
+{
+    RefreshLedger ledger(1, 1, 1000, 0, 0);
+    ledger.advanceTo(2500);
+    EXPECT_EQ(ledger.owed(0, 0), 2);
+    ledger.onRefresh(0, 0);
+    EXPECT_EQ(ledger.owed(0, 0), 1);
+    EXPECT_EQ(ledger.totalRetired(), 1u);
+}
+
+TEST(Ledger, ForceAtPostponeLimit)
+{
+    RefreshLedger ledger(1, 1, 1000, 0, 0, 8);
+    ledger.advanceTo(7999);
+    EXPECT_FALSE(ledger.mustForce(0, 0));
+    ledger.advanceTo(8000);
+    EXPECT_EQ(ledger.owed(0, 0), 8);
+    EXPECT_TRUE(ledger.mustForce(0, 0));
+}
+
+TEST(Ledger, PullInBoundedAtMinusEight)
+{
+    RefreshLedger ledger(1, 1, 1000, 0, 0, 8);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_TRUE(ledger.canPullIn(0, 0));
+        ledger.onRefresh(0, 0);
+    }
+    EXPECT_EQ(ledger.owed(0, 0), -8);
+    EXPECT_FALSE(ledger.canPullIn(0, 0));
+}
+
+TEST(Ledger, PullInCreatesSlack)
+{
+    RefreshLedger ledger(1, 1, 1000, 0, 0, 8);
+    ledger.onRefresh(0, 0);  // owed = -1.
+    ledger.advanceTo(9000);  // 9 accruals.
+    EXPECT_EQ(ledger.owed(0, 0), 8);
+    EXPECT_TRUE(ledger.mustForce(0, 0)) << "slack was spent";
+}
+
+TEST(Ledger, AccruedBetween)
+{
+    RefreshLedger ledger(1, 2, 1000, 0, 100);
+    // Unit (0,0) accrues at 1000, 2000, ...; unit (0,1) at 1100, 2100...
+    EXPECT_FALSE(ledger.accruedBetween(0, 0, 0, 999));
+    EXPECT_TRUE(ledger.accruedBetween(0, 0, 999, 1000));
+    EXPECT_FALSE(ledger.accruedBetween(0, 0, 1000, 1999));
+    EXPECT_TRUE(ledger.accruedBetween(0, 1, 1000, 1100));
+    EXPECT_TRUE(ledger.accruedBetween(0, 0, 500, 2500));
+}
+
+TEST(Ledger, FractionalAccounting)
+{
+    RefreshLedger ledger(1, 1, 250, 0, 0, 8);
+    ledger.setDenominator(4);
+    ledger.advanceTo(250);
+    EXPECT_EQ(ledger.owed(0, 0), 4) << "one accrual = 4 quarters";
+    ledger.onPartialRefresh(0, 0, 1);
+    EXPECT_EQ(ledger.owed(0, 0), 3);
+    ledger.onRefresh(0, 0);  // Full slot retires 4 quarters.
+    EXPECT_EQ(ledger.owed(0, 0), -1);
+    EXPECT_FALSE(ledger.mustForce(0, 0));
+}
+
+TEST(Ledger, FractionalForceLimitScales)
+{
+    RefreshLedger ledger(1, 1, 250, 0, 0, 8);
+    ledger.setDenominator(4);
+    ledger.advanceTo(250 * 7);
+    EXPECT_FALSE(ledger.mustForce(0, 0));
+    ledger.advanceTo(250 * 8);
+    EXPECT_TRUE(ledger.mustForce(0, 0));
+}
+
+TEST(Ledger, MultiRankIndependence)
+{
+    RefreshLedger ledger(2, 8, 1000, 500, 10);
+    ledger.advanceTo(5000);
+    ledger.onRefresh(1, 5);
+    EXPECT_EQ(ledger.owed(0, 5), ledger.owed(1, 5) + 1);
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit tests for WS / HS / maximum slowdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+
+using namespace dsarp;
+
+TEST(Metrics, NoSlowdownGivesCoreCount)
+{
+    const std::vector<double> ipc = {1.0, 2.0, 0.5};
+    EXPECT_DOUBLE_EQ(weightedSpeedup(ipc, ipc), 3.0);
+    EXPECT_DOUBLE_EQ(harmonicSpeedup(ipc, ipc), 1.0);
+    EXPECT_DOUBLE_EQ(maxSlowdown(ipc, ipc), 1.0);
+}
+
+TEST(Metrics, UniformHalving)
+{
+    const std::vector<double> alone = {2.0, 2.0};
+    const std::vector<double> shared = {1.0, 1.0};
+    EXPECT_DOUBLE_EQ(weightedSpeedup(shared, alone), 1.0);
+    EXPECT_DOUBLE_EQ(harmonicSpeedup(shared, alone), 0.5);
+    EXPECT_DOUBLE_EQ(maxSlowdown(shared, alone), 2.0);
+}
+
+TEST(Metrics, WeightedSpeedupMixes)
+{
+    const std::vector<double> alone = {2.0, 4.0};
+    const std::vector<double> shared = {1.0, 3.0};
+    EXPECT_DOUBLE_EQ(weightedSpeedup(shared, alone), 0.5 + 0.75);
+}
+
+TEST(Metrics, HarmonicPunishesImbalance)
+{
+    // Same WS, but one core starving: HS must be lower.
+    const std::vector<double> alone = {1.0, 1.0};
+    const std::vector<double> balanced = {0.5, 0.5};
+    const std::vector<double> skewed = {0.9, 0.1};
+    EXPECT_NEAR(weightedSpeedup(balanced, alone),
+                weightedSpeedup(skewed, alone), 1e-12);
+    EXPECT_GT(harmonicSpeedup(balanced, alone),
+              harmonicSpeedup(skewed, alone));
+}
+
+TEST(Metrics, MaxSlowdownPicksWorstCore)
+{
+    const std::vector<double> alone = {1.0, 1.0, 1.0};
+    const std::vector<double> shared = {0.9, 0.25, 0.5};
+    EXPECT_DOUBLE_EQ(maxSlowdown(shared, alone), 4.0);
+}
+
+TEST(Metrics, SingleCore)
+{
+    EXPECT_DOUBLE_EQ(weightedSpeedup({0.5}, {1.0}), 0.5);
+    EXPECT_DOUBLE_EQ(harmonicSpeedup({0.5}, {1.0}), 0.5);
+    EXPECT_DOUBLE_EQ(maxSlowdown({0.5}, {1.0}), 2.0);
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the bounded request queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "controller/queues.hh"
+
+using namespace dsarp;
+
+namespace {
+
+Request
+makeReq(std::uint64_t id, RankId r, BankId b, RowId row, Addr addr = 0,
+        bool is_write = false)
+{
+    Request req;
+    req.id = id;
+    req.isWrite = is_write;
+    req.addr = addr;
+    req.loc.rank = r;
+    req.loc.bank = b;
+    req.loc.row = row;
+    return req;
+}
+
+} // namespace
+
+TEST(RequestQueue, PushPopFifoOrder)
+{
+    RequestQueue q(4, 2, 8);
+    EXPECT_TRUE(q.empty());
+    EXPECT_TRUE(q.push(makeReq(1, 0, 0, 0)));
+    EXPECT_TRUE(q.push(makeReq(2, 0, 1, 0)));
+    EXPECT_EQ(q.size(), 2);
+    EXPECT_EQ(q.at(0).id, 1u);
+    EXPECT_EQ(q.at(1).id, 2u);
+    const Request r = q.pop(0);
+    EXPECT_EQ(r.id, 1u);
+    EXPECT_EQ(q.at(0).id, 2u);
+}
+
+TEST(RequestQueue, CapacityEnforced)
+{
+    RequestQueue q(2, 2, 8);
+    EXPECT_TRUE(q.push(makeReq(1, 0, 0, 0)));
+    EXPECT_TRUE(q.push(makeReq(2, 0, 0, 0)));
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.push(makeReq(3, 0, 0, 0)));
+    EXPECT_EQ(q.size(), 2);
+}
+
+TEST(RequestQueue, BankCountsMaintained)
+{
+    RequestQueue q(16, 2, 8);
+    q.push(makeReq(1, 0, 3, 0));
+    q.push(makeReq(2, 0, 3, 1));
+    q.push(makeReq(3, 1, 3, 2));
+    EXPECT_EQ(q.bankCount(0, 3), 2);
+    EXPECT_EQ(q.bankCount(1, 3), 1);
+    EXPECT_EQ(q.bankCount(0, 4), 0);
+    EXPECT_EQ(q.rankCount(0), 2);
+    EXPECT_EQ(q.rankCount(1), 1);
+    q.pop(0);
+    EXPECT_EQ(q.bankCount(0, 3), 1);
+}
+
+TEST(RequestQueue, PopMiddlePreservesOrder)
+{
+    RequestQueue q(8, 1, 8);
+    for (std::uint64_t i = 1; i <= 4; ++i)
+        q.push(makeReq(i, 0, 0, 0));
+    q.pop(1);  // Remove id 2.
+    EXPECT_EQ(q.at(0).id, 1u);
+    EXPECT_EQ(q.at(1).id, 3u);
+    EXPECT_EQ(q.at(2).id, 4u);
+}
+
+TEST(RequestQueue, FindAddr)
+{
+    RequestQueue q(8, 1, 8);
+    q.push(makeReq(1, 0, 0, 0, 0x1000));
+    q.push(makeReq(2, 0, 0, 0, 0x2000));
+    EXPECT_EQ(q.findAddr(0x2000), 1);
+    EXPECT_EQ(q.findAddr(0x3000), -1);
+}
+
+TEST(RequestQueue, RowCount)
+{
+    RequestQueue q(8, 2, 8);
+    q.push(makeReq(1, 0, 2, 77));
+    q.push(makeReq(2, 0, 2, 77));
+    q.push(makeReq(3, 0, 2, 78));
+    q.push(makeReq(4, 1, 2, 77));
+    EXPECT_EQ(q.rowCount(0, 2, 77), 2);
+    EXPECT_EQ(q.rowCount(0, 2, 78), 1);
+    EXPECT_EQ(q.rowCount(1, 2, 77), 1);
+    EXPECT_EQ(q.rowCount(0, 3, 77), 0);
+}

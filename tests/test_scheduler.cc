@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for FR-FCFS command selection: row-hit-first, oldest-first,
+ * auto-precharge of the last row hit, refresh-blocked ACT suppression,
+ * and the conflict-precharge phase.
+ */
+
+#include <gtest/gtest.h>
+
+#include "controller/scheduler.hh"
+
+using namespace dsarp;
+
+namespace {
+
+class FrFcfsTest : public ::testing::Test
+{
+  protected:
+    FrFcfsTest()
+        : cfg_(), timing_(), queue_(64, 2, 8)
+    {
+        cfg_.finalize();
+        timing_ = TimingParams::ddr3_1333(cfg_);
+        channel_ = std::make_unique<Channel>(&cfg_, &timing_);
+        noBlockBank_.assign(16, 0);
+        noBlockRank_.assign(2, 0);
+    }
+
+    Request
+    req(std::uint64_t id, RankId r, BankId b, RowId row, int column = 0,
+        bool is_write = false)
+    {
+        Request rq;
+        rq.id = id;
+        rq.isWrite = is_write;
+        rq.loc.rank = r;
+        rq.loc.bank = b;
+        rq.loc.row = row;
+        rq.loc.column = column;
+        return rq;
+    }
+
+    CmdChoice
+    pick(Tick now)
+    {
+        return FrFcfs::pick(queue_, *channel_, now, noBlockBank_,
+                            noBlockRank_, 8);
+    }
+
+    MemConfig cfg_;
+    TimingParams timing_;
+    std::unique_ptr<Channel> channel_;
+    RequestQueue queue_;
+    std::vector<std::uint8_t> noBlockBank_;
+    std::vector<std::uint8_t> noBlockRank_;
+};
+
+} // namespace
+
+TEST_F(FrFcfsTest, EmptyQueuePicksNothing)
+{
+    EXPECT_FALSE(pick(0).valid);
+}
+
+TEST_F(FrFcfsTest, ClosedBankGetsAct)
+{
+    queue_.push(req(1, 0, 0, 42));
+    const CmdChoice c = pick(0);
+    ASSERT_TRUE(c.valid);
+    EXPECT_EQ(c.cmd.type, CommandType::kAct);
+    EXPECT_EQ(c.cmd.row, 42);
+    EXPECT_EQ(c.queueIndex, -1);
+}
+
+TEST_F(FrFcfsTest, SingleRequestUsesAutoPrecharge)
+{
+    queue_.push(req(1, 0, 0, 42));
+    channel_->issue(pick(0).cmd, 0);
+    const CmdChoice c = pick(timing_.tRcd);
+    ASSERT_TRUE(c.valid);
+    EXPECT_EQ(c.cmd.type, CommandType::kRdA);
+    EXPECT_EQ(c.queueIndex, 0);
+}
+
+TEST_F(FrFcfsTest, RowHitBatchKeepsRowOpenUntilLast)
+{
+    queue_.push(req(1, 0, 0, 42, 0));
+    queue_.push(req(2, 0, 0, 42, 1));
+    channel_->issue(pick(0).cmd, 0);
+
+    CmdChoice c = pick(timing_.tRcd);
+    ASSERT_TRUE(c.valid);
+    EXPECT_EQ(c.cmd.type, CommandType::kRd) << "another hit is queued";
+    channel_->issue(c.cmd, timing_.tRcd);
+    queue_.pop(c.queueIndex);
+
+    c = pick(timing_.tRcd + timing_.tCcd);
+    ASSERT_TRUE(c.valid);
+    EXPECT_EQ(c.cmd.type, CommandType::kRdA) << "last hit closes the row";
+}
+
+TEST_F(FrFcfsTest, RowHitPrioritizedOverOlderAct)
+{
+    // Older request to bank 1 (needs ACT), younger hit on bank 0.
+    queue_.push(req(1, 0, 0, 42));
+    channel_->issue(pick(0).cmd, 0);  // ACT bank 0 row 42.
+    queue_.pop(0);
+    queue_.push(req(2, 0, 1, 7));   // Older in queue now.
+    queue_.push(req(3, 0, 0, 42));  // Row hit.
+    const CmdChoice c = pick(timing_.tRcd);
+    ASSERT_TRUE(c.valid);
+    EXPECT_TRUE(isColumnCmd(c.cmd.type));
+    EXPECT_EQ(c.cmd.bank, 0);
+}
+
+TEST_F(FrFcfsTest, OldestActWins)
+{
+    queue_.push(req(1, 0, 3, 5));
+    queue_.push(req(2, 0, 4, 6));
+    const CmdChoice c = pick(0);
+    ASSERT_TRUE(c.valid);
+    EXPECT_EQ(c.cmd.bank, 3);
+}
+
+TEST_F(FrFcfsTest, BlockedBankSkipsToNextRequest)
+{
+    queue_.push(req(1, 0, 3, 5));
+    queue_.push(req(2, 0, 4, 6));
+    noBlockBank_[3] = 1;  // rank 0, bank 3 blocked for refresh drain.
+    const CmdChoice c = pick(0);
+    ASSERT_TRUE(c.valid);
+    EXPECT_EQ(c.cmd.bank, 4);
+}
+
+TEST_F(FrFcfsTest, BlockedRankSkipsWholeRank)
+{
+    queue_.push(req(1, 0, 3, 5));
+    queue_.push(req(2, 1, 4, 6));
+    noBlockRank_[0] = 1;
+    const CmdChoice c = pick(0);
+    ASSERT_TRUE(c.valid);
+    EXPECT_EQ(c.cmd.rank, 1);
+}
+
+TEST_F(FrFcfsTest, BlockedBankRowHitForcesAutoPrecharge)
+{
+    queue_.push(req(1, 0, 0, 42, 0));
+    queue_.push(req(2, 0, 0, 42, 1));
+    channel_->issue(pick(0).cmd, 0);
+    noBlockBank_[0] = 1;  // Refresh wants bank 0: close asap.
+    const CmdChoice c = pick(timing_.tRcd);
+    ASSERT_TRUE(c.valid);
+    EXPECT_EQ(c.cmd.type, CommandType::kRdA)
+        << "hits still drain but must auto-precharge";
+}
+
+TEST_F(FrFcfsTest, ConflictPrechargeForStrandedRow)
+{
+    // Open row 42 on bank 0 with no queued request for it (as when reads
+    // are stranded by writeback mode), then queue a request for row 7.
+    queue_.push(req(1, 0, 0, 42));
+    channel_->issue(pick(0).cmd, 0);
+    queue_.pop(0);
+    queue_.push(req(2, 0, 0, 7));
+
+    // Until tRAS the precharge is not legal and nothing else fits.
+    EXPECT_FALSE(pick(timing_.tRcd).valid);
+
+    const CmdChoice c = pick(timing_.tRas);
+    ASSERT_TRUE(c.valid);
+    EXPECT_EQ(c.cmd.type, CommandType::kPre);
+    channel_->issue(c.cmd, timing_.tRas);
+
+    const CmdChoice c2 = pick(timing_.tRas + timing_.tRp);
+    ASSERT_TRUE(c2.valid);
+    EXPECT_EQ(c2.cmd.type, CommandType::kAct);
+    EXPECT_EQ(c2.cmd.row, 7);
+}
+
+TEST_F(FrFcfsTest, NoPrechargeWhileQueueStillWantsRow)
+{
+    queue_.push(req(1, 0, 0, 42));
+    channel_->issue(pick(0).cmd, 0);
+    queue_.push(req(2, 0, 0, 7));
+    // Request 1 (row 42) is still queued: the row must not be blown away.
+    const CmdChoice c = pick(timing_.tRas);
+    ASSERT_TRUE(c.valid);
+    EXPECT_NE(c.cmd.type, CommandType::kPre);
+}
+
+TEST_F(FrFcfsTest, WritesPickWriteCommands)
+{
+    queue_.push(req(1, 0, 0, 42, 0, true));
+    channel_->issue(pick(0).cmd, 0);
+    const CmdChoice c = pick(timing_.tRcd);
+    ASSERT_TRUE(c.valid);
+    EXPECT_EQ(c.cmd.type, CommandType::kWrA);
+}

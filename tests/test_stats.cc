@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hh"
+
+using namespace dsarp;
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, TracksMeanMinMax)
+{
+    RunningStat s;
+    for (double x : {3.0, 1.0, 4.0, 1.0, 5.0}) s.add(x);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 14.0 / 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 14.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(-2.5);
+    EXPECT_DOUBLE_EQ(s.mean(), -2.5);
+    EXPECT_DOUBLE_EQ(s.min(), -2.5);
+    EXPECT_DOUBLE_EQ(s.max(), -2.5);
+}
+
+TEST(Reductions, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Reductions, GmeanBasics)
+{
+    EXPECT_DOUBLE_EQ(gmean({}), 0.0);
+    EXPECT_NEAR(gmean({4.0, 1.0}), 2.0, 1e-12);
+    EXPECT_NEAR(gmean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(gmean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+}
+
+TEST(Reductions, GmeanBelowMeanForSpreadData)
+{
+    const std::vector<double> xs = {1.0, 2.0, 10.0};
+    EXPECT_LT(gmean(xs), mean(xs));
+}
+
+TEST(Reductions, MaxOf)
+{
+    EXPECT_DOUBLE_EQ(maxOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(maxOf({-3.0, -1.0, -2.0}), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf({1.0, 7.0, 3.0}), 7.0);
+}

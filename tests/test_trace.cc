@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Statistical tests for the synthetic trace generator: MPKI calibration,
+ * row locality, footprint confinement, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/trace.hh"
+
+using namespace dsarp;
+
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    TraceTest() : map_(MemOrg{}) {}
+
+    TraceProfile
+    profile(double mpki, double locality, double wb = 0.3,
+            int footprint = 1024, bool random = false)
+    {
+        TraceProfile p;
+        p.mpki = mpki;
+        p.rowLocality = locality;
+        p.writebackFraction = wb;
+        p.footprintRows = footprint;
+        p.randomAccess = random;
+        return p;
+    }
+
+    AddressMap map_;
+};
+
+} // namespace
+
+TEST_F(TraceTest, MeanGapMatchesMpki)
+{
+    for (double mpki : {1.0, 10.0, 40.0}) {
+        SyntheticTrace trace(profile(mpki, 0.5), map_, 0, 8, 1);
+        double gap_sum = 0.0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            gap_sum += trace.next().gap;
+        const double measured_mpki = 1000.0 / (gap_sum / n + 1.0);
+        EXPECT_NEAR(measured_mpki, mpki, mpki * 0.1) << "mpki " << mpki;
+    }
+}
+
+TEST_F(TraceTest, RowLocalityProducesSequentialColumns)
+{
+    SyntheticTrace trace(profile(20, 0.9), map_, 0, 8, 2);
+    int sequential = 0;
+    DecodedAddr prev = map_.decode(trace.next().readAddr);
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        const DecodedAddr cur = map_.decode(trace.next().readAddr);
+        if (cur.row == prev.row && cur.bank == prev.bank &&
+            cur.channel == prev.channel &&
+            cur.column == prev.column + 1) {
+            ++sequential;
+        }
+        prev = cur;
+    }
+    EXPECT_GT(sequential, n * 3 / 4);
+}
+
+TEST_F(TraceTest, RandomAccessNeverStreams)
+{
+    SyntheticTrace trace(profile(40, 0.9, 0.3, 8192, true), map_, 0, 8, 3);
+    int same_row = 0;
+    DecodedAddr prev = map_.decode(trace.next().readAddr);
+    for (int i = 0; i < 3000; ++i) {
+        const DecodedAddr cur = map_.decode(trace.next().readAddr);
+        if (cur.row == prev.row && cur.bank == prev.bank)
+            ++same_row;
+        prev = cur;
+    }
+    EXPECT_LT(same_row, 30);
+}
+
+TEST_F(TraceTest, FootprintConfinedToCoreRegion)
+{
+    const int partitions = 8;
+    for (CoreId core : {0, 3, 7}) {
+        SyntheticTrace trace(profile(20, 0.3, 0.5, 512), map_, core,
+                             partitions, 4);
+        const int region = map_.org().rowsPerBank / partitions;
+        const RowId base = core * region;
+        for (int i = 0; i < 2000; ++i) {
+            const TraceRecord rec = trace.next();
+            const DecodedAddr read = map_.decode(rec.readAddr);
+            EXPECT_GE(read.row, base);
+            EXPECT_LT(read.row, base + 512 + 1);
+            if (rec.hasWriteback) {
+                const DecodedAddr wb = map_.decode(rec.writebackAddr);
+                EXPECT_GE(wb.row, base);
+                EXPECT_LT(wb.row, base + 512 + 1);
+            }
+        }
+    }
+}
+
+TEST_F(TraceTest, WritebackFractionRespected)
+{
+    SyntheticTrace trace(profile(20, 0.5, 0.4), map_, 0, 8, 5);
+    int wb = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        wb += trace.next().hasWriteback ? 1 : 0;
+    EXPECT_NEAR(wb / static_cast<double>(n), 0.4, 0.03);
+}
+
+TEST_F(TraceTest, DeterministicForSameSeed)
+{
+    SyntheticTrace a(profile(20, 0.5), map_, 0, 8, 42);
+    SyntheticTrace b(profile(20, 0.5), map_, 0, 8, 42);
+    for (int i = 0; i < 1000; ++i) {
+        const TraceRecord ra = a.next();
+        const TraceRecord rb = b.next();
+        EXPECT_EQ(ra.readAddr, rb.readAddr);
+        EXPECT_EQ(ra.gap, rb.gap);
+        EXPECT_EQ(ra.hasWriteback, rb.hasWriteback);
+    }
+}
+
+TEST_F(TraceTest, DifferentCoresUseDifferentRegions)
+{
+    SyntheticTrace a(profile(20, 0.5), map_, 0, 8, 42);
+    SyntheticTrace b(profile(20, 0.5), map_, 1, 8, 42);
+    const DecodedAddr da = map_.decode(a.next().readAddr);
+    const DecodedAddr db = map_.decode(b.next().readAddr);
+    EXPECT_NE(da.row / (map_.org().rowsPerBank / 8),
+              db.row / (map_.org().rowsPerBank / 8));
+}
+
+TEST_F(TraceTest, SpreadsAcrossChannelsAndBanks)
+{
+    SyntheticTrace trace(profile(30, 0.2, 0.3, 4096), map_, 0, 8, 6);
+    std::vector<int> chan(2, 0);
+    std::vector<int> bank(8, 0);
+    for (int i = 0; i < 4000; ++i) {
+        const DecodedAddr d = map_.decode(trace.next().readAddr);
+        ++chan[d.channel];
+        ++bank[d.bank];
+    }
+    EXPECT_GT(chan[0], 1000);
+    EXPECT_GT(chan[1], 1000);
+    for (int b = 0; b < 8; ++b)
+        EXPECT_GT(bank[b], 200) << "bank " << b;
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for file-backed traces and the latency histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/stats.hh"
+#include "core/trace_file.hh"
+
+using namespace dsarp;
+
+namespace {
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    std::string
+    writeTemp(const std::string &content)
+    {
+        const std::string path =
+            testing::TempDir() + "dsarp_trace_test.txt";
+        std::ofstream out(path);
+        out << content;
+        return path;
+    }
+};
+
+} // namespace
+
+TEST_F(TraceFileTest, ParsesRecordsAndComments)
+{
+    const std::string path = writeTemp(
+        "# a comment\n"
+        "10 1000\n"
+        "\n"
+        "20 0x2000 3000\n"
+        "0 40 # trailing comment\n");
+    TraceFileSource trace(path);
+    EXPECT_EQ(trace.size(), 3u);
+
+    TraceRecord r = trace.next();
+    EXPECT_EQ(r.gap, 10);
+    EXPECT_EQ(r.readAddr, 0x1000u);
+    EXPECT_FALSE(r.hasWriteback);
+
+    r = trace.next();
+    EXPECT_EQ(r.gap, 20);
+    EXPECT_EQ(r.readAddr, 0x2000u);
+    EXPECT_TRUE(r.hasWriteback);
+    EXPECT_EQ(r.writebackAddr, 0x3000u);
+
+    r = trace.next();
+    EXPECT_EQ(r.gap, 0);
+    EXPECT_EQ(r.readAddr, 0x40u);
+}
+
+TEST_F(TraceFileTest, LoopsAtEnd)
+{
+    const std::string path = writeTemp("1 10\n2 20\n");
+    TraceFileSource trace(path);
+    trace.next();
+    EXPECT_EQ(trace.loops(), 0u);
+    trace.next();  // Consumes the last record: the cursor wraps.
+    EXPECT_EQ(trace.loops(), 1u);
+    const TraceRecord r = trace.next();
+    EXPECT_EQ(r.gap, 1) << "stream restarted from the first record";
+    EXPECT_EQ(trace.loops(), 1u);
+}
+
+TEST_F(TraceFileTest, RoundTripThroughWriter)
+{
+    std::vector<TraceRecord> records;
+    for (int i = 1; i <= 5; ++i) {
+        TraceRecord rec;
+        rec.gap = i * 3;
+        rec.readAddr = static_cast<Addr>(i) * 0x40;
+        rec.hasWriteback = (i % 2) == 0;
+        rec.writebackAddr = rec.readAddr + 0x100000;
+        records.push_back(rec);
+    }
+    const std::string path = testing::TempDir() + "dsarp_rt_trace.txt";
+    TraceFileSource::write(path, records);
+    TraceFileSource trace(path);
+    ASSERT_EQ(trace.size(), records.size());
+    for (const TraceRecord &expected : records) {
+        const TraceRecord got = trace.next();
+        EXPECT_EQ(got.gap, expected.gap);
+        EXPECT_EQ(got.readAddr, expected.readAddr);
+        EXPECT_EQ(got.hasWriteback, expected.hasWriteback);
+        if (expected.hasWriteback)
+            EXPECT_EQ(got.writebackAddr, expected.writebackAddr);
+    }
+}
+
+TEST_F(TraceFileTest, ProgrammaticConstruction)
+{
+    TraceRecord rec;
+    rec.gap = 7;
+    rec.readAddr = 0x80;
+    TraceFileSource trace(std::vector<TraceRecord>{rec});
+    EXPECT_EQ(trace.next().gap, 7);
+    EXPECT_EQ(trace.next().gap, 7);
+    EXPECT_EQ(trace.loops(), 2u);
+}
+
+TEST_F(TraceFileTest, RejectsMissingFile)
+{
+    EXPECT_EXIT(TraceFileSource("/nonexistent/definitely_not_here.txt"),
+                testing::ExitedWithCode(1), "trace");
+}
+
+TEST_F(TraceFileTest, RejectsEmptyFile)
+{
+    const std::string path = writeTemp("# only a comment\n");
+    EXPECT_EXIT(TraceFileSource trace(path), testing::ExitedWithCode(1),
+                "no records");
+}
+
+TEST(LatencyHistogram, EmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, BucketsByPowerOfTwo)
+{
+    LatencyHistogram h;
+    h.add(0);
+    h.add(1);   // Bucket 0: [0, 2).
+    h.add(2);
+    h.add(3);   // Bucket 1: [2, 4).
+    h.add(100); // Bucket 6: [64, 128).
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(6), 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), 106.0 / 5.0);
+}
+
+TEST(LatencyHistogram, PercentilesOrdered)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.add(v);
+    const double p50 = h.percentile(50);
+    const double p90 = h.percentile(90);
+    const double p99 = h.percentile(99);
+    EXPECT_LT(p50, p90);
+    EXPECT_LE(p90, p99);
+    // Median of 1..1000 should land within its power-of-2 bucket.
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1024.0);
+}
+
+TEST(LatencyHistogram, ResetClears)
+{
+    LatencyHistogram h;
+    h.add(10);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucket(3), 0u);
+}

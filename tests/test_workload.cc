@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the benchmark catalogue and workload mixing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/workload.hh"
+
+using namespace dsarp;
+
+TEST(Benchmarks, CatalogueShape)
+{
+    const auto &table = benchmarkTable();
+    EXPECT_GE(table.size(), 16u);
+    int intensive = 0;
+    for (const Benchmark &b : table) {
+        EXPECT_FALSE(b.name.empty());
+        EXPECT_GT(b.profile.mpki, 0.0);
+        EXPECT_GE(b.profile.rowLocality, 0.0);
+        EXPECT_LE(b.profile.rowLocality, 1.0);
+        EXPECT_GT(b.profile.footprintRows, 0);
+        if (b.isIntensive())
+            ++intensive;
+    }
+    EXPECT_GE(intensive, 8) << "need a healthy intensive pool";
+    EXPECT_GE(static_cast<int>(table.size()) - intensive, 8);
+}
+
+TEST(Benchmarks, IntensiveThresholdIsTen)
+{
+    for (const Benchmark &b : benchmarkTable())
+        EXPECT_EQ(b.isIntensive(), b.profile.mpki >= 10.0) << b.name;
+}
+
+TEST(Benchmarks, PoolsPartitionTheCatalogue)
+{
+    const auto intensive = intensiveBenchmarks();
+    const auto non_intensive = nonIntensiveBenchmarks();
+    EXPECT_EQ(intensive.size() + non_intensive.size(),
+              benchmarkTable().size());
+    for (int idx : intensive)
+        EXPECT_TRUE(benchmarkTable()[idx].isIntensive());
+    for (int idx : non_intensive)
+        EXPECT_FALSE(benchmarkTable()[idx].isIntensive());
+}
+
+TEST(Benchmarks, IndexLookup)
+{
+    const auto &table = benchmarkTable();
+    for (int i = 0; i < static_cast<int>(table.size()); ++i)
+        EXPECT_EQ(benchmarkIndex(table[i].name), i);
+}
+
+TEST(Workloads, FiveCategories)
+{
+    const auto workloads = makeWorkloads(20, 8, 1);
+    ASSERT_EQ(workloads.size(), 100u);  // The paper's 100 workloads.
+    int seen[5] = {0, 0, 0, 0, 0};
+    for (const Workload &w : workloads) {
+        ASSERT_EQ(w.benchIdx.size(), 8u);
+        ++seen[w.categoryPct / 25];
+    }
+    for (int count : seen)
+        EXPECT_EQ(count, 20);
+}
+
+TEST(Workloads, CategoryCompositionMatchesPercentage)
+{
+    const auto workloads = makeWorkloads(10, 8, 2);
+    const auto &table = benchmarkTable();
+    for (const Workload &w : workloads) {
+        int intensive = 0;
+        for (int idx : w.benchIdx)
+            intensive += table[idx].isIntensive() ? 1 : 0;
+        EXPECT_EQ(intensive, 8 * w.categoryPct / 100)
+            << "workload " << w.index;
+    }
+}
+
+TEST(Workloads, DeterministicMixes)
+{
+    const auto a = makeWorkloads(5, 8, 99);
+    const auto b = makeWorkloads(5, 8, 99);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].benchIdx, b[i].benchIdx);
+}
+
+TEST(Workloads, SeedsChangeMixes)
+{
+    const auto a = makeWorkloads(5, 8, 1);
+    const auto b = makeWorkloads(5, 8, 2);
+    int differing = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].benchIdx != b[i].benchIdx)
+            ++differing;
+    }
+    EXPECT_GT(differing, 10);
+}
+
+TEST(Workloads, IndicesAreSequential)
+{
+    const auto workloads = makeWorkloads(4, 8, 3);
+    for (std::size_t i = 0; i < workloads.size(); ++i)
+        EXPECT_EQ(workloads[i].index, static_cast<int>(i));
+}
+
+TEST(Workloads, IntensiveOnly)
+{
+    const auto workloads = makeIntensiveWorkloads(6, 4, 5);
+    ASSERT_EQ(workloads.size(), 6u);
+    const auto &table = benchmarkTable();
+    for (const Workload &w : workloads) {
+        ASSERT_EQ(w.benchIdx.size(), 4u);
+        for (int idx : w.benchIdx)
+            EXPECT_TRUE(table[idx].isIntensive());
+    }
+}
+
+TEST(Workloads, VariableCoreCounts)
+{
+    for (int cores : {2, 4, 8}) {
+        const auto workloads = makeIntensiveWorkloads(3, cores, 7);
+        for (const Workload &w : workloads)
+            EXPECT_EQ(static_cast<int>(w.benchIdx.size()), cores);
+    }
+}

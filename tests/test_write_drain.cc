@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for writeback-mode hysteresis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "controller/write_drain.hh"
+
+using namespace dsarp;
+
+TEST(WriteDrain, StartsInactive)
+{
+    WriteDrain wd(54, 32);
+    EXPECT_FALSE(wd.active());
+    EXPECT_EQ(wd.batches(), 0u);
+}
+
+TEST(WriteDrain, EntersAtHighWatermark)
+{
+    WriteDrain wd(54, 32);
+    wd.update(53);
+    EXPECT_FALSE(wd.active());
+    wd.update(54);
+    EXPECT_TRUE(wd.active());
+    EXPECT_EQ(wd.batches(), 1u);
+}
+
+TEST(WriteDrain, StaysActiveUntilLowWatermark)
+{
+    WriteDrain wd(54, 32);
+    wd.update(54);
+    wd.update(40);
+    EXPECT_TRUE(wd.active()) << "still above the low watermark";
+    wd.update(33);
+    EXPECT_TRUE(wd.active());
+    wd.update(32);
+    EXPECT_FALSE(wd.active());
+}
+
+TEST(WriteDrain, CountsBatches)
+{
+    WriteDrain wd(54, 32);
+    for (int i = 0; i < 3; ++i) {
+        wd.update(60);
+        EXPECT_TRUE(wd.active());
+        wd.update(10);
+        EXPECT_FALSE(wd.active());
+    }
+    EXPECT_EQ(wd.batches(), 3u);
+}
+
+TEST(WriteDrain, NoReentryAboveLowWhileDraining)
+{
+    WriteDrain wd(54, 32);
+    wd.update(54);
+    EXPECT_EQ(wd.batches(), 1u);
+    // Occupancy wobbles above high again mid-drain: same batch.
+    wd.update(56);
+    wd.update(54);
+    EXPECT_EQ(wd.batches(), 1u);
+    wd.update(30);
+    wd.update(54);
+    EXPECT_EQ(wd.batches(), 2u);
+}
