@@ -28,6 +28,21 @@ densities()
     return {Density::k8Gb, Density::k16Gb, Density::k32Gb};
 }
 
+/**
+ * A sweep point selecting its mechanism by refresh-policy registry
+ * name ("DSARP", "FGR2x", ...) -- the same names dsarp_sim --mech and
+ * Simulation::builder().policy() accept. Prefer this over the mech*()
+ * helpers when a bench iterates over mechanisms.
+ */
+inline RunConfig
+mechNamed(const std::string &policy, Density d)
+{
+    RunConfig cfg;
+    cfg.density = d;
+    cfg.policy = policy;
+    return cfg;
+}
+
 /** Print a figure/table banner. */
 inline void
 banner(const char *id, const char *what)

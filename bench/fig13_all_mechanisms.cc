@@ -27,12 +27,13 @@ main()
     std::printf("%-10s %7s %8s %7s %7s %7s %7s %7s\n", "density", "REFpb",
                 "Elastic", "DARP", "SARPab", "SARPpb", "DSARP", "NoREF");
     for (Density d : densities()) {
-        const auto refab = wsOf(sweep(runner, mechRefAb(d), workloads));
+        const auto refab =
+            wsOf(sweep(runner, mechNamed("REFab", d), workloads));
         std::printf("%-10s", densityName(d));
-        for (const RunConfig &cfg :
-             {mechRefPb(d), mechElastic(d), mechDarp(d), mechSarpAb(d),
-              mechSarpPb(d), mechDsarp(d), mechNoRef(d)}) {
-            const auto ws = wsOf(sweep(runner, cfg, workloads));
+        for (const char *mech : {"REFpb", "Elastic", "DARP", "SARPab",
+                                 "SARPpb", "DSARP", "NoREF"}) {
+            const auto ws =
+                wsOf(sweep(runner, mechNamed(mech, d), workloads));
             std::printf(" %6.1f%%", gmeanPctOver(ws, refab));
         }
         std::printf("\n");

@@ -1,45 +1,38 @@
 /**
  * @file
- * Quickstart: build an 8-core DDR3-1333 system, run one workload under
- * three refresh mechanisms, and print the headline comparison.
+ * Quickstart: the smallest end-to-end use of the library's public API.
  *
- * This is the smallest end-to-end use of the library's public API:
- * configure -> construct System -> run -> read stats.
+ * One Simulation per refresh mechanism: pick the mechanism by registry
+ * name, build, run, read the metrics. Everything else -- workload
+ * construction, warmup, measurement, the alone-run baseline, the
+ * energy model -- is inside the facade.
  */
 
 #include <cstdio>
-#include <vector>
 
-#include "sim/metrics.hh"
-#include "sim/runner.hh"
-#include "workload/workload.hh"
+#include "sim/simulation.hh"
 
 using namespace dsarp;
 
 int
 main()
 {
-    Runner runner;
-
-    // A 50%-intensive workload mix, as the paper's middle category.
-    const std::vector<Workload> mixes = makeWorkloads(1, 8, /*seed=*/42);
-    const Workload &workload = mixes[2];  // 50% category.
-
-    std::printf("Workload (50%% memory-intensive mix):\n");
-    const auto &table = benchmarkTable();
-    for (int idx : workload.benchIdx)
-        std::printf("  core: %s (MPKI %.1f)\n", table[idx].name.c_str(),
-                    table[idx].profile.mpki);
-
-    std::printf("\n%-8s %10s %12s %14s\n", "mech", "WS", "energy/acc",
+    std::printf("%-8s %10s %12s %14s\n", "mech", "WS", "energy/acc",
                 "reads served");
 
-    const Density d = Density::k32Gb;
-    for (const RunConfig &cfg :
-         {mechRefAb(d), mechRefPb(d), mechDsarp(d), mechNoRef(d)}) {
-        const RunResult res = runner.run(cfg, workload);
-        std::printf("%-8s %10.3f %10.1fnJ %14llu\n",
-                    cfg.mechanismName().c_str(), res.ws,
+    // A 50%-intensive 8-core mix on 32 Gb DRAM, the paper's middle
+    // category. The same builder accepts any registered policy name --
+    // including ones registered by user code.
+    for (const char *mech : {"REFab", "REFpb", "DSARP", "NoREF"}) {
+        RunResult res = Simulation::builder()
+                            .policy(mech)
+                            .densityGb(32)
+                            .cores(8)
+                            .intensityPct(50)
+                            .workloadSeed(42)
+                            .build()
+                            .run();
+        std::printf("%-8s %10.3f %10.1fnJ %14llu\n", mech, res.ws,
                     res.energyPerAccessNj,
                     static_cast<unsigned long long>(res.readsCompleted));
     }

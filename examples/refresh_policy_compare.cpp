@@ -4,15 +4,18 @@
  * multi-tenant host (the paper's motivating case -- 8 cores, high-density
  * DRAM, 32 ms retention) wants to pick a refresh strategy.
  *
- * Compares all eight refresh mechanisms on one fully memory-intensive
- * workload at 32 Gb: weighted/harmonic speedup, worst-tenant slowdown,
- * refresh command counts, and energy per access.
+ * Walks the refresh-policy registry and compares every registered
+ * mechanism on one fully memory-intensive workload at 32 Gb:
+ * weighted/harmonic speedup, worst-tenant slowdown, refresh command
+ * counts, and energy per access. A mechanism added to the library (one
+ * .cc file with a registrar) shows up here automatically.
  */
 
 #include <cstdio>
-#include <vector>
+#include <string>
 
-#include "sim/runner.hh"
+#include "refresh/registry.hh"
+#include "sim/simulation.hh"
 #include "workload/workload.hh"
 
 using namespace dsarp;
@@ -20,8 +23,6 @@ using namespace dsarp;
 int
 main()
 {
-    Runner runner;
-    const Density d = Density::k32Gb;
     const Workload workload = makeIntensiveWorkloads(1, 8, 2024)[0];
 
     std::printf("Tenant mix (all memory-intensive, 32 Gb DRAM):\n");
@@ -31,26 +32,25 @@ main()
     std::printf("\n%-9s %7s %7s %9s %8s %8s %10s\n", "mech", "WS", "HS",
                 "maxSlow", "REFab#", "REFpb#", "energy/acc");
 
-    RunConfig fgr2 = mechRefAb(d);
-    fgr2.refresh = RefreshMode::kFgr2x;
-    RunConfig ar = mechRefAb(d);
-    ar.refresh = RefreshMode::kAdaptive;
-
     double best_ws = 0.0;
     std::string best;
-    for (const RunConfig &cfg :
-         {mechRefAb(d), mechRefPb(d), mechElastic(d), fgr2, ar,
-          mechDarp(d), mechSarpPb(d), mechDsarp(d), mechNoRef(d)}) {
-        const RunResult res = runner.run(cfg, workload);
+    for (const std::string &mech :
+         RefreshPolicyRegistry::instance().names()) {
+        const RunResult res = Simulation::builder()
+                                  .policy(mech)
+                                  .densityGb(32)
+                                  .cores(8)
+                                  .workload(workload)
+                                  .build()
+                                  .run();
         std::printf("%-9s %7.3f %7.3f %8.2fx %8llu %8llu %8.2fnJ\n",
-                    cfg.mechanismName().c_str(), res.ws, res.hs,
-                    res.maxSlowdown,
+                    mech.c_str(), res.ws, res.hs, res.maxSlowdown,
                     static_cast<unsigned long long>(res.refAb),
                     static_cast<unsigned long long>(res.refPb),
                     res.energyPerAccessNj);
-        if (cfg.refresh != RefreshMode::kNoRefresh && res.ws > best_ws) {
+        if (mech != "NoREF" && res.ws > best_ws) {
             best_ws = res.ws;
-            best = cfg.mechanismName();
+            best = mech;
         }
     }
 

@@ -13,15 +13,34 @@
 #include <cstdio>
 #include <vector>
 
-#include "sim/runner.hh"
+#include "sim/simulation.hh"
 #include "workload/workload.hh"
 
 using namespace dsarp;
 
+namespace {
+
+/** Weighted speedup of one (mechanism, density, subarrays) point. */
+double
+wsOf(const char *mech, int density_gb, int subarrays,
+     const Workload &workload)
+{
+    return Simulation::builder()
+        .policy(mech)
+        .densityGb(density_gb)
+        .subarraysPerBank(subarrays)
+        .cores(8)
+        .workload(workload)
+        .build()
+        .run()
+        .ws;
+}
+
+} // namespace
+
 int
 main()
 {
-    Runner runner;
     const Workload workload = makeIntensiveWorkloads(1, 8, 77)[0];
     const std::vector<int> counts = {1, 2, 4, 8, 16, 32, 64};
 
@@ -31,15 +50,11 @@ main()
         std::printf(" %6d", s);
     std::printf("   knee\n");
 
-    for (Density d : {Density::k8Gb, Density::k16Gb, Density::k32Gb}) {
+    for (int gb : {8, 16, 32}) {
         std::vector<double> gains;
         for (int s : counts) {
-            RunConfig base = mechRefPb(d);
-            base.subarraysPerBank = s;
-            RunConfig sarp = mechSarpPb(d);
-            sarp.subarraysPerBank = s;
-            const double ws_base = runner.run(base, workload).ws;
-            const double ws_sarp = runner.run(sarp, workload).ws;
+            const double ws_base = wsOf("REFpb", gb, s, workload);
+            const double ws_sarp = wsOf("SARPpb", gb, s, workload);
             gains.push_back((ws_sarp / ws_base - 1.0) * 100.0);
         }
         int knee = counts.back();
@@ -49,7 +64,9 @@ main()
                 break;
             }
         }
-        std::printf("%-10s", densityName(d));
+        char label[16];
+        std::snprintf(label, sizeof(label), "%dGb", gb);
+        std::printf("%-10s", label);
         for (double g : gains)
             std::printf(" %5.1f%%", g);
         std::printf("   %d\n", knee);

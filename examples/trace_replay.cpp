@@ -6,15 +6,17 @@
  * Demonstrates the extension points of the public API: a user-defined
  * TraceSource (here, a tiled matrix-sweep access pattern), filtered
  * through the 512 KB LLC slice model so only real misses -- and real
- * dirty evictions -- reach DRAM, then run under REFab and DSARP.
+ * dirty evictions -- reach DRAM, then run under REFab and DSARP via
+ * the Simulation facade's .traces() entry point.
  */
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/cache.hh"
-#include "sim/system.hh"
+#include "sim/simulation.hh"
 
 using namespace dsarp;
 
@@ -64,21 +66,15 @@ class TiledSweepTrace : public TraceSource
 int
 main()
 {
-    SystemConfig cfg;
-    cfg.numCores = 4;
-    cfg.mem.density = Density::k32Gb;
-    cfg.finalize();
+    const int cores = 4;
 
-    for (RefreshMode mode : {RefreshMode::kAllBank, RefreshMode::kDarp}) {
-        cfg.mem.refresh = mode;
-        cfg.mem.sarp = (mode == RefreshMode::kDarp);
-
+    for (const char *mech : {"REFab", "DSARP"}) {
         // Per-core raw traces, LLC slices, and cache-filtered adapters.
         std::vector<std::unique_ptr<TiledSweepTrace>> raw;
         std::vector<std::unique_ptr<CacheSlice>> llc;
         std::vector<std::unique_ptr<CacheFilteredTrace>> filtered;
         std::vector<TraceSource *> sources;
-        for (int c = 0; c < cfg.numCores; ++c) {
+        for (int c = 0; c < cores; ++c) {
             raw.push_back(std::make_unique<TiledSweepTrace>(
                 Addr(c) << 28, Addr(1) << 27, 256, 3));
             llc.push_back(
@@ -88,25 +84,27 @@ main()
             sources.push_back(filtered.back().get());
         }
 
-        System sys(cfg, sources);
-        sys.run(50000);
-        sys.resetStats();
-        sys.run(200000);
+        const RunResult res = Simulation::builder()
+                                  .policy(mech)
+                                  .densityGb(32)
+                                  .cores(cores)
+                                  .warmupCycles(50000)
+                                  .measureCycles(200000)
+                                  .traces(sources)
+                                  .build()
+                                  .run();
 
-        std::uint64_t reads = 0, writes = 0;
-        for (int ch = 0; ch < sys.numChannels(); ++ch) {
-            reads += sys.controller(ch).stats().readsCompleted;
-            writes += sys.controller(ch).stats().writesIssued;
-        }
         double ipc = 0.0;
-        for (double v : sys.coreIpc())
+        for (double v : res.ipc)
             ipc += v;
 
         std::printf("%-18s aggregate IPC %6.2f | DRAM reads %8llu | "
                     "writebacks %7llu | LLC0 miss rate %.1f%%\n",
-                    cfg.mem.sarp ? "DSARP (DARP+SARP)" : "REFab baseline",
-                    ipc, static_cast<unsigned long long>(reads),
-                    static_cast<unsigned long long>(writes),
+                    std::string(mech) == "DSARP" ? "DSARP (DARP+SARP)"
+                                                 : "REFab baseline",
+                    ipc,
+                    static_cast<unsigned long long>(res.readsCompleted),
+                    static_cast<unsigned long long>(res.writesIssued),
                     100.0 * llc[0]->misses() /
                         (llc[0]->hits() + llc[0]->misses()));
     }

@@ -1,5 +1,7 @@
 #include "common/config.hh"
 
+#include <sstream>
+
 #include "common/log.hh"
 
 namespace dsarp {
@@ -54,25 +56,110 @@ tRfcAbNsFor(Density d)
     return 350.0;
 }
 
+std::string
+MemConfig::validate() const
+{
+    std::ostringstream bad;
+    const char *sep = "";
+    auto fail = [&](const std::string &msg) {
+        bad << sep << msg;
+        sep = "; ";
+    };
+    auto atLeastOne = [&](const char *key, int v) {
+        if (v < 1) {
+            fail(std::string("config key '") + key + "' must be >= 1 "
+                 "(got " + std::to_string(v) + ")");
+        }
+    };
+
+    atLeastOne("channels", org.channels);
+    atLeastOne("ranksPerChannel", org.ranksPerChannel);
+    atLeastOne("banksPerRank", org.banksPerRank);
+    atLeastOne("subarraysPerBank", org.subarraysPerBank);
+
+    // SARP's subarray grouping and the address map both require a
+    // power-of-two subarray count that tiles the bank's rows evenly.
+    if (org.subarraysPerBank >= 1 &&
+        (org.subarraysPerBank & (org.subarraysPerBank - 1)) != 0) {
+        fail("config key 'subarraysPerBank' must be a power of two "
+             "(got " + std::to_string(org.subarraysPerBank) + ")");
+    } else if (org.subarraysPerBank >= 1 &&
+               org.rowsPerBank % org.subarraysPerBank != 0) {
+        fail("config key 'subarraysPerBank' (" +
+             std::to_string(org.subarraysPerBank) + ") must divide "
+             "rowsPerBank (" + std::to_string(org.rowsPerBank) + ")");
+    }
+    if (org.lineBytes < 1 || org.rowBytes < 1 ||
+        org.rowBytes % org.lineBytes != 0) {
+        fail("config key 'lineBytes' (" +
+             std::to_string(org.lineBytes) + ") must divide rowBytes (" +
+             std::to_string(org.rowBytes) + ")");
+    }
+
+    atLeastOne("readQueueSize", readQueueSize);
+    atLeastOne("writeQueueSize", writeQueueSize);
+    if (writeLowWatermark >= writeHighWatermark) {
+        fail("config key 'writeLowWatermark' (" +
+             std::to_string(writeLowWatermark) + "): low watermark must "
+             "be below writeHighWatermark (" +
+             std::to_string(writeHighWatermark) + ")");
+    }
+    if (writeHighWatermark > writeQueueSize) {
+        fail("config key 'writeHighWatermark' (" +
+             std::to_string(writeHighWatermark) + "): high watermark "
+             "exceeds writeQueueSize (" + std::to_string(writeQueueSize) +
+             ")");
+    }
+    if (writeLowWatermark < 0) {
+        fail("config key 'writeLowWatermark' must be >= 0 (got " +
+             std::to_string(writeLowWatermark) + ")");
+    }
+
+    if (retentionMs != 32 && retentionMs != 64) {
+        fail("config key 'retentionMs' must be 32 or 64 (got " +
+             std::to_string(retentionMs) + "); retention is modeled "
+             "only at the paper's two settings");
+    }
+    atLeastOne("refabStaggerDivisor", refabStaggerDivisor);
+    atLeastOne("maxOverlappedRefPb", maxOverlappedRefPb);
+    if (tFawOverride < 0 || tRrdOverride < 0) {
+        fail("config keys 'tFawOverride'/'tRrdOverride' must be >= 0 "
+             "(got " + std::to_string(tFawOverride) + "/" +
+             std::to_string(tRrdOverride) + ")");
+    }
+    if (sarpInflationAb < 1.0 || sarpInflationPb < 1.0) {
+        fail("config keys 'sarpInflationAb'/'sarpInflationPb' must be "
+             ">= 1.0: SARP inflates tFAW/tRRD during refresh, never "
+             "shrinks them");
+    }
+    return bad.str();
+}
+
 void
 MemConfig::finalize()
 {
     org.rowsPerBank = rowsPerBankFor(density);
 
-    if (org.channels < 1 || org.ranksPerChannel < 1 || org.banksPerRank < 1)
-        DSARP_FATAL("memory geometry must have >= 1 of each level");
-    if (org.subarraysPerBank < 1 ||
-        org.rowsPerBank % org.subarraysPerBank != 0) {
-        DSARP_FATAL("subarraysPerBank must divide rowsPerBank");
+    const std::string errors = validate();
+    if (!errors.empty())
+        DSARP_FATALF("invalid MemConfig: %s", errors.c_str());
+}
+
+void
+SystemConfig::finalize()
+{
+    if (numCores < 1)
+        DSARP_FATALF("config key 'numCores' must be >= 1 (got %d)",
+                     numCores);
+    if (core.cpuCyclesPerTick < 1 || core.windowSize < 1 ||
+        core.retireWidth < 1 || core.mshrs < 1) {
+        DSARP_FATALF("config keys 'core.cpuCyclesPerTick'/'core."
+                     "windowSize'/'core.retireWidth'/'core.mshrs' must "
+                     "all be >= 1 (got %d/%d/%d/%d)",
+                     core.cpuCyclesPerTick, core.windowSize,
+                     core.retireWidth, core.mshrs);
     }
-    if (org.rowBytes % org.lineBytes != 0)
-        DSARP_FATAL("lineBytes must divide rowBytes");
-    if (writeLowWatermark >= writeHighWatermark)
-        DSARP_FATAL("write low watermark must be below high watermark");
-    if (writeHighWatermark > writeQueueSize)
-        DSARP_FATAL("write high watermark exceeds write queue size");
-    if (retentionMs != 32 && retentionMs != 64)
-        DSARP_FATAL("retention must be 32 or 64 ms");
+    mem.finalize();
 }
 
 } // namespace dsarp

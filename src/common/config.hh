@@ -19,7 +19,15 @@
 
 namespace dsarp {
 
-/** Refresh mechanisms evaluated in the paper (Sections 6.1 and 6.5). */
+/**
+ * Refresh timing profiles evaluated in the paper (Sections 6.1, 6.5).
+ *
+ * @deprecated as a *selection* mechanism: pick policies by name through
+ * MemConfig::policy and the RefreshPolicyRegistry instead. The enum
+ * survives as the compact timing-profile descriptor that TimingParams
+ * and the checker consume; registry entries set it from their config
+ * bundles, and hand-written configs may still assign it directly.
+ */
 enum class RefreshMode {
     kNoRefresh,  ///< Ideal baseline: refresh eliminated.
     kAllBank,    ///< REFab: rank-level refresh (DDR/LPDDR baseline).
@@ -70,7 +78,18 @@ struct MemConfig
     Density density = Density::k8Gb;
     int retentionMs = 32;   ///< 32 ms (server/LPDDR) or 64 ms.
 
-    RefreshMode refresh = RefreshMode::kAllBank;
+    /**
+     * Refresh mechanism by registry name ("REFab", "DSARP", "FGR2x",
+     * ...; case-insensitive, aliases accepted -- see
+     * refresh/registry.hh). This is the canonical selection field: when
+     * non-empty, RefreshPolicyRegistry::resolve() applies the named
+     * mechanism's config bundle (overwriting `refresh` and `sarp`)
+     * before the system is built. When empty, the deprecated
+     * (`refresh`, `sarp`) pair below selects the mechanism unchanged.
+     */
+    std::string policy;
+
+    RefreshMode refresh = RefreshMode::kAllBank;  ///< Timing profile.
     bool sarp = false;      ///< Subarray access refresh parallelization.
 
     /**
@@ -116,7 +135,15 @@ struct MemConfig
     double sarpInflationAb = 2.1;
     double sarpInflationPb = 1.138;
 
-    /** Apply density defaults (rowsPerBank) and validate. */
+    /**
+     * Check every field for consistency. Returns "" when the config is
+     * valid, otherwise a ';'-separated list of errors, each naming the
+     * offending config key and its value.
+     */
+    std::string validate() const;
+
+    /** Apply density defaults (rowsPerBank), then validate(); a fatal
+     *  named-key error on inconsistent configs. */
     void finalize();
 };
 
@@ -138,7 +165,9 @@ struct SystemConfig
     std::uint64_t seed = 1;
     bool enableChecker = false;  ///< Attach the timing-invariant checker.
 
-    void finalize() { mem.finalize(); }
+    /** Validate core/system keys, then the memory config; a fatal
+     *  named-key error on inconsistent values. */
+    void finalize();
 };
 
 } // namespace dsarp

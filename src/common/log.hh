@@ -11,6 +11,7 @@
 #ifndef DSARP_COMMON_LOG_HH
 #define DSARP_COMMON_LOG_HH
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -32,6 +33,24 @@ fatalImpl(const char *file, int line, const char *msg)
     std::exit(1);
 }
 
+/** printf-style fatal(), for messages that must name the bad value. */
+[[noreturn]] inline void
+fatalfImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] inline void
+fatalfImpl(const char *file, int line, const char *fmt, ...)
+{
+    // Large enough for multi-error validation reports (which join every
+    // bad key into one message); anything longer is truncated.
+    char buf[4096];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    fatalImpl(file, line, buf);
+}
+
 /** Report a suspicious but non-fatal condition. */
 inline void
 warnImpl(const char *file, int line, const char *msg)
@@ -43,6 +62,7 @@ warnImpl(const char *file, int line, const char *msg)
 
 #define DSARP_PANIC(msg) ::dsarp::panicImpl(__FILE__, __LINE__, (msg))
 #define DSARP_FATAL(msg) ::dsarp::fatalImpl(__FILE__, __LINE__, (msg))
+#define DSARP_FATALF(...) ::dsarp::fatalfImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define DSARP_WARN(msg) ::dsarp::warnImpl(__FILE__, __LINE__, (msg))
 
 /** Cheap always-on invariant check used on hot simulator paths. */

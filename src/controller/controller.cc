@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "refresh/registry.hh"
 
 namespace dsarp {
 
@@ -17,7 +18,8 @@ ChannelController::ChannelController(ChannelId id, const MemConfig *cfg,
               cfg->org.banksPerRank),
       writeDrain_(cfg->writeHighWatermark, cfg->writeLowWatermark)
 {
-    refreshSched_ = makeRefreshScheduler(*cfg, *timing, *this);
+    refreshSched_ =
+        RefreshPolicyRegistry::instance().make(*cfg, *timing, *this);
     blockedActBank_.assign(
         cfg->org.ranksPerChannel * cfg->org.banksPerRank, 0);
     blockedActRank_.assign(cfg->org.ranksPerChannel, 0);

@@ -1,6 +1,28 @@
 #include "refresh/all_bank.hh"
 
+#include "refresh/registry.hh"
+
 namespace dsarp {
+
+DSARP_REGISTER_REFRESH_POLICY(refab, {
+    "REFab", "rank-level all-bank refresh (DDR baseline)",
+    [](MemConfig &m) {
+        m.refresh = RefreshMode::kAllBank;
+        m.sarp = false;
+    },
+    [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+        return std::make_unique<AllBankScheduler>(&c, &t, &v);
+    }}, {"all_bank"})
+
+DSARP_REGISTER_REFRESH_POLICY(sarpab, {
+    "SARPab", "all-bank refresh + subarray access-refresh parallelization",
+    [](MemConfig &m) {
+        m.refresh = RefreshMode::kAllBank;
+        m.sarp = true;
+    },
+    [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+        return std::make_unique<AllBankScheduler>(&c, &t, &v);
+    }}, {"sarp_ab"})
 
 AllBankScheduler::AllBankScheduler(const MemConfig *cfg,
                                    const TimingParams *timing,

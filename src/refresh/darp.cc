@@ -1,6 +1,29 @@
 #include "refresh/darp.hh"
 
+#include "refresh/registry.hh"
+
 namespace dsarp {
+
+DSARP_REGISTER_REFRESH_POLICY(darp, {
+    "DARP", "out-of-order per-bank refresh + write-refresh "
+            "parallelization (paper Section 4.2)",
+    [](MemConfig &m) {
+        m.refresh = RefreshMode::kDarp;
+        m.sarp = false;
+    },
+    [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+        return std::make_unique<DarpScheduler>(&c, &t, &v);
+    }})
+
+DSARP_REGISTER_REFRESH_POLICY(dsarp, {
+    "DSARP", "DARP + SARP combined (the paper's headline mechanism)",
+    [](MemConfig &m) {
+        m.refresh = RefreshMode::kDarp;
+        m.sarp = true;
+    },
+    [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+        return std::make_unique<DarpScheduler>(&c, &t, &v);
+    }})
 
 DarpScheduler::DarpScheduler(const MemConfig *cfg,
                              const TimingParams *timing,

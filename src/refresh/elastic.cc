@@ -1,6 +1,19 @@
 #include "refresh/elastic.hh"
 
+#include "refresh/registry.hh"
+
 namespace dsarp {
+
+DSARP_REGISTER_REFRESH_POLICY(elastic, {
+    "Elastic", "elastic refresh [Stuecheli+, MICRO'10]: postpone while "
+               "the rank is busy",
+    [](MemConfig &m) {
+        m.refresh = RefreshMode::kElastic;
+        m.sarp = false;
+    },
+    [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+        return std::make_unique<ElasticScheduler>(&c, &t, &v);
+    }})
 
 ElasticScheduler::ElasticScheduler(const MemConfig *cfg,
                                    const TimingParams *timing,

@@ -1,10 +1,13 @@
-#include "common/log.hh"
-#include "refresh/all_bank.hh"
-#include "refresh/darp.hh"
-#include "refresh/elastic.hh"
-#include "refresh/fgr.hh"
-#include "refresh/no_refresh.hh"
-#include "refresh/per_bank.hh"
+/**
+ * @file
+ * Deprecated construction shim.
+ *
+ * Policy construction is owned by RefreshPolicyRegistry (registry.hh);
+ * each policy registers itself from its own translation unit. This
+ * wrapper only survives so pre-registry callers keep compiling.
+ */
+
+#include "refresh/registry.hh"
 #include "refresh/scheduler.hh"
 
 namespace dsarp {
@@ -13,26 +16,7 @@ std::unique_ptr<RefreshScheduler>
 makeRefreshScheduler(const MemConfig &cfg, const TimingParams &timing,
                      ControllerView &view)
 {
-    switch (cfg.refresh) {
-      case RefreshMode::kNoRefresh:
-        return std::make_unique<NoRefreshScheduler>(&cfg, &timing, &view);
-      case RefreshMode::kAllBank:
-        return std::make_unique<AllBankScheduler>(&cfg, &timing, &view);
-      case RefreshMode::kPerBank:
-        return std::make_unique<PerBankScheduler>(&cfg, &timing, &view);
-      case RefreshMode::kElastic:
-        return std::make_unique<ElasticScheduler>(&cfg, &timing, &view);
-      case RefreshMode::kDarp:
-        return std::make_unique<DarpScheduler>(&cfg, &timing, &view);
-      case RefreshMode::kFgr2x:
-      case RefreshMode::kFgr4x:
-        // Timing parameters are already rate-scaled; the schedule itself
-        // is the plain on-time all-bank policy.
-        return std::make_unique<AllBankScheduler>(&cfg, &timing, &view);
-      case RefreshMode::kAdaptive:
-        return std::make_unique<AdaptiveScheduler>(&cfg, &timing, &view);
-    }
-    DSARP_PANIC("unknown refresh mode");
+    return RefreshPolicyRegistry::instance().make(cfg, timing, view);
 }
 
 } // namespace dsarp

@@ -3,7 +3,44 @@
 #include <algorithm>
 #include <cmath>
 
+#include "refresh/all_bank.hh"
+#include "refresh/registry.hh"
+
 namespace dsarp {
+
+// Static FGR is the on-time all-bank schedule run on rate-scaled timing
+// (TimingParams::ddr3_1333 applies the 2x/4x divisors when the config
+// bundle sets the kFgr* profile); only AR needs its own scheduler.
+
+DSARP_REGISTER_REFRESH_POLICY(fgr2x, {
+    "FGR2x", "DDR4 fine granularity refresh at 2x rate",
+    [](MemConfig &m) {
+        m.refresh = RefreshMode::kFgr2x;
+        m.sarp = false;
+    },
+    [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+        return std::make_unique<AllBankScheduler>(&c, &t, &v);
+    }})
+
+DSARP_REGISTER_REFRESH_POLICY(fgr4x, {
+    "FGR4x", "DDR4 fine granularity refresh at 4x rate",
+    [](MemConfig &m) {
+        m.refresh = RefreshMode::kFgr4x;
+        m.sarp = false;
+    },
+    [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+        return std::make_unique<AllBankScheduler>(&c, &t, &v);
+    }})
+
+DSARP_REGISTER_REFRESH_POLICY(adaptive, {
+    "AR", "adaptive refresh [Mukundan+, ISCA'13]: dynamic 1x/4x FGR mix",
+    [](MemConfig &m) {
+        m.refresh = RefreshMode::kAdaptive;
+        m.sarp = false;
+    },
+    [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+        return std::make_unique<AdaptiveScheduler>(&c, &t, &v);
+    }}, {"adaptive"})
 
 AdaptiveScheduler::AdaptiveScheduler(const MemConfig *cfg,
                                      const TimingParams *timing,

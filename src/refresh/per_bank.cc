@@ -1,6 +1,28 @@
 #include "refresh/per_bank.hh"
 
+#include "refresh/registry.hh"
+
 namespace dsarp {
+
+DSARP_REGISTER_REFRESH_POLICY(refpb, {
+    "REFpb", "sequential round-robin per-bank refresh (LPDDR baseline)",
+    [](MemConfig &m) {
+        m.refresh = RefreshMode::kPerBank;
+        m.sarp = false;
+    },
+    [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+        return std::make_unique<PerBankScheduler>(&c, &t, &v);
+    }}, {"per_bank"})
+
+DSARP_REGISTER_REFRESH_POLICY(sarppb, {
+    "SARPpb", "per-bank refresh + subarray access-refresh parallelization",
+    [](MemConfig &m) {
+        m.refresh = RefreshMode::kPerBank;
+        m.sarp = true;
+    },
+    [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+        return std::make_unique<PerBankScheduler>(&c, &t, &v);
+    }}, {"sarp_pb"})
 
 PerBankScheduler::PerBankScheduler(const MemConfig *cfg,
                                    const TimingParams *timing,

@@ -1,0 +1,138 @@
+#include "refresh/registry.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/strings.hh"
+
+namespace dsarp {
+
+RefreshPolicyRegistry &
+RefreshPolicyRegistry::instance()
+{
+    static RefreshPolicyRegistry registry;
+    return registry;
+}
+
+bool
+RefreshPolicyRegistry::add(Entry entry, std::vector<std::string> aliases)
+{
+    DSARP_ASSERT(!entry.name.empty(), "refresh policy needs a name");
+    DSARP_ASSERT(static_cast<bool>(entry.make),
+                 "refresh policy needs a factory");
+
+    aliases.push_back(entry.name);
+    const std::size_t slot = entries_.size();
+    entries_.push_back(std::move(entry));
+    for (const std::string &alias : aliases) {
+        const auto [it, inserted] = index_.emplace(lowered(alias), slot);
+        (void)it;
+        if (!inserted) {
+            std::fprintf(stderr, "refresh policy name '%s' registered "
+                                 "twice\n", alias.c_str());
+            std::abort();
+        }
+    }
+    return true;
+}
+
+bool
+RefreshPolicyRegistry::has(const std::string &name) const
+{
+    return index_.count(lowered(name)) > 0;
+}
+
+const RefreshPolicyRegistry::Entry *
+RefreshPolicyRegistry::find(const std::string &name) const
+{
+    const auto it = index_.find(lowered(name));
+    return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+const RefreshPolicyRegistry::Entry &
+RefreshPolicyRegistry::at(const std::string &name) const
+{
+    if (const Entry *entry = find(name))
+        return *entry;
+    DSARP_FATAL(unknownPolicyMessage(name).c_str());
+}
+
+std::string
+RefreshPolicyRegistry::unknownPolicyMessage(const std::string &name) const
+{
+    std::ostringstream msg;
+    msg << "config key 'policy': unknown refresh policy '" << name
+        << "'; known:";
+    for (const std::string &known : names())
+        msg << ' ' << known;
+    return msg.str();
+}
+
+std::vector<std::string>
+RefreshPolicyRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &entry : entries_)
+        out.push_back(entry.name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+const RefreshPolicyRegistry::Entry &
+RefreshPolicyRegistry::resolve(MemConfig &cfg) const
+{
+    if (cfg.policy.empty()) {
+        // Deprecated enum-pair path: never touch the config -- unnamed
+        // combinations (e.g. Elastic+SARP) are legal there and must
+        // keep their hand-assembled semantics. Canonicalise the name
+        // only when its bundle reproduces this exact config, so
+        // re-resolving the result (e.g. a config copied out of a built
+        // System) can never reinterpret it.
+        const Entry &entry = at(legacyPolicyName(cfg.refresh, cfg.sarp));
+        if (entry.configure) {
+            MemConfig probe = cfg;
+            entry.configure(probe);
+            if (probe.refresh == cfg.refresh && probe.sarp == cfg.sarp)
+                cfg.policy = entry.name;
+        } else {
+            cfg.policy = entry.name;
+        }
+        return entry;
+    }
+    const Entry &entry = at(cfg.policy);
+    cfg.policy = entry.name;
+    if (entry.configure)
+        entry.configure(cfg);
+    return entry;
+}
+
+std::unique_ptr<RefreshScheduler>
+RefreshPolicyRegistry::make(const MemConfig &cfg, const TimingParams &timing,
+                            ControllerView &view) const
+{
+    const std::string key = cfg.policy.empty()
+        ? legacyPolicyName(cfg.refresh, cfg.sarp)
+        : cfg.policy;
+    return at(key).make(cfg, timing, view);
+}
+
+std::string
+legacyPolicyName(RefreshMode mode, bool sarp)
+{
+    if (sarp) {
+        // The three named SARP combinations of the paper; any other
+        // SARP pairing has no canonical mechanism name and is reported
+        // under its base schedule.
+        if (mode == RefreshMode::kAllBank)
+            return "SARPab";
+        if (mode == RefreshMode::kPerBank)
+            return "SARPpb";
+        if (mode == RefreshMode::kDarp)
+            return "DSARP";
+    }
+    return refreshModeName(mode);
+}
+
+} // namespace dsarp

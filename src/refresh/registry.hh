@@ -1,0 +1,136 @@
+/**
+ * @file
+ * String-keyed, self-registering registry of refresh mechanisms.
+ *
+ * Every mechanism the simulator knows -- the paper's eleven (NoREF,
+ * REFab, REFpb, Elastic, DARP, SARPab, SARPpb, DSARP, FGR2x, FGR4x,
+ * AR) and any user-defined policy -- is one registry entry carrying:
+ *
+ *   - the canonical name (plus aliases; lookups are case-insensitive),
+ *   - a config bundle applied before the system is built (the refresh
+ *     timing profile and the SARP flag, e.g. "DSARP" = DARP + SARP),
+ *   - a factory building the per-channel scheduler.
+ *
+ * Policies register themselves from static initializers in their own
+ * translation units (see the DSARP_REGISTER_REFRESH_POLICY macro), so
+ * adding a mechanism is one new .cc file -- no enum, no switch, no
+ * name table to edit. The core is linked as a CMake OBJECT library so
+ * the registrars are never dead-stripped.
+ *
+ * Selection: set MemConfig::policy to a registered name. When the
+ * field is empty, the deprecated (RefreshMode, sarp) pair is mapped to
+ * its canonical name instead, which keeps pre-registry code working.
+ */
+
+#ifndef DSARP_REFRESH_REGISTRY_HH
+#define DSARP_REFRESH_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "refresh/scheduler.hh"
+
+namespace dsarp {
+
+class RefreshPolicyRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<RefreshScheduler>(
+        const MemConfig &, const TimingParams &, ControllerView &)>;
+
+    struct Entry
+    {
+        std::string name;     ///< Canonical spelling, e.g. "DSARP".
+        std::string summary;  ///< One-liner for --list-mechs and docs.
+
+        /**
+         * Apply the mechanism's config bundle: the legacy timing-profile
+         * enum (which TimingParams and the checker still consume) and
+         * flags such as MemConfig::sarp. Run by resolve() when the
+         * mechanism was selected by name.
+         */
+        std::function<void(MemConfig &)> configure;
+
+        /** Build the scheduler for one channel. */
+        Factory make;
+    };
+
+    /** The process-wide registry (initialized on first use). */
+    static RefreshPolicyRegistry &instance();
+
+    /**
+     * Register @p entry under its canonical name and every alias.
+     * Returns true so static registrars can capture the result; a
+     * duplicate name is a fatal error at startup.
+     */
+    bool add(Entry entry, std::vector<std::string> aliases = {});
+
+    bool has(const std::string &name) const;
+
+    /** Case-insensitive lookup; nullptr when unknown. */
+    const Entry *find(const std::string &name) const;
+
+    /** find(), but a fatal named-key error listing known mechanisms. */
+    const Entry &at(const std::string &name) const;
+
+    /** The named-key error text at() dies with (for callers that
+     *  collect errors instead of exiting). */
+    std::string unknownPolicyMessage(const std::string &name) const;
+
+    /** Canonical names, sorted; aliases are not repeated. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Resolve @p cfg to its registry entry and canonicalise it:
+     * cfg.policy is rewritten to the canonical spelling and the entry's
+     * config bundle is applied. An empty cfg.policy is first derived
+     * from the deprecated (refresh, sarp) pair, in which case the
+     * bundle is *not* applied so hand-built legacy configs (including
+     * unnamed combinations such as Elastic+SARP) keep their exact
+     * semantics.
+     */
+    const Entry &resolve(MemConfig &cfg) const;
+
+    /**
+     * Build the scheduler selected by @p cfg (by name, or by the
+     * deprecated enum pair when cfg.policy is empty).
+     */
+    std::unique_ptr<RefreshScheduler> make(const MemConfig &cfg,
+                                           const TimingParams &timing,
+                                           ControllerView &view) const;
+
+  private:
+    std::map<std::string, std::size_t> index_;  ///< lowercase name → slot.
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Canonical mechanism name for a deprecated (RefreshMode, sarp) pair:
+ * the bridge that keeps enum-configured code addressable by the
+ * registry ("DARP"+sarp → "DSARP", etc.).
+ */
+std::string legacyPolicyName(RefreshMode mode, bool sarp);
+
+/**
+ * Define a static registrar. Use at namespace scope in the policy's
+ * translation unit:
+ *
+ *   DSARP_REGISTER_REFRESH_POLICY(darp, {
+ *       "DARP", "out-of-order per-bank refresh",
+ *       [](MemConfig &m) { m.refresh = RefreshMode::kDarp; },
+ *       [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+ *           return std::make_unique<DarpScheduler>(&c, &t, &v);
+ *       }})
+ */
+#define DSARP_REGISTER_REFRESH_POLICY(ident, ...) \
+    namespace { \
+    const bool dsarpRefreshRegistrar_##ident [[maybe_unused]] = \
+        ::dsarp::RefreshPolicyRegistry::instance().add(__VA_ARGS__); \
+    }
+
+} // namespace dsarp
+
+#endif // DSARP_REFRESH_REGISTRY_HH

@@ -105,7 +105,14 @@ class RefreshScheduler
     RefreshSchedStats stats_;
 };
 
-/** Build the policy selected by cfg.refresh for one channel. */
+/**
+ * Build the policy selected by cfg for one channel.
+ *
+ * @deprecated Use RefreshPolicyRegistry::instance().make() (or better,
+ * select mechanisms by name via MemConfig::policy / the Simulation
+ * facade); this wrapper only remains so pre-registry callers compile.
+ */
+[[deprecated("use RefreshPolicyRegistry (refresh/registry.hh)")]]
 std::unique_ptr<RefreshScheduler>
 makeRefreshScheduler(const MemConfig &cfg, const TimingParams &timing,
                      ControllerView &view);

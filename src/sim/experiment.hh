@@ -1,0 +1,119 @@
+/**
+ * @file
+ * ExperimentConfig: the single, layered configuration surface for one
+ * simulated experiment.
+ *
+ * It subsumes what used to be spread over three structs (SystemConfig,
+ * the runner's RunConfig, and the CLI tool's private Options): the
+ * refresh mechanism by registry name, DRAM geometry and density, core
+ * count, queue/watermark knobs, run lengths, and the workload mix.
+ *
+ * Every field is settable as a "key=value" string override, so the
+ * same config can be assembled from (in order of increasing
+ * precedence) defaults, a config file, the DSARP_SET environment
+ * variable, and CLI arguments:
+ *
+ *   ExperimentConfig cfg;
+ *   cfg.applyFile("experiment.cfg");   // lines of key=value
+ *   cfg.applyEnv();                    // DSARP_SET="key=value,key=value"
+ *   cfg.set("policy", "DSARP");        // programmatic / CLI
+ *
+ * Errors always name the offending key: unknown keys list the known
+ * ones, bad values say what was expected, and validate() reports every
+ * inconsistent field (not just the first).
+ */
+
+#ifndef DSARP_SIM_EXPERIMENT_HH
+#define DSARP_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace dsarp {
+
+struct ExperimentConfig
+{
+    // --- Refresh mechanism (registry name, case-insensitive) ---------
+    std::string policy = "DSARP";
+
+    // --- Memory system ----------------------------------------------
+    int densityGb = 32;          ///< 8 | 16 | 32.
+    int retentionMs = 32;        ///< 32 | 64.
+    int subarraysPerBank = 8;
+    int channels = 2;
+    int ranksPerChannel = 2;
+    int banksPerRank = 8;
+    int readQueueSize = 64;
+    int writeQueueSize = 64;
+    int writeHighWatermark = -1; ///< -1 = MemConfig default (54).
+    int writeLowWatermark = -1;  ///< -1 = MemConfig default (32).
+    int refabStaggerDivisor = -1;///< -1 = MemConfig default (8).
+    int maxOverlappedRefPb = -1; ///< -1 = MemConfig default (1).
+    int tFawOverride = 0;        ///< Cycles; 0 = datasheet value.
+    int tRrdOverride = 0;        ///< Cycles; 0 = datasheet value.
+    bool darpWriteRefresh = true;
+
+    // --- System ------------------------------------------------------
+    int numCores = 8;
+    std::uint64_t seed = 1;
+    bool enableChecker = false;
+
+    // --- Run lengths (0 = DSARP_BENCH_* env knob, then default) ------
+    std::uint64_t warmupCycles = 0;
+    std::uint64_t measureCycles = 0;
+
+    // --- Workload ----------------------------------------------------
+    std::uint64_t workloadSeed = 1;
+    int intensityPct = 100;      ///< 0 | 25 | 50 | 75 | 100.
+
+    /**
+     * Set one field from its string form. Returns "" on success,
+     * otherwise an error naming the key (unknown key, or bad value and
+     * what was expected).
+     */
+    std::string trySet(const std::string &key, const std::string &value);
+
+    /** trySet(), but a fatal named-key error on failure. */
+    void set(const std::string &key, const std::string &value);
+
+    /** Apply one "key=value" override (fatal named-key error). */
+    void applyOverride(const std::string &assignment);
+
+    /**
+     * Apply a config file: one "key=value" per line, '#' comments and
+     * blank lines ignored. Errors are fatal and name file:line and key.
+     */
+    void applyFile(const std::string &path);
+
+    /**
+     * Apply overrides from the DSARP_SET environment variable, a
+     * comma-separated list of "key=value" pairs. No-op when unset.
+     */
+    void applyEnv();
+
+    /** Every override key, sorted (for help text and error messages). */
+    static std::vector<std::string> knownKeys();
+
+    /**
+     * Cross-field validation. Returns "" when consistent, otherwise a
+     * ';'-separated list of errors, each naming the bad key. Includes
+     * the refresh-policy name check against the registry and the full
+     * MemConfig/SystemConfig validation.
+     */
+    std::string validate() const;
+
+    /** Canonical mechanism name from the registry ("dsarp" → "DSARP");
+     *  a fatal named-key error when the policy is unknown. */
+    std::string mechanismName() const;
+
+    /** Project onto the SystemConfig consumed by System (not yet
+     *  finalized; System resolves + validates on construction). */
+    SystemConfig toSystemConfig() const;
+};
+
+} // namespace dsarp
+
+#endif // DSARP_SIM_EXPERIMENT_HH

@@ -17,7 +17,6 @@
 #define DSARP_SIM_RUNNER_HH
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -28,10 +27,23 @@
 
 namespace dsarp {
 
-/** One evaluated system point (mechanism x density x knobs). */
+/**
+ * One evaluated system point (mechanism x density x knobs).
+ *
+ * Pre-dates ExperimentConfig (sim/experiment.hh), which is the full
+ * layered configuration surface; RunConfig remains as the compact
+ * sweep point the bench harnesses iterate over.
+ */
 struct RunConfig
 {
     Density density = Density::k8Gb;
+
+    /**
+     * Refresh mechanism by registry name; when non-empty it wins over
+     * the (refresh, sarp) pair below (see MemConfig::policy).
+     */
+    std::string policy;
+
     RefreshMode refresh = RefreshMode::kAllBank;
     bool sarp = false;
     int retentionMs = 32;
@@ -78,7 +90,11 @@ struct RunResult
 class Runner
 {
   public:
+    /** Run lengths from the DSARP_BENCH_* environment knobs. */
     Runner();
+
+    /** Explicit run lengths (the Simulation facade's constructor). */
+    Runner(Tick warmup, Tick measure, int perCategory = 3);
 
     Tick warmupTicks() const { return warmup_; }
     Tick measureTicks() const { return measure_; }
@@ -87,11 +103,25 @@ class Runner
     /** Simulate @p workload under @p cfg and compute all metrics. */
     RunResult run(const RunConfig &cfg, const Workload &workload);
 
+    /** Same pipeline on a fully-specified SystemConfig. */
+    RunResult run(const SystemConfig &sys, const Workload &workload);
+
+    /**
+     * Warmup/measure caller-provided trace sources (no benchmark
+     * catalogue, so no alone baseline: ws/hs/maxSlowdown stay 0).
+     */
+    RunResult run(const SystemConfig &sys,
+                  const std::vector<TraceSource *> &traces);
+
     /**
      * Single-core refresh-free IPC for a benchmark under the same
-     * geometry (memoized; used as the alone baseline for WS).
+     * geometry, queues, and core model (used as the alone baseline for
+     * WS). Memoized process-wide -- the cache key covers every config
+     * field the alone run depends on plus the run lengths, so Runner
+     * instances (and Simulations) share baselines safely.
      */
     double aloneIpc(int benchIdx, const RunConfig &cfg);
+    double aloneIpc(int benchIdx, const SystemConfig &sys);
 
     /** Build a SystemConfig from a RunConfig (public for tests). */
     static SystemConfig makeSystemConfig(const RunConfig &cfg);
@@ -100,7 +130,6 @@ class Runner
     Tick warmup_;
     Tick measure_;
     int perCategory_;
-    std::map<std::string, double> aloneCache_;
 };
 
 /** Read a positive integer environment knob with a default. */

@@ -1,0 +1,185 @@
+#include "sim/simulation.hh"
+
+#include "common/log.hh"
+
+namespace dsarp {
+
+Simulation::Builder &
+Simulation::Builder::config(const ExperimentConfig &cfg)
+{
+    cfg_ = cfg;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::policy(const std::string &name)
+{
+    cfg_.policy = name;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::densityGb(int gb)
+{
+    cfg_.densityGb = gb;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::cores(int n)
+{
+    cfg_.numCores = n;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::retentionMs(int ms)
+{
+    cfg_.retentionMs = ms;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::subarraysPerBank(int n)
+{
+    cfg_.subarraysPerBank = n;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::seed(std::uint64_t s)
+{
+    cfg_.seed = s;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::workloadSeed(std::uint64_t s)
+{
+    cfg_.workloadSeed = s;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::intensityPct(int pct)
+{
+    cfg_.intensityPct = pct;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::warmupCycles(std::uint64_t ticks)
+{
+    cfg_.warmupCycles = ticks;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::measureCycles(std::uint64_t ticks)
+{
+    cfg_.measureCycles = ticks;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::set(const std::string &key, const std::string &value)
+{
+    cfg_.set(key, value);
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::apply(const std::string &assignment)
+{
+    cfg_.applyOverride(assignment);
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::configFile(const std::string &path)
+{
+    cfg_.applyFile(path);
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::env()
+{
+    cfg_.applyEnv();
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::workload(const Workload &w)
+{
+    haveWorkload_ = true;
+    workload_ = w;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::traces(const std::vector<TraceSource *> &sources)
+{
+    traces_ = sources;
+    return *this;
+}
+
+Simulation
+Simulation::Builder::build()
+{
+    const std::string errors = cfg_.validate();
+    if (!errors.empty())
+        DSARP_FATALF("invalid experiment: %s", errors.c_str());
+
+    if (!traces_.empty()) {
+        if (haveWorkload_)
+            DSARP_FATAL("Simulation: workload() and traces() are "
+                        "mutually exclusive");
+        if (static_cast<int>(traces_.size()) != cfg_.numCores) {
+            DSARP_FATALF("Simulation: %zu trace sources for config key "
+                         "'numCores'=%d; need exactly one per core",
+                         traces_.size(), cfg_.numCores);
+        }
+        return Simulation(cfg_, Workload{}, traces_);
+    }
+
+    Workload workload = workload_;
+    if (haveWorkload_) {
+        if (static_cast<int>(workload.benchIdx.size()) != cfg_.numCores) {
+            DSARP_FATALF("Simulation: workload has %zu benchmarks for "
+                         "config key 'numCores'=%d",
+                         workload.benchIdx.size(), cfg_.numCores);
+        }
+    } else {
+        // One mix per category; pick the requested intensity.
+        for (const Workload &w :
+             makeWorkloads(1, cfg_.numCores, cfg_.workloadSeed)) {
+            if (w.categoryPct == cfg_.intensityPct)
+                workload = w;
+        }
+    }
+    return Simulation(cfg_, workload, {});
+}
+
+Simulation::Simulation(ExperimentConfig cfg, Workload workload,
+                       std::vector<TraceSource *> traces)
+    : cfg_(std::move(cfg)), workload_(std::move(workload)),
+      traces_(std::move(traces)),
+      runner_(cfg_.warmupCycles > 0
+                  ? cfg_.warmupCycles
+                  : envKnob("DSARP_BENCH_WARMUP", 30000),
+              cfg_.measureCycles > 0
+                  ? cfg_.measureCycles
+                  : envKnob("DSARP_BENCH_CYCLES", 250000))
+{}
+
+RunResult
+Simulation::run()
+{
+    const SystemConfig sys = cfg_.toSystemConfig();
+    if (!traces_.empty())
+        return runner_.run(sys, traces_);
+    return runner_.run(sys, workload_);
+}
+
+} // namespace dsarp

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "refresh/registry.hh"
 
 namespace dsarp {
 
@@ -11,6 +12,10 @@ namespace {
 SystemConfig
 finalized(SystemConfig cfg)
 {
+    // Canonicalise the refresh mechanism first: a named policy's config
+    // bundle may rewrite the timing profile the rest of finalize() and
+    // TimingParams depend on.
+    RefreshPolicyRegistry::instance().resolve(cfg.mem);
     cfg.finalize();
     return cfg;
 }

@@ -3,8 +3,11 @@
  * The full simulated system: cores driving synthetic traces through
  * per-channel memory controllers into the DRAM model.
  *
- * This is the primary public entry point of the library; see
- * examples/quickstart.cc for typical use.
+ * Most callers should not construct a System directly: the Simulation
+ * facade (sim/simulation.hh) wraps construction, warmup, measurement,
+ * metrics, and the energy model behind a fluent builder -- see
+ * examples/quickstart.cpp. System remains public for code that needs
+ * tick-level control or direct controller access.
  */
 
 #ifndef DSARP_SIM_SYSTEM_HH

@@ -65,12 +65,70 @@ TEST(Config, DefaultsMatchTable1)
     EXPECT_EQ(cfg.mem.retentionMs, 32);
 }
 
+TEST(Config, ValidateNamesEveryBadKey)
+{
+    MemConfig cfg;
+    cfg.org.rowsPerBank = rowsPerBankFor(cfg.density);
+    EXPECT_EQ(cfg.validate(), "");
+
+    cfg.writeLowWatermark = 60;
+    cfg.writeHighWatermark = 50;
+    cfg.retentionMs = 48;
+    cfg.maxOverlappedRefPb = 0;
+    const std::string err = cfg.validate();
+    EXPECT_NE(err.find("'writeLowWatermark'"), std::string::npos) << err;
+    EXPECT_NE(err.find("'retentionMs'"), std::string::npos) << err;
+    EXPECT_NE(err.find("'maxOverlappedRefPb'"), std::string::npos) << err;
+}
+
 TEST(ConfigDeath, RejectsBadWatermarks)
 {
     MemConfig cfg;
     cfg.writeLowWatermark = 60;
     cfg.writeHighWatermark = 50;
     EXPECT_EXIT(cfg.finalize(), testing::ExitedWithCode(1), "watermark");
+}
+
+TEST(ConfigDeath, RejectsWatermarkAboveQueueSize)
+{
+    MemConfig cfg;
+    cfg.writeHighWatermark = 80;  // > writeQueueSize (64).
+    EXPECT_EXIT(cfg.finalize(), testing::ExitedWithCode(1),
+                "writeHighWatermark.*writeQueueSize");
+}
+
+TEST(ConfigDeath, RejectsZeroQueues)
+{
+    MemConfig cfg;
+    cfg.readQueueSize = 0;
+    cfg.writeQueueSize = 0;
+    cfg.writeHighWatermark = 0;
+    cfg.writeLowWatermark = -1;
+    EXPECT_EXIT(cfg.finalize(), testing::ExitedWithCode(1),
+                "readQueueSize");
+}
+
+TEST(ConfigDeath, RejectsNonPowerOfTwoSubarrays)
+{
+    MemConfig cfg;
+    cfg.org.subarraysPerBank = 12;  // Divides nothing power-of-two-ly.
+    EXPECT_EXIT(cfg.finalize(), testing::ExitedWithCode(1),
+                "subarraysPerBank.*power of two");
+}
+
+TEST(ConfigDeath, RejectsZeroOverlappedRefPb)
+{
+    MemConfig cfg;
+    cfg.maxOverlappedRefPb = 0;
+    EXPECT_EXIT(cfg.finalize(), testing::ExitedWithCode(1),
+                "maxOverlappedRefPb");
+}
+
+TEST(ConfigDeath, RejectsBadCoreCount)
+{
+    SystemConfig cfg;
+    cfg.numCores = 0;
+    EXPECT_EXIT(cfg.finalize(), testing::ExitedWithCode(1), "numCores");
 }
 
 TEST(ConfigDeath, RejectsBadRetention)

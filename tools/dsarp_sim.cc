@@ -2,14 +2,21 @@
  * @file
  * dsarp_sim: command-line front end for one-off simulations.
  *
+ * A thin shell over the library's layered configuration: every flag is
+ * sugar for a key=value override on ExperimentConfig, applied in
+ * precedence order defaults < --config file < DSARP_SET env < CLI.
+ *
  * Usage:
  *   dsarp_sim [--mech NAME] [--density 8|16|32] [--cores N]
  *             [--retention 32|64] [--subarrays N] [--cycles N]
  *             [--warmup N] [--seed N] [--workload-seed N]
- *             [--intensity 0|25|50|75|100] [--list-benchmarks] [--help]
+ *             [--intensity 0|25|50|75|100] [--config FILE]
+ *             [--set key=value] [--list-mechs] [--list-keys]
+ *             [--list-benchmarks] [--help]
  *
- * Mechanisms: NoREF REFab REFpb Elastic DARP SARPab SARPpb DSARP
- *             FGR2x FGR4x AR
+ * Mechanism names come from the refresh-policy registry (--list-mechs);
+ * adding a policy to the library makes it available here with no CLI
+ * change.
  *
  * Prints the workload composition, per-core IPC against the alone-run
  * baseline, WS/HS/max-slowdown, refresh counters, and the energy
@@ -18,89 +25,61 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
+#include <vector>
 
-#include "sim/runner.hh"
+#include "refresh/registry.hh"
+#include "sim/simulation.hh"
 #include "workload/workload.hh"
 
 using namespace dsarp;
 
 namespace {
 
-struct Options
-{
-    std::string mech = "DSARP";
-    int densityGb = 32;
-    int cores = 8;
-    int retention = 32;
-    int subarrays = 8;
-    std::uint64_t seed = 1;
-    std::uint64_t workloadSeed = 1;
-    int intensity = 100;
-};
-
 void
 usage()
 {
     std::printf(
         "dsarp_sim -- run one workload under one refresh mechanism\n\n"
-        "  --mech NAME        NoREF REFab REFpb Elastic DARP SARPab\n"
-        "                     SARPpb DSARP FGR2x FGR4x AR  [DSARP]\n"
-        "  --density GB       8 | 16 | 32                  [32]\n"
-        "  --cores N          2..8                         [8]\n"
-        "  --retention MS     32 | 64                      [32]\n"
-        "  --subarrays N      subarrays per bank           [8]\n"
+        "  --mech NAME        refresh mechanism (--list-mechs)  [DSARP]\n"
+        "  --density GB       8 | 16 | 32                       [32]\n"
+        "  --cores N          cores / workload slots            [8]\n"
+        "  --retention MS     32 | 64                           [32]\n"
+        "  --subarrays N      subarrays per bank                [8]\n"
         "  --cycles N         measured DRAM cycles  (env DSARP_BENCH_CYCLES)\n"
         "  --warmup N         warmup DRAM cycles    (env DSARP_BENCH_WARMUP)\n"
-        "  --seed N           simulator seed               [1]\n"
-        "  --workload-seed N  workload mix seed            [1]\n"
-        "  --intensity PCT    0|25|50|75|100 intensive mix [100]\n"
-        "  --list-benchmarks  print the benchmark catalogue\n");
+        "  --seed N           simulator seed                    [1]\n"
+        "  --workload-seed N  workload mix seed                 [1]\n"
+        "  --intensity PCT    0|25|50|75|100 intensive mix      [100]\n"
+        "  --config FILE      key=value config file (layered first)\n"
+        "  --set key=value    one config override (repeatable)\n"
+        "  --list-mechs       print the registered refresh mechanisms\n"
+        "  --list-keys        print every config key --set accepts\n"
+        "  --list-benchmarks  print the benchmark catalogue\n"
+        "\nDSARP_SET=\"key=value,...\" in the environment is applied\n"
+        "between --config and the other flags.\n");
 }
 
-RunConfig
-configFor(const Options &opt)
+void
+listMechs()
 {
-    const Density d = opt.densityGb == 8 ? Density::k8Gb
-        : opt.densityGb == 16            ? Density::k16Gb
-                                         : Density::k32Gb;
-    RunConfig cfg;
-    if (opt.mech == "NoREF")
-        cfg = mechNoRef(d);
-    else if (opt.mech == "REFab")
-        cfg = mechRefAb(d);
-    else if (opt.mech == "REFpb")
-        cfg = mechRefPb(d);
-    else if (opt.mech == "Elastic")
-        cfg = mechElastic(d);
-    else if (opt.mech == "DARP")
-        cfg = mechDarp(d);
-    else if (opt.mech == "SARPab")
-        cfg = mechSarpAb(d);
-    else if (opt.mech == "SARPpb")
-        cfg = mechSarpPb(d);
-    else if (opt.mech == "DSARP")
-        cfg = mechDsarp(d);
-    else if (opt.mech == "FGR2x") {
-        cfg = mechRefAb(d);
-        cfg.refresh = RefreshMode::kFgr2x;
-    } else if (opt.mech == "FGR4x") {
-        cfg = mechRefAb(d);
-        cfg.refresh = RefreshMode::kFgr4x;
-    } else if (opt.mech == "AR") {
-        cfg = mechRefAb(d);
-        cfg.refresh = RefreshMode::kAdaptive;
-    } else {
-        std::fprintf(stderr, "unknown mechanism '%s'\n",
-                     opt.mech.c_str());
-        std::exit(1);
+    const auto &registry = RefreshPolicyRegistry::instance();
+    for (const std::string &name : registry.names())
+        std::printf("%-10s %s\n", name.c_str(),
+                    registry.find(name)->summary.c_str());
+}
+
+void
+listBenchmarks()
+{
+    std::printf("%-20s %6s %9s %5s %10s\n", "name", "MPKI", "locality",
+                "wb%", "intensive");
+    for (const Benchmark &b : benchmarkTable()) {
+        std::printf("%-20s %6.1f %9.2f %4.0f%% %10s\n", b.name.c_str(),
+                    b.profile.mpki, b.profile.rowLocality,
+                    b.profile.writebackFraction * 100,
+                    b.isIntensive() ? "yes" : "no");
     }
-    cfg.numCores = opt.cores;
-    cfg.retentionMs = opt.retention;
-    cfg.subarraysPerBank = opt.subarrays;
-    cfg.seed = opt.seed;
-    return cfg;
 }
 
 } // namespace
@@ -108,7 +87,21 @@ configFor(const Options &opt)
 int
 main(int argc, char **argv)
 {
-    Options opt;
+    ExperimentConfig cfg;
+
+    // Two passes keep the layering honest regardless of flag order:
+    // the config file first, then DSARP_SET, then every other flag.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--config") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--config needs a value\n");
+                return 1;
+            }
+            cfg.applyFile(argv[i + 1]);
+        }
+    }
+    cfg.applyEnv();
+
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char * {
@@ -121,37 +114,40 @@ main(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
-        } else if (arg == "--list-benchmarks") {
-            std::printf("%-20s %6s %9s %5s %10s\n", "name", "MPKI",
-                        "locality", "wb%", "intensive");
-            for (const Benchmark &b : benchmarkTable()) {
-                std::printf("%-20s %6.1f %9.2f %4.0f%% %10s\n",
-                            b.name.c_str(), b.profile.mpki,
-                            b.profile.rowLocality,
-                            b.profile.writebackFraction * 100,
-                            b.isIntensive() ? "yes" : "no");
-            }
+        } else if (arg == "--list-mechs") {
+            listMechs();
             return 0;
+        } else if (arg == "--list-keys") {
+            for (const std::string &key : ExperimentConfig::knownKeys())
+                std::printf("%s\n", key.c_str());
+            return 0;
+        } else if (arg == "--list-benchmarks") {
+            listBenchmarks();
+            return 0;
+        } else if (arg == "--config") {
+            value();  // Already applied in the first pass.
+        } else if (arg == "--set") {
+            cfg.applyOverride(value());
         } else if (arg == "--mech") {
-            opt.mech = value();
+            cfg.set("policy", value());
         } else if (arg == "--density") {
-            opt.densityGb = std::atoi(value());
+            cfg.set("densityGb", value());
         } else if (arg == "--cores") {
-            opt.cores = std::atoi(value());
+            cfg.set("numCores", value());
         } else if (arg == "--retention") {
-            opt.retention = std::atoi(value());
+            cfg.set("retentionMs", value());
         } else if (arg == "--subarrays") {
-            opt.subarrays = std::atoi(value());
+            cfg.set("subarraysPerBank", value());
         } else if (arg == "--cycles") {
-            setenv("DSARP_BENCH_CYCLES", value(), 1);
+            cfg.set("measureCycles", value());
         } else if (arg == "--warmup") {
-            setenv("DSARP_BENCH_WARMUP", value(), 1);
+            cfg.set("warmupCycles", value());
         } else if (arg == "--seed") {
-            opt.seed = std::strtoull(value(), nullptr, 10);
+            cfg.set("seed", value());
         } else if (arg == "--workload-seed") {
-            opt.workloadSeed = std::strtoull(value(), nullptr, 10);
+            cfg.set("workloadSeed", value());
         } else if (arg == "--intensity") {
-            opt.intensity = std::atoi(value());
+            cfg.set("intensityPct", value());
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             usage();
@@ -159,35 +155,23 @@ main(int argc, char **argv)
         }
     }
 
-    // Build the requested workload: one category, one mix.
-    const auto mixes = makeWorkloads(1, opt.cores, opt.workloadSeed);
-    const Workload *workload = nullptr;
-    for (const Workload &w : mixes) {
-        if (w.categoryPct == opt.intensity)
-            workload = &w;
-    }
-    if (!workload) {
-        std::fprintf(stderr, "intensity must be 0/25/50/75/100\n");
-        return 1;
-    }
+    Simulation sim = Simulation::builder().config(cfg).build();
 
-    Runner runner;
-    const RunConfig cfg = configFor(opt);
-
-    std::printf("mechanism  : %s\n", cfg.mechanismName().c_str());
+    std::printf("mechanism  : %s\n", sim.mechanismName().c_str());
     std::printf("density    : %dGb, retention %d ms, %d subarrays/bank\n",
-                opt.densityGb, opt.retention, opt.subarrays);
-    std::printf("system     : %d cores, %llu+%llu cycles\n", opt.cores,
-                static_cast<unsigned long long>(runner.warmupTicks()),
-                static_cast<unsigned long long>(runner.measureTicks()));
+                cfg.densityGb, cfg.retentionMs, cfg.subarraysPerBank);
+    std::printf("system     : %d cores, %llu+%llu cycles\n", cfg.numCores,
+                static_cast<unsigned long long>(sim.warmupTicks()),
+                static_cast<unsigned long long>(sim.measureTicks()));
 
-    const RunResult res = runner.run(cfg, *workload);
+    const RunResult res = sim.run();
 
     std::printf("\n%-20s %8s %8s %9s\n", "core/benchmark", "IPC",
                 "alone", "slowdown");
     for (std::size_t c = 0; c < res.ipc.size(); ++c) {
         std::printf("%-20s %8.3f %8.3f %8.2fx\n",
-                    benchmarkTable()[workload->benchIdx[c]].name.c_str(),
+                    benchmarkTable()[sim.workload().benchIdx[c]]
+                        .name.c_str(),
                     res.ipc[c], res.aloneIpc[c],
                     res.aloneIpc[c] / res.ipc[c]);
     }
