@@ -12,10 +12,14 @@
 #define DSARP_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/stats.hh"
+#include "dram/spec.hh"
 #include "sim/runner.hh"
 #include "workload/workload.hh"
 
@@ -29,17 +33,57 @@ densities()
 }
 
 /**
+ * The bench-wide DRAM spec axis: the DSARP_DRAM_SPEC environment knob,
+ * canonicalised through the registry (fatal named-key error on an
+ * unknown name). Empty when unset, which keeps the library default
+ * (DDR3-1333). Every bench that sweeps through sweep()/mechNamed()
+ * honours it, so any figure can be re-run per backend:
+ *
+ *   DSARP_DRAM_SPEC=LPDDR4-3200 ./bench_fig13_all_mechanisms
+ */
+inline std::string
+defaultSpec()
+{
+    const char *env = std::getenv("DSARP_DRAM_SPEC");
+    if (!env || !*env)
+        return "";
+    return DramSpecRegistry::instance().at(env).name;
+}
+
+/**
+ * The spec axis from the command line: "--spec NAME" (canonicalised,
+ * fatal on unknown names) wins over DSARP_DRAM_SPEC, which wins over
+ * the DDR3-1333 default. Benches pass argc/argv straight through.
+ */
+inline std::string
+specFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--spec") == 0) {
+            if (i + 1 >= argc)
+                DSARP_FATAL("--spec needs a value (a registered DRAM "
+                            "spec name)");
+            return DramSpecRegistry::instance().at(argv[i + 1]).name;
+        }
+    }
+    return defaultSpec();
+}
+
+/**
  * A sweep point selecting its mechanism by refresh-policy registry
  * name ("DSARP", "FGR2x", ...) -- the same names dsarp_sim --mech and
- * Simulation::builder().policy() accept. Prefer this over the mech*()
- * helpers when a bench iterates over mechanisms.
+ * Simulation::builder().policy() accept -- and optionally its DRAM
+ * backend by spec-registry name. Prefer this over the mech*() helpers
+ * when a bench iterates over mechanisms.
  */
 inline RunConfig
-mechNamed(const std::string &policy, Density d)
+mechNamed(const std::string &policy, Density d,
+          const std::string &dramSpec = "")
 {
     RunConfig cfg;
     cfg.density = d;
     cfg.policy = policy;
+    cfg.dramSpec = dramSpec;
     return cfg;
 }
 
@@ -91,11 +135,19 @@ maxPctOver(const std::vector<double> &xs, const std::vector<double> &bases)
     return best;
 }
 
-/** Run one mechanism over a workload list; progress to stderr. */
+/**
+ * Run one mechanism over a workload list; progress to stderr. A sweep
+ * point that did not pick a DRAM spec explicitly inherits the
+ * DSARP_DRAM_SPEC axis, so existing benches re-run per backend without
+ * per-figure wiring.
+ */
 inline std::vector<RunResult>
-sweep(Runner &runner, const RunConfig &cfg,
+sweep(Runner &runner, const RunConfig &cfgIn,
       const std::vector<Workload> &workloads)
 {
+    RunConfig cfg = cfgIn;
+    if (cfg.dramSpec.empty())
+        cfg.dramSpec = defaultSpec();
     std::vector<RunResult> out;
     out.reserve(workloads.size());
     for (const Workload &w : workloads) {

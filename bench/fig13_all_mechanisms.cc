@@ -16,9 +16,14 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 13", "average WS improvement over REFab (%)");
+
+    // Backend axis: --spec NAME > DSARP_DRAM_SPEC > DDR3-1333 default.
+    const std::string spec = specFromArgs(argc, argv);
+    if (!spec.empty())
+        std::printf("[dram spec: %s]\n", spec.c_str());
 
     Runner runner;
     const auto workloads =
@@ -28,12 +33,12 @@ main()
                 "Elastic", "DARP", "SARPab", "SARPpb", "DSARP", "NoREF");
     for (Density d : densities()) {
         const auto refab =
-            wsOf(sweep(runner, mechNamed("REFab", d), workloads));
+            wsOf(sweep(runner, mechNamed("REFab", d, spec), workloads));
         std::printf("%-10s", densityName(d));
         for (const char *mech : {"REFpb", "Elastic", "DARP", "SARPab",
                                  "SARPpb", "DSARP", "NoREF"}) {
             const auto ws =
-                wsOf(sweep(runner, mechNamed(mech, d), workloads));
+                wsOf(sweep(runner, mechNamed(mech, d, spec), workloads));
             std::printf(" %6.1f%%", gmeanPctOver(ws, refab));
         }
         std::printf("\n");

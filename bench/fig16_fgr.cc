@@ -16,9 +16,15 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 16", "FGR / AR / DSARP normalized WS (REFab = 1.0)");
+
+    // Backend axis: DDR4-2400 is the interesting one here -- its
+    // native tRFC2/tRFC4 divisors replace the Section 6.5 projections.
+    const std::string spec = specFromArgs(argc, argv);
+    if (!spec.empty())
+        std::printf("[dram spec: %s]\n", spec.c_str());
 
     Runner runner;
     const auto workloads =
@@ -27,7 +33,9 @@ main()
     std::printf("%-10s %8s %8s %8s %8s %8s\n", "density", "REFab",
                 "FGR2x", "FGR4x", "AR", "DSARP");
     for (Density d : densities()) {
-        const auto refab = wsOf(sweep(runner, mechRefAb(d), workloads));
+        RunConfig refabCfg = mechRefAb(d);
+        refabCfg.dramSpec = spec;
+        const auto refab = wsOf(sweep(runner, refabCfg, workloads));
         std::printf("%-10s %8.3f", densityName(d), 1.0);
 
         RunConfig fgr2 = mechRefAb(d);
@@ -37,7 +45,8 @@ main()
         RunConfig ar = mechRefAb(d);
         ar.refresh = RefreshMode::kAdaptive;
 
-        for (const RunConfig &cfg : {fgr2, fgr4, ar, mechDsarp(d)}) {
+        for (RunConfig cfg : {fgr2, fgr4, ar, mechDsarp(d)}) {
+            cfg.dramSpec = spec;
             const auto ws = wsOf(sweep(runner, cfg, workloads));
             std::printf(" %8.3f",
                         1.0 + gmeanPctOver(ws, refab) / 100.0);

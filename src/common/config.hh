@@ -79,6 +79,17 @@ struct MemConfig
     int retentionMs = 32;   ///< 32 ms (server/LPDDR) or 64 ms.
 
     /**
+     * DRAM device spec by registry name (config key "dram.spec";
+     * case-insensitive, aliases accepted -- see dram/spec.hh). The
+     * spec supplies the clock, core timings, density -> tRFC tables,
+     * refresh geometry, and FGR divisors that
+     * TimingParams::forConfig() resolves; "DDR3-1333" reproduces the
+     * paper's Table 1 set bit-identically. Unknown names are a fatal
+     * named-key error listing the registered specs.
+     */
+    std::string dramSpec = "DDR3-1333";
+
+    /**
      * Refresh mechanism by registry name ("REFab", "DSARP", "FGR2x",
      * ...; case-insensitive, aliases accepted -- see
      * refresh/registry.hh). This is the canonical selection field: when

@@ -1,0 +1,188 @@
+#include "dram/spec.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/strings.hh"
+
+namespace dsarp {
+
+int
+densityIndex(Density d)
+{
+    switch (d) {
+      case Density::k8Gb: return 0;
+      case Density::k16Gb: return 1;
+      case Density::k32Gb: return 2;
+    }
+    DSARP_PANIC("unknown density");
+}
+
+TimingParams
+DramSpec::timingFor(const MemConfig &cfg) const
+{
+    TimingParams t;
+    t.spec = name;
+    t.tCkNs = tCkNs;
+    t.tCl = tCl;
+    t.tCwl = tCwl;
+    t.tRcd = tRcd;
+    t.tRp = tRp;
+    t.tRas = tRas;
+    t.tRc = tRc;
+    t.tBl = tBl;
+    t.tCcd = tCcd;
+    t.tRtp = tRtp;
+    t.tWr = tWr;
+    t.tWtr = tWtr;
+    t.tRrd = tRrd;
+    t.tFaw = tFaw;
+    t.tRtrs = tRtrs;
+
+    // Derived, never stored per spec: the read-to-write gap covers the
+    // read burst plus the bus turnaround before the write preamble.
+    t.tRtw = tCl + tBl + 2 - tCwl;
+    DSARP_ASSERT(t.tRtw > 0, "derived tRtw must be positive");
+
+    t.refreshesPerRetention = refreshesPerRetention;
+    t.fgrDivisor2x = fgrDivisor2x;
+    t.fgrDivisor4x = fgrDivisor4x;
+
+    // Retention: refreshesPerRetention slots spread over the period.
+    const double retentionNs = cfg.retentionMs * 1e6;
+    double tRefiAbNs = retentionNs / refreshesPerRetention;
+
+    double tRfcAbNs = tRfcAbNsFor(cfg.density);
+    double tRfcPbNative = nativePerBankRefresh
+        ? tRfcPbNs[densityIndex(cfg.density)]
+        : 0.0;
+
+    // Fine granularity refresh: the command rate rises by 2x/4x while
+    // tRFC shrinks only by the spec's divisors (Section 6.5; native
+    // tRFC2/tRFC4 ratios on DDR4).
+    int rate = 1;
+    if (cfg.refresh == RefreshMode::kFgr2x)
+        rate = 2;
+    else if (cfg.refresh == RefreshMode::kFgr4x)
+        rate = 4;
+    if (rate > 1) {
+        const double divisor = t.rfcDivisorFor(rate);
+        tRefiAbNs /= rate;
+        tRfcAbNs /= divisor;
+        tRfcPbNative /= divisor;
+    }
+    const double tRfcPbNsVal = nativePerBankRefresh
+        ? tRfcPbNative
+        : tRfcAbNs / pbRfcDivisor;
+
+    t.tRefiAb = static_cast<Tick>(tRefiAbNs / t.tCkNs);
+    t.tRfcAb = TimingParams::nsToCycles(tRfcAbNs, t.tCkNs);
+
+    // Per-bank refresh: tREFIpb = tREFIab / banks; tRFCpb from the
+    // native LPDDR table when the device has first-class REFpb,
+    // otherwise the LPDDR2-derived tRFCab ratio (Section 3.1).
+    t.tRefiPb = t.tRefiAb / cfg.org.banksPerRank;
+    t.tRfcPb = TimingParams::nsToCycles(tRfcPbNsVal, t.tCkNs);
+
+    // Each refresh command covers rowsPerBank/refreshesPerRetention
+    // rows per bank, scaled by the FGR rate (more frequent commands
+    // refresh fewer rows). Retention length does not change the
+    // per-command row count, only the command spacing.
+    t.rowsPerRefresh = cfg.org.rowsPerBank / refreshesPerRetention;
+    if (rate > 1)
+        t.rowsPerRefresh = std::max(1, t.rowsPerRefresh / rate);
+    if (t.rowsPerRefresh < 1)
+        t.rowsPerRefresh = 1;
+
+    if (cfg.tFawOverride > 0)
+        t.tFaw = cfg.tFawOverride;
+    if (cfg.tRrdOverride > 0)
+        t.tRrd = cfg.tRrdOverride;
+
+    // Per-bank refresh must fit inside its command interval; FGR modes
+    // never issue REFpb, so the constraint only binds when REFpb is
+    // used.
+    if (cfg.refresh == RefreshMode::kPerBank ||
+        cfg.refresh == RefreshMode::kDarp) {
+        DSARP_ASSERT(t.tRefiPb > static_cast<Tick>(t.tRfcPb),
+                     "tREFIpb must exceed tRFCpb");
+    }
+    return t;
+}
+
+DramSpecRegistry &
+DramSpecRegistry::instance()
+{
+    static DramSpecRegistry registry;
+    return registry;
+}
+
+bool
+DramSpecRegistry::add(DramSpec spec, std::vector<std::string> aliases)
+{
+    DSARP_ASSERT(!spec.name.empty(), "DRAM spec needs a name");
+    DSARP_ASSERT(spec.tCkNs > 0.0, "DRAM spec needs a positive tCK");
+
+    aliases.push_back(spec.name);
+    const std::size_t slot = entries_.size();
+    entries_.push_back(std::move(spec));
+    for (const std::string &alias : aliases) {
+        const auto [it, inserted] = index_.emplace(lowered(alias), slot);
+        (void)it;
+        if (!inserted) {
+            std::fprintf(stderr, "DRAM spec name '%s' registered twice\n",
+                         alias.c_str());
+            std::abort();
+        }
+    }
+    return true;
+}
+
+bool
+DramSpecRegistry::has(const std::string &name) const
+{
+    return index_.count(lowered(name)) > 0;
+}
+
+const DramSpec *
+DramSpecRegistry::find(const std::string &name) const
+{
+    const auto it = index_.find(lowered(name));
+    return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+const DramSpec &
+DramSpecRegistry::at(const std::string &name) const
+{
+    if (const DramSpec *spec = find(name))
+        return *spec;
+    DSARP_FATAL(unknownSpecMessage(name).c_str());
+}
+
+std::string
+DramSpecRegistry::unknownSpecMessage(const std::string &name) const
+{
+    std::ostringstream msg;
+    msg << "config key 'dram.spec': unknown DRAM spec '" << name
+        << "'; known:";
+    for (const std::string &known : names())
+        msg << ' ' << known;
+    return msg.str();
+}
+
+std::vector<std::string>
+DramSpecRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const DramSpec &spec : entries_)
+        out.push_back(spec.name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace dsarp

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * String-keyed, self-registering registry of DRAM device specs.
+ *
+ * A DramSpec is the complete data sheet the simulator needs for one
+ * device family x speed bin: base clock, core timings in bus cycles,
+ * the density -> tRFCab table, refresh geometry (slots per retention,
+ * the per-bank tRFC ratio or a native REFpb latency table), and the
+ * fine-granularity-refresh tRFC divisors. Everything derivable from
+ * those inputs -- tRtw, tREFIab/pb in cycles, FGR rate scaling,
+ * rows-per-refresh coverage -- is computed centrally by timingFor(),
+ * never copy-pasted per spec.
+ *
+ * Specs register themselves from static initializers in their own
+ * translation units under src/dram/specs/ (see the
+ * DSARP_REGISTER_DRAM_SPEC macro), exactly like the refresh-policy
+ * registry: adding a DRAM generation is one new .cc file -- no enum,
+ * no switch, no name table to edit. The core is linked as a CMake
+ * OBJECT library so the registrars are never dead-stripped.
+ *
+ * Selection: set MemConfig::dramSpec (config key "dram.spec") to a
+ * registered name; lookups are case-insensitive and aliases are
+ * accepted. "DDR3-1333" is the default and reproduces the paper's
+ * Table 1 numbers bit-identically.
+ */
+
+#ifndef DSARP_DRAM_SPEC_HH
+#define DSARP_DRAM_SPEC_HH
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "dram/timing.hh"
+
+namespace dsarp {
+
+/** Index into the per-density tables (8/16/32 Gb). */
+int densityIndex(Density d);
+
+/** One DRAM device spec: the data-sheet inputs for timingFor(). */
+struct DramSpec
+{
+    std::string name;     ///< Canonical spelling, e.g. "DDR4-2400".
+    std::string summary;  ///< One-liner for --list and docs.
+
+    double tCkNs = 1.5;   ///< Bus clock period in nanoseconds.
+
+    // Core timings in bus cycles (same meanings as TimingParams).
+    int tCl = 9;
+    int tCwl = 7;
+    int tRcd = 9;
+    int tRp = 9;
+    int tRas = 24;
+    int tRc = 33;
+    int tBl = 4;
+    int tCcd = 4;
+    int tRtp = 5;
+    int tWr = 10;
+    int tWtr = 5;
+    int tRrd = 4;
+    int tFaw = 20;
+    int tRtrs = 2;
+
+    /** All-bank refresh latency in ns per density (8/16/32 Gb). */
+    std::array<double, 3> tRfcAbNs = {350.0, 530.0, 890.0};
+
+    /**
+     * Per-bank refresh latency. Specs without a native REFpb command
+     * (DDR3/DDR4) leave tRfcPbNs zeroed and model REFpb through the
+     * LPDDR2-derived ratio tRFCpb = tRFCab / pbRfcDivisor (Section
+     * 3.1). LPDDR parts with first-class per-bank refresh supply the
+     * native ns table instead, which then takes precedence.
+     */
+    double pbRfcDivisor = 2.3;
+    std::array<double, 3> tRfcPbNs = {0.0, 0.0, 0.0};
+
+    /** True when REFpb/SARPpb run on a native per-bank latency table. */
+    bool nativePerBankRefresh = false;
+
+    /** REFab slots per retention period (JEDEC: 8192). */
+    int refreshesPerRetention = 8192;
+
+    /**
+     * Fine granularity refresh: tRFC shrinks by these divisors while
+     * the command rate rises 2x/4x. DDR3 parts have no native FGR;
+     * they carry the paper's Section 6.5 projections (1.35/1.63).
+     * DDR4 carries its data-sheet tRFC1/tRFC2/tRFC4 ratios.
+     */
+    double fgrDivisor2x = 1.35;
+    double fgrDivisor4x = 1.63;
+
+    /** tRFCab in ns for a density (before FGR scaling). */
+    double tRfcAbNsFor(Density d) const { return tRfcAbNs[densityIndex(d)]; }
+
+    /**
+     * Derive the full TimingParams for @p cfg: copies the core
+     * timings, computes tRtw = tCL + tBL + 2 - tCWL, scales tREFI/tRFC
+     * for density, retention, and the FGR rate selected by
+     * cfg.refresh, derives tREFIpb = tREFIab / banks and the per-bank
+     * tRFC (native table or ratio), applies the tFAW/tRRD overrides,
+     * and checks that REFpb schedules fit their command interval.
+     */
+    TimingParams timingFor(const MemConfig &cfg) const;
+};
+
+class DramSpecRegistry
+{
+  public:
+    /** The process-wide registry (initialized on first use). */
+    static DramSpecRegistry &instance();
+
+    /**
+     * Register @p spec under its canonical name and every alias.
+     * Returns true so static registrars can capture the result; a
+     * duplicate name is a fatal error at startup.
+     */
+    bool add(DramSpec spec, std::vector<std::string> aliases = {});
+
+    bool has(const std::string &name) const;
+
+    /** Case-insensitive lookup; nullptr when unknown. */
+    const DramSpec *find(const std::string &name) const;
+
+    /** find(), but a fatal named-key error listing known specs. */
+    const DramSpec &at(const std::string &name) const;
+
+    /** The named-key error text at() dies with (for callers that
+     *  collect errors instead of exiting). */
+    std::string unknownSpecMessage(const std::string &name) const;
+
+    /** Canonical names, sorted; aliases are not repeated. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::map<std::string, std::size_t> index_;  ///< lowercase name -> slot.
+
+    /** A deque so references returned by find()/at() stay valid when
+     *  later registrations grow the registry (Simulation caches one
+     *  for its whole lifetime). */
+    std::deque<DramSpec> entries_;
+};
+
+/**
+ * Define a static registrar. Use at namespace scope in the spec's
+ * translation unit:
+ *
+ *   DSARP_REGISTER_DRAM_SPEC(ddr4_2400, []() {
+ *       DramSpec s;
+ *       s.name = "DDR4-2400";
+ *       ...
+ *       return s;
+ *   }(), {"DDR4"})
+ */
+#define DSARP_REGISTER_DRAM_SPEC(ident, ...) \
+    namespace { \
+    const bool dsarpDramSpecRegistrar_##ident [[maybe_unused]] = \
+        ::dsarp::DramSpecRegistry::instance().add(__VA_ARGS__); \
+    }
+
+} // namespace dsarp
+
+#endif // DSARP_DRAM_SPEC_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * DDR3-1066: the slower 7-7-7 bin at tCK = 1.875 ns. Core latencies
+ * are near-constant in nanoseconds across DDR3 bins, so the cycle
+ * counts shrink with the clock; the density -> tRFCab table is a chip
+ * property and is shared with the other DDR3 bins -- which is exactly
+ * the Figure 5 observation that refresh latency does not improve with
+ * interface speed.
+ */
+
+#include "dram/spec.hh"
+
+namespace dsarp {
+
+DSARP_REGISTER_DRAM_SPEC(ddr3_1066, []() {
+    DramSpec s;
+    s.name = "DDR3-1066";
+    s.summary = "slow DDR3 bin: 7-7-7, tCK 1.875 ns";
+    s.tCkNs = 1.875;
+    s.tCl = 7;
+    s.tCwl = 6;
+    s.tRcd = 7;
+    s.tRp = 7;
+    s.tRas = 20;   // 37.5 ns.
+    s.tRc = 27;
+    s.tBl = 4;
+    s.tCcd = 4;
+    s.tRtp = 4;    // 7.5 ns.
+    s.tWr = 8;     // 15 ns.
+    s.tWtr = 4;
+    s.tRrd = 4;    // 7.5 ns.
+    s.tFaw = 20;   // 37.5 ns.
+    s.tRtrs = 2;
+    s.tRfcAbNs = {350.0, 530.0, 890.0};  // Density property, not bin.
+    s.pbRfcDivisor = 2.3;
+    s.fgrDivisor2x = 1.35;
+    s.fgrDivisor4x = 1.63;
+    return s;
+}())
+
+} // namespace dsarp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * DDR3-1333: the paper's baseline device (Table 1) and the simulator
+ * default. Core timings are the 9-9-9 bin at tCK = 1.5 ns; tRFCab =
+ * 350/530/890 ns for 8/16/32 Gb (the paper's Projection 2 values);
+ * REFpb is modeled through the LPDDR2-derived tRFCab/2.3 ratio of
+ * Section 3.1; FGR carries the Section 6.5 projections.
+ *
+ * This spec must reproduce the pre-registry hard-coded parameter set
+ * bit-identically -- tests/test_timing.cc pins the derived values.
+ */
+
+#include "dram/spec.hh"
+
+namespace dsarp {
+
+DSARP_REGISTER_DRAM_SPEC(ddr3_1333, []() {
+    DramSpec s;
+    s.name = "DDR3-1333";
+    s.summary = "paper baseline (Table 1): 9-9-9, tCK 1.5 ns";
+    s.tCkNs = 1.5;
+    s.tCl = 9;
+    s.tCwl = 7;
+    s.tRcd = 9;
+    s.tRp = 9;
+    s.tRas = 24;
+    s.tRc = 33;
+    s.tBl = 4;
+    s.tCcd = 4;
+    s.tRtp = 5;
+    s.tWr = 10;
+    s.tWtr = 5;
+    s.tRrd = 4;
+    s.tFaw = 20;
+    s.tRtrs = 2;
+    s.tRfcAbNs = {350.0, 530.0, 890.0};
+    s.pbRfcDivisor = 2.3;
+    s.fgrDivisor2x = 1.35;
+    s.fgrDivisor4x = 1.63;
+    return s;
+}(), {"DDR3"})
+
+} // namespace dsarp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * DDR3-1600: the faster 11-11-11 bin at tCK = 1.25 ns. Same
+ * density -> tRFCab table as the other DDR3 bins (refresh latency is a
+ * chip property); the higher clock turns the same nanoseconds into
+ * more lockout cycles, which is why refresh overhead worsens with
+ * interface speed.
+ */
+
+#include "dram/spec.hh"
+
+namespace dsarp {
+
+DSARP_REGISTER_DRAM_SPEC(ddr3_1600, []() {
+    DramSpec s;
+    s.name = "DDR3-1600";
+    s.summary = "fast DDR3 bin: 11-11-11, tCK 1.25 ns";
+    s.tCkNs = 1.25;
+    s.tCl = 11;
+    s.tCwl = 8;
+    s.tRcd = 11;
+    s.tRp = 11;
+    s.tRas = 28;   // 35 ns.
+    s.tRc = 39;
+    s.tBl = 4;
+    s.tCcd = 4;
+    s.tRtp = 6;    // 7.5 ns.
+    s.tWr = 12;    // 15 ns.
+    s.tWtr = 6;
+    s.tRrd = 5;    // 6 ns (1 KB pages).
+    s.tFaw = 24;   // 30 ns.
+    s.tRtrs = 2;
+    s.tRfcAbNs = {350.0, 530.0, 890.0};  // Density property, not bin.
+    s.pbRfcDivisor = 2.3;
+    s.fgrDivisor2x = 1.35;
+    s.fgrDivisor4x = 1.63;
+    return s;
+}())
+
+} // namespace dsarp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * DDR4-2400: 16-16-16 bin at tCK = 0.833 ns with *native* fine
+ * granularity refresh -- the 2x/4x divisors are the data-sheet
+ * tRFC1/tRFC2/tRFC4 ratios (350/260/160 ns at 8 Gb), not the paper's
+ * Section 6.5 DDR3 projections. Refresh granularity stays at 8192
+ * slots per retention; the 16 Gb point uses the later-generation
+ * 550 ns tRFC1 and 32 Gb keeps the paper's 890 ns projection.
+ */
+
+#include "dram/spec.hh"
+
+namespace dsarp {
+
+DSARP_REGISTER_DRAM_SPEC(ddr4_2400, []() {
+    DramSpec s;
+    s.name = "DDR4-2400";
+    s.summary = "DDR4 with native FGR: 16-16-16, tCK 0.833 ns";
+    s.tCkNs = 0.833;
+    s.tCl = 16;
+    s.tCwl = 12;
+    s.tRcd = 16;
+    s.tRp = 16;
+    s.tRas = 39;   // 32 ns.
+    s.tRc = 55;
+    s.tBl = 4;
+    s.tCcd = 6;    // tCCD_L.
+    s.tRtp = 9;    // 7.5 ns.
+    s.tWr = 18;    // 15 ns.
+    s.tWtr = 9;    // tWTR_L.
+    s.tRrd = 7;    // tRRD_L, 5.3 ns.
+    s.tFaw = 26;   // 21 ns (x8).
+    s.tRtrs = 2;
+    s.tRfcAbNs = {350.0, 550.0, 890.0};  // tRFC1; 16 Gb is the real part.
+    s.pbRfcDivisor = 2.3;  // DDR4 has no REFpb; same Section 3.1 model.
+    // Native FGR: tRFC2 = 260 ns, tRFC4 = 160 ns at 8 Gb.
+    s.fgrDivisor2x = 350.0 / 260.0;
+    s.fgrDivisor4x = 350.0 / 160.0;
+    return s;
+}(), {"DDR4"})
+
+} // namespace dsarp

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * LPDDR4-3200: command clock 1600 MHz (tCK = 0.625 ns), BL16, and
+ * *native per-bank refresh* -- REFpb/SARPpb run on the data-sheet
+ * per-bank tRFC table (tRFCpb = tRFCab / 2) instead of the
+ * LPDDR2-derived 2.3 ratio hack the paper applies to DDR3. This is
+ * the device family whose standard actually ships the REFpb command
+ * the paper's per-bank mechanisms assume (Section 3.1).
+ */
+
+#include "dram/spec.hh"
+
+namespace dsarp {
+
+DSARP_REGISTER_DRAM_SPEC(lpddr4_3200, []() {
+    DramSpec s;
+    s.name = "LPDDR4-3200";
+    s.summary = "LPDDR4 with native REFpb: RL28, tCK 0.625 ns";
+    s.tCkNs = 0.625;
+    s.tCl = 28;    // RL at 3200 MT/s.
+    s.tCwl = 14;   // WL set A.
+    s.tRcd = 29;   // 18 ns.
+    s.tRp = 29;    // tRPpb, 18 ns.
+    s.tRas = 68;   // 42 ns.
+    s.tRc = 97;
+    s.tBl = 8;     // BL16 on the half-width bus.
+    s.tCcd = 8;
+    s.tRtp = 12;   // 7.5 ns.
+    s.tWr = 29;    // 18 ns.
+    s.tWtr = 16;   // 10 ns.
+    s.tRrd = 16;   // 10 ns.
+    s.tFaw = 64;   // 40 ns.
+    s.tRtrs = 2;
+    s.tRfcAbNs = {280.0, 380.0, 560.0};
+    // First-class per-bank refresh: tRFCpb = tRFCab / 2 per data sheet.
+    s.nativePerBankRefresh = true;
+    s.tRfcPbNs = {140.0, 190.0, 280.0};
+    s.pbRfcDivisor = 2.0;  // Matches the native table; kept coherent.
+    s.fgrDivisor2x = 1.35;  // No native FGR; Section 6.5 projections.
+    s.fgrDivisor4x = 1.63;
+    return s;
+}(), {"LPDDR4"})
+
+} // namespace dsarp

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "dram/spec.hh"
 
 namespace dsarp {
 
@@ -23,60 +24,27 @@ TimingParams::fgrRfcDivisor(int rateMultiplier)
     DSARP_PANIC("unsupported FGR rate");
 }
 
+double
+TimingParams::rfcDivisorFor(int rateMultiplier) const
+{
+    switch (rateMultiplier) {
+      case 1: return 1.0;
+      case 2: return fgrDivisor2x;
+      case 4: return fgrDivisor4x;
+    }
+    DSARP_PANIC("unsupported FGR rate");
+}
+
+TimingParams
+TimingParams::forConfig(const MemConfig &cfg)
+{
+    return DramSpecRegistry::instance().at(cfg.dramSpec).timingFor(cfg);
+}
+
 TimingParams
 TimingParams::ddr3_1333(const MemConfig &cfg)
 {
-    TimingParams t;
-
-    // Retention: 8192 refresh slots spread over the retention period.
-    const double retentionNs = cfg.retentionMs * 1e6;
-    double tRefiAbNs = retentionNs / t.refreshesPerRetention;
-
-    double tRfcAbNs = tRfcAbNsFor(cfg.density);
-
-    // DDR4 fine granularity refresh: the command rate rises by 2x/4x while
-    // tRFC shrinks only by 1.35x/1.63x (Section 6.5).
-    int rate = 1;
-    if (cfg.refresh == RefreshMode::kFgr2x)
-        rate = 2;
-    else if (cfg.refresh == RefreshMode::kFgr4x)
-        rate = 4;
-    if (rate > 1) {
-        tRefiAbNs /= rate;
-        tRfcAbNs /= fgrRfcDivisor(rate);
-    }
-
-    t.tRefiAb = static_cast<Tick>(tRefiAbNs / t.tCkNs);
-    t.tRfcAb = nsToCycles(tRfcAbNs, t.tCkNs);
-
-    // Per-bank refresh: tREFIpb = tREFIab / banks, tRFCpb = tRFCab / 2.3
-    // (LPDDR2-derived ratio; Section 3.1).
-    t.tRefiPb = t.tRefiAb / cfg.org.banksPerRank;
-    t.tRfcPb = nsToCycles(tRfcAbNs / 2.3, t.tCkNs);
-
-    // Each refresh command covers rowsPerBank/refreshesPerRetention rows
-    // per bank, scaled by the FGR rate (more frequent commands refresh
-    // fewer rows). Retention length does not change the per-command row
-    // count, only the command spacing.
-    t.rowsPerRefresh = cfg.org.rowsPerBank / t.refreshesPerRetention;
-    if (rate > 1)
-        t.rowsPerRefresh = std::max(1, t.rowsPerRefresh / rate);
-    if (t.rowsPerRefresh < 1)
-        t.rowsPerRefresh = 1;
-
-    if (cfg.tFawOverride > 0)
-        t.tFaw = cfg.tFawOverride;
-    if (cfg.tRrdOverride > 0)
-        t.tRrd = cfg.tRrdOverride;
-
-    // Per-bank refresh must fit inside its command interval; FGR modes
-    // never issue REFpb, so the constraint only binds when REFpb is used.
-    if (cfg.refresh == RefreshMode::kPerBank ||
-        cfg.refresh == RefreshMode::kDarp) {
-        DSARP_ASSERT(t.tRefiPb > static_cast<Tick>(t.tRfcPb),
-                     "tREFIpb must exceed tRFCpb");
-    }
-    return t;
+    return DramSpecRegistry::instance().at("DDR3-1333").timingFor(cfg);
 }
 
 } // namespace dsarp

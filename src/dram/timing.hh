@@ -1,15 +1,25 @@
 /**
  * @file
- * DDR3-1333 timing parameters, density scaling, and FGR scaling.
+ * Resolved DRAM timing parameters consumed by the channel/rank/bank
+ * state machines.
  *
- * All values are in DRAM bus cycles (tCK = 1.5 ns). Refresh latencies
- * follow the paper: tRFCab = 350/530/890 ns for 8/16/32 Gb chips,
- * tRFCpb = tRFCab / 2.3 (the LPDDR2-derived ratio of Section 3.1), and
- * tREFIab = retention / 8192 (3.9 us at 32 ms retention).
+ * Values are in bus cycles of the selected spec's clock (tCkNs). The
+ * numbers now come from the data-driven DramSpecRegistry
+ * (dram/spec.hh): each registered device spec declares its clock, core
+ * timings, density -> tRFC table, refresh geometry, and FGR divisors,
+ * and DramSpec::timingFor() derives everything else (tRtw, cycle
+ * conversions, tREFIpb, rate scaling) centrally. The member defaults
+ * below are the paper's DDR3-1333 values, which the default
+ * "DDR3-1333" spec reproduces bit-identically: tRFCab = 350/530/890 ns
+ * for 8/16/32 Gb chips, tRFCpb = tRFCab / 2.3 (the LPDDR2-derived
+ * ratio of Section 3.1), and tREFIab = retention / 8192 (3.9 us at
+ * 32 ms retention).
  */
 
 #ifndef DSARP_DRAM_TIMING_HH
 #define DSARP_DRAM_TIMING_HH
+
+#include <string>
 
 #include "common/config.hh"
 #include "common/types.hh"
@@ -19,6 +29,8 @@ namespace dsarp {
 /** Complete timing parameter set used by the channel state machines. */
 struct TimingParams
 {
+    std::string spec = "DDR3-1333";  ///< Registry name this set came from.
+
     double tCkNs = 1.5;  ///< Bus clock period in nanoseconds.
 
     // Core DDR3-1333 parameters (cycles).
@@ -33,16 +45,16 @@ struct TimingParams
     int tRtp = 5;   ///< Read to precharge.
     int tWr = 10;   ///< Write recovery (end of write data to precharge).
     int tWtr = 5;   ///< End of write data to read command, same rank.
-    int tRtw = 8;   ///< Read to write command gap: tCL + tBL + 2 - tCWL.
+    int tRtw = 8;   ///< Read to write gap, derived: tCL + tBL + 2 - tCWL.
     int tRrd = 4;   ///< ACT to ACT, different banks, same rank.
     int tFaw = 20;  ///< Four-activate window.
     int tRtrs = 2;  ///< Rank-to-rank data-bus switch.
 
     // Refresh parameters (cycles).
     Tick tRefiAb = 2600;  ///< All-bank refresh command interval.
-    Tick tRefiPb = 325;   ///< Per-bank refresh command interval (tREFIab/8).
+    Tick tRefiPb = 325;   ///< Per-bank interval, derived: tREFIab/banks.
     int tRfcAb = 234;     ///< All-bank refresh latency.
-    int tRfcPb = 102;     ///< Per-bank refresh latency (tRFCab/2.3).
+    int tRfcPb = 102;     ///< Per-bank refresh latency.
 
     /** Rows refreshed in each bank by one refresh command. */
     int rowsPerRefresh = 8;
@@ -51,10 +63,29 @@ struct TimingParams
     int refreshesPerRetention = 8192;
 
     /**
-     * Construct the DDR3-1333 parameter set for a memory configuration:
-     * applies density scaling, retention scaling (32/64 ms), FGR rate
-     * scaling for the kFgr* refresh modes, and the tFAW/tRRD overrides
-     * used by the Table 4 sweep.
+     * Spec-provided FGR tRFC divisors at 2x/4x command rate. The
+     * defaults are the paper's Section 6.5 DDR3 projections; DDR4
+     * specs carry their native tRFC1/tRFC2/tRFC4 ratios.
+     */
+    double fgrDivisor2x = 1.35;
+    double fgrDivisor4x = 1.63;
+
+    /** This parameter set's FGR divisor for a 1x/2x/4x rate. */
+    double rfcDivisorFor(int rateMultiplier) const;
+
+    /**
+     * Resolve the spec named by cfg.dramSpec through the
+     * DramSpecRegistry and derive its parameter set (density scaling,
+     * retention scaling, FGR rate scaling, tFAW/tRRD overrides). A
+     * fatal named-key error listing registered specs when the name is
+     * unknown.
+     */
+    static TimingParams forConfig(const MemConfig &cfg);
+
+    /**
+     * The DDR3-1333 parameter set for a memory configuration,
+     * regardless of cfg.dramSpec. Kept for pre-registry callers; a
+     * shim over forConfig()'s derivation with the "DDR3-1333" spec.
      */
     static TimingParams ddr3_1333(const MemConfig &cfg);
 
@@ -62,8 +93,10 @@ struct TimingParams
     static int nsToCycles(double ns, double tCkNs);
 
     /**
-     * DDR4 FGR scaling of tRFCab relative to the 1x value (Section 6.5):
-     * tRFC shrinks by 1.35x at 2x rate and 1.63x at 4x rate.
+     * The paper's Section 6.5 DDR3 FGR projections (1.35x/1.63x),
+     * independent of any spec.
+     * @deprecated use rfcDivisorFor() on a resolved parameter set so
+     * DDR4's native divisors are honoured.
      */
     static double fgrRfcDivisor(int rateMultiplier);
 };

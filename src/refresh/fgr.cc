@@ -9,8 +9,9 @@
 namespace dsarp {
 
 // Static FGR is the on-time all-bank schedule run on rate-scaled timing
-// (TimingParams::ddr3_1333 applies the 2x/4x divisors when the config
-// bundle sets the kFgr* profile); only AR needs its own scheduler.
+// (DramSpec::timingFor applies the spec's 2x/4x divisors when the
+// config bundle sets the kFgr* profile); only AR needs its own
+// scheduler.
 
 DSARP_REGISTER_REFRESH_POLICY(fgr2x, {
     "FGR2x", "DDR4 fine granularity refresh at 2x rate",
@@ -52,8 +53,10 @@ AdaptiveScheduler::AdaptiveScheduler(const MemConfig *cfg,
               timing->tRefiAb / (8 * cfg->org.ranksPerChannel), 0,
               8 * 4)
 {
+    // The spec's own 4x divisor: DDR4 parts use their native tRFC4
+    // ratio rather than the Section 6.5 DDR3 projection.
     tRfc4x_ = static_cast<int>(std::ceil(
-        timing->tRfcAb / TimingParams::fgrRfcDivisor(4) - 1e-9));
+        timing->tRfcAb / timing->rfcDivisorFor(4) - 1e-9));
     rows4x_ = std::max(1, timing->rowsPerRefresh / 4);
     // Start with a full budget: a fresh system has banked no overrun.
     budget_.assign(cfg->org.ranksPerChannel, 4.0 * timing->tRfcAb);

@@ -4,7 +4,7 @@
  * DDR4 fine granularity refresh in paper Section 6.5.
  *
  * Plain FGR 2x/4x is AllBankScheduler running on rate-scaled timing
- * parameters (TimingParams::ddr3_1333 applies the 1.35x/1.63x tRFC
+ * parameters (DramSpec::timingFor applies the spec's 2x/4x tRFC
  * divisors). AR dynamically mixes the 1x and 4x command granularities:
  * 4x commands have a much shorter per-command lockout (good under
  * demand pressure, e.g. inside a write drain) but cost 2.45x the total

@@ -8,6 +8,7 @@
 
 #include "common/log.hh"
 #include "common/strings.hh"
+#include "dram/spec.hh"
 #include "refresh/registry.hh"
 
 namespace dsarp {
@@ -100,6 +101,13 @@ keyTable()
              if (v.empty())
                  return "expected a refresh mechanism name";
              cfg.policy = v;
+             return "";
+         }},
+        {"dram.spec",
+         [](ExperimentConfig &cfg, const std::string &v) -> std::string {
+             if (v.empty())
+                 return "expected a DRAM spec name";
+             cfg.dramSpec = v;
              return "";
          }},
         intKey("densityGb", &ExperimentConfig::densityGb),
@@ -237,6 +245,9 @@ ExperimentConfig::validate() const
     const auto &registry = RefreshPolicyRegistry::instance();
     if (!registry.has(policy))
         fail(registry.unknownPolicyMessage(policy));
+    const auto &specs = DramSpecRegistry::instance();
+    if (!specs.has(dramSpec))
+        fail(specs.unknownSpecMessage(dramSpec));
     if (densityGb != 8 && densityGb != 16 && densityGb != 32) {
         fail("config key 'densityGb' must be 8, 16 or 32 (got " +
              std::to_string(densityGb) + ")");
@@ -282,11 +293,18 @@ ExperimentConfig::mechanismName() const
     return RefreshPolicyRegistry::instance().at(policy).name;
 }
 
+std::string
+ExperimentConfig::dramSpecName() const
+{
+    return DramSpecRegistry::instance().at(dramSpec).name;
+}
+
 SystemConfig
 ExperimentConfig::toSystemConfig() const
 {
     SystemConfig sys;
     sys.mem.policy = policy;
+    sys.mem.dramSpec = dramSpec;
     sys.mem.density = densityGb == 8 ? Density::k8Gb
         : densityGb == 16            ? Density::k16Gb
                                      : Density::k32Gb;

@@ -40,6 +40,10 @@ struct ExperimentConfig
     std::string policy = "DSARP";
 
     // --- Memory system ----------------------------------------------
+    /** DRAM device spec by registry name (key "dram.spec"; see
+     *  dram/spec.hh). Unknown names fail validation with a named-key
+     *  error listing the registered specs. */
+    std::string dramSpec = "DDR3-1333";
     int densityGb = 32;          ///< 8 | 16 | 32.
     int retentionMs = 32;        ///< 32 | 64.
     int subarraysPerBank = 8;
@@ -108,6 +112,10 @@ struct ExperimentConfig
     /** Canonical mechanism name from the registry ("dsarp" → "DSARP");
      *  a fatal named-key error when the policy is unknown. */
     std::string mechanismName() const;
+
+    /** Canonical DRAM spec name from the registry ("ddr4" →
+     *  "DDR4-2400"); a fatal named-key error when unknown. */
+    std::string dramSpecName() const;
 
     /** Project onto the SystemConfig consumed by System (not yet
      *  finalized; System resolves + validates on construction). */

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "dram/spec.hh"
 #include "refresh/registry.hh"
 #include "sim/metrics.hh"
 
@@ -109,6 +110,8 @@ Runner::makeSystemConfig(const RunConfig &cfg)
 {
     SystemConfig sys;
     sys.mem.policy = cfg.policy;
+    if (!cfg.dramSpec.empty())
+        sys.mem.dramSpec = cfg.dramSpec;
     sys.mem.density = cfg.density;
     sys.mem.retentionMs = cfg.retentionMs;
     sys.mem.refresh = cfg.refresh;
@@ -186,7 +189,10 @@ Runner::aloneIpc(int bench_idx, const SystemConfig &sys)
     // the benchmark, matching the paper's alone-run methodology.
     static std::map<std::string, double> cache;
     std::ostringstream key;
+    // The canonical spec name (not the user's alias/case) so
+    // "ddr4" and "DDR4-2400" share one baseline.
     key << bench_idx << ':' << warmup_ << ':' << measure_ << ':'
+        << DramSpecRegistry::instance().at(sys.mem.dramSpec).name << ':'
         << densityName(sys.mem.density) << ':' << sys.mem.retentionMs
         << ':' << sys.mem.org.subarraysPerBank << ':'
         << sys.mem.tFawOverride << ':' << sys.mem.tRrdOverride << ':'

@@ -39,6 +39,13 @@ struct RunConfig
     Density density = Density::k8Gb;
 
     /**
+     * DRAM device spec by registry name (see dram/spec.hh); empty
+     * keeps the MemConfig default ("DDR3-1333"). Gives every bench
+     * sweep a backend axis orthogonal to mechanism x density.
+     */
+    std::string dramSpec;
+
+    /**
      * Refresh mechanism by registry name; when non-empty it wins over
      * the (refresh, sarp) pair below (see MemConfig::policy).
      */

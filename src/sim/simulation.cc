@@ -19,6 +19,13 @@ Simulation::Builder::policy(const std::string &name)
 }
 
 Simulation::Builder &
+Simulation::Builder::dramSpec(const std::string &name)
+{
+    cfg_.dramSpec = name;
+    return *this;
+}
+
+Simulation::Builder &
 Simulation::Builder::densityGb(int gb)
 {
     cfg_.densityGb = gb;
@@ -161,17 +168,28 @@ Simulation::Builder::build()
     return Simulation(cfg_, workload, {});
 }
 
+const std::string &
+Simulation::dramSpecName() const
+{
+    return spec_->name;
+}
+
 Simulation::Simulation(ExperimentConfig cfg, Workload workload,
                        std::vector<TraceSource *> traces)
-    : cfg_(std::move(cfg)), workload_(std::move(workload)),
-      traces_(std::move(traces)),
+    : cfg_(std::move(cfg)),
+      spec_(&DramSpecRegistry::instance().at(cfg_.dramSpec)),
+      workload_(std::move(workload)), traces_(std::move(traces)),
       runner_(cfg_.warmupCycles > 0
                   ? cfg_.warmupCycles
                   : envKnob("DSARP_BENCH_WARMUP", 30000),
               cfg_.measureCycles > 0
                   ? cfg_.measureCycles
                   : envKnob("DSARP_BENCH_CYCLES", 250000))
-{}
+{
+    // Canonicalise so config() and every SystemConfig projected from
+    // it carry the registry spelling, not the user's alias/case.
+    cfg_.dramSpec = spec_->name;
+}
 
 RunResult
 Simulation::run()

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/trace.hh"
+#include "dram/spec.hh"
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
 #include "workload/workload.hh"
@@ -44,6 +45,7 @@ class Simulation
         Builder &config(const ExperimentConfig &cfg);
 
         Builder &policy(const std::string &name);
+        Builder &dramSpec(const std::string &name);
         Builder &densityGb(int gb);
         Builder &cores(int n);
         Builder &retentionMs(int ms);
@@ -91,6 +93,17 @@ class Simulation
     /** Canonical mechanism name, e.g. for table headers. */
     std::string mechanismName() const { return cfg_.mechanismName(); }
 
+    /**
+     * The resolved DRAM device spec (cached at build(); cfg_.dramSpec
+     * is already canonicalised, so aliases/case never leak into
+     * output). The reference stays valid for the process lifetime --
+     * registry entries are never removed.
+     */
+    const DramSpec &dramSpec() const { return *spec_; }
+
+    /** Canonical DRAM spec name, e.g. "DDR4-2400". */
+    const std::string &dramSpecName() const;
+
     Tick warmupTicks() const { return runner_.warmupTicks(); }
     Tick measureTicks() const { return runner_.measureTicks(); }
 
@@ -110,6 +123,7 @@ class Simulation
                std::vector<TraceSource *> traces);
 
     ExperimentConfig cfg_;
+    const DramSpec *spec_;  ///< Resolved once; registry-owned.
     Workload workload_;
     std::vector<TraceSource *> traces_;
     Runner runner_;

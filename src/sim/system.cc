@@ -23,7 +23,7 @@ finalized(SystemConfig cfg)
 } // namespace
 
 System::System(const SystemConfig &cfg, const std::vector<int> &bench_idx)
-    : cfg_(finalized(cfg)), timing_(TimingParams::ddr3_1333(cfg_.mem)),
+    : cfg_(finalized(cfg)), timing_(TimingParams::forConfig(cfg_.mem)),
       map_(cfg_.mem.org)
 {
     DSARP_ASSERT(static_cast<int>(bench_idx.size()) == cfg_.numCores,
@@ -47,7 +47,7 @@ System::System(const SystemConfig &cfg, const std::vector<int> &bench_idx)
 
 System::System(const SystemConfig &cfg,
                const std::vector<TraceSource *> &traces)
-    : cfg_(finalized(cfg)), timing_(TimingParams::ddr3_1333(cfg_.mem)),
+    : cfg_(finalized(cfg)), timing_(TimingParams::forConfig(cfg_.mem)),
       map_(cfg_.mem.org), traces_(traces)
 {
     DSARP_ASSERT(static_cast<int>(traces_.size()) == cfg_.numCores,

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * DramSpecRegistry tests: registration/lookup semantics, a
+ * parameterized invariant suite over every registered spec x density,
+ * the bit-identical DDR3-1333 equivalence with the pre-registry
+ * derivation, config-layer round-trips for the "dram.spec" key, and an
+ * end-to-end smoke run per spec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <tuple>
+
+#include "dram/spec.hh"
+#include "sim/simulation.hh"
+#include "sim/system.hh"
+#include "workload/benchmark.hh"
+
+using namespace dsarp;
+
+namespace {
+
+MemConfig
+cfgFor(const std::string &spec, Density d, int retention_ms = 32,
+       RefreshMode mode = RefreshMode::kAllBank)
+{
+    MemConfig cfg;
+    cfg.dramSpec = spec;
+    cfg.density = d;
+    cfg.retentionMs = retention_ms;
+    cfg.refresh = mode;
+    cfg.finalize();
+    return cfg;
+}
+
+} // namespace
+
+TEST(DramSpecRegistry, AllFiveSpecsRegistered)
+{
+    const auto &registry = DramSpecRegistry::instance();
+    for (const char *name : {"DDR3-1066", "DDR3-1333", "DDR3-1600",
+                             "DDR4-2400", "LPDDR4-3200"}) {
+        EXPECT_TRUE(registry.has(name)) << name;
+    }
+    EXPECT_GE(registry.names().size(), 5u);
+}
+
+TEST(DramSpecRegistry, LookupIsCaseInsensitiveAndAliased)
+{
+    const auto &registry = DramSpecRegistry::instance();
+    EXPECT_EQ(registry.at("ddr3-1333").name, "DDR3-1333");
+    EXPECT_EQ(registry.at("DDR3").name, "DDR3-1333");
+    EXPECT_EQ(registry.at("ddr4").name, "DDR4-2400");
+    EXPECT_EQ(registry.at("LPDDR4").name, "LPDDR4-3200");
+    EXPECT_EQ(registry.find("no-such-spec"), nullptr);
+}
+
+TEST(DramSpecRegistry, UnknownSpecIsNamedKeyError)
+{
+    const auto &registry = DramSpecRegistry::instance();
+    const std::string msg = registry.unknownSpecMessage("DDR9-9999");
+    EXPECT_NE(msg.find("config key 'dram.spec'"), std::string::npos);
+    EXPECT_NE(msg.find("DDR9-9999"), std::string::npos);
+    // The error must list every registered spec by canonical name.
+    for (const std::string &name : registry.names())
+        EXPECT_NE(msg.find(name), std::string::npos) << name;
+    EXPECT_DEATH(registry.at("DDR9-9999"), "dram.spec");
+}
+
+// ---------------------------------------------------------------------
+// Invariants that must hold for every registered spec x density.
+// ---------------------------------------------------------------------
+
+class SpecInvariants
+    : public ::testing::TestWithParam<std::tuple<std::string, Density>>
+{
+};
+
+TEST_P(SpecInvariants, TimingConsistency)
+{
+    const auto [name, density] = GetParam();
+    const DramSpec &spec = DramSpecRegistry::instance().at(name);
+    const TimingParams t = spec.timingFor(cfgFor(name, density));
+
+    // Refresh geometry: a per-bank refresh must fit inside its command
+    // interval (otherwise REFpb schedules can never keep up), and the
+    // per-bank interval must be the all-bank interval split over banks.
+    EXPECT_GT(t.tRefiPb, static_cast<Tick>(t.tRfcPb));
+    EXPECT_EQ(t.tRefiPb, t.tRefiAb / 8);
+    EXPECT_GT(t.tRfcAb, 0);
+    EXPECT_GE(t.tRfcAb, t.tRfcPb);
+
+    // Core timing sanity: a row cycle covers activation + precharge.
+    EXPECT_GE(t.tRc, t.tRas + t.tRp);
+
+    // Derived values must match their defining formulas.
+    EXPECT_EQ(t.tRtw, t.tCl + t.tBl + 2 - t.tCwl);
+    EXPECT_GT(t.tRtw, 0);
+
+    // FGR divisors: monotonically increasing in rate, yet sub-linear
+    // (each finer command refreshes fewer rows but pays fixed
+    // overheads), which is what makes FGR a net loss in the paper.
+    EXPECT_DOUBLE_EQ(t.rfcDivisorFor(1), 1.0);
+    EXPECT_GT(t.rfcDivisorFor(2), t.rfcDivisorFor(1));
+    EXPECT_GT(t.rfcDivisorFor(4), t.rfcDivisorFor(2));
+    EXPECT_LT(t.rfcDivisorFor(2), 2.0);
+    EXPECT_LT(t.rfcDivisorFor(4), 4.0);
+}
+
+TEST_P(SpecInvariants, FgrRateScaling)
+{
+    const auto [name, density] = GetParam();
+    const DramSpec &spec = DramSpecRegistry::instance().at(name);
+    const TimingParams base = spec.timingFor(cfgFor(name, density));
+    const TimingParams f2 = spec.timingFor(
+        cfgFor(name, density, 32, RefreshMode::kFgr2x));
+    const TimingParams f4 = spec.timingFor(
+        cfgFor(name, density, 32, RefreshMode::kFgr4x));
+
+    EXPECT_EQ(f2.tRefiAb, base.tRefiAb / 2);
+    EXPECT_EQ(f4.tRefiAb, base.tRefiAb / 4);
+    EXPECT_NEAR(static_cast<double>(base.tRfcAb) / f2.tRfcAb,
+                spec.fgrDivisor2x, 0.03);
+    EXPECT_NEAR(static_cast<double>(base.tRfcAb) / f4.tRfcAb,
+                spec.fgrDivisor4x, 0.03);
+    // Worst-case lockout per retention period grows with the rate (the
+    // paper's complaint about FGR).
+    EXPECT_GT(2 * f2.tRfcAb, base.tRfcAb);
+    EXPECT_GT(4 * f4.tRfcAb, 2 * f2.tRfcAb);
+}
+
+TEST_P(SpecInvariants, RetentionScaling)
+{
+    const auto [name, density] = GetParam();
+    const DramSpec &spec = DramSpecRegistry::instance().at(name);
+    const TimingParams t32 = spec.timingFor(cfgFor(name, density, 32));
+    const TimingParams t64 = spec.timingFor(cfgFor(name, density, 64));
+
+    // Doubling retention doubles the command spacing but never the
+    // latency or the per-command row coverage.
+    EXPECT_NEAR(static_cast<double>(t64.tRefiAb),
+                2.0 * static_cast<double>(t32.tRefiAb), 2.0);
+    EXPECT_EQ(t64.tRfcAb, t32.tRfcAb);
+    EXPECT_EQ(t64.rowsPerRefresh, t32.rowsPerRefresh);
+}
+
+namespace {
+
+std::string
+invariantName(
+    const ::testing::TestParamInfo<std::tuple<std::string, Density>> &info)
+{
+    std::string out = std::get<0>(info.param) + "_" +
+        densityName(std::get<1>(info.param));
+    for (char &c : out) {
+        if (c == '-')
+            c = '_';
+    }
+    return out;
+}
+
+std::vector<std::string>
+allSpecNames()
+{
+    return DramSpecRegistry::instance().names();
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecs, SpecInvariants,
+    ::testing::Combine(::testing::ValuesIn(allSpecNames()),
+                       ::testing::Values(Density::k8Gb, Density::k16Gb,
+                                         Density::k32Gb)),
+    invariantName);
+
+// ---------------------------------------------------------------------
+// Density monotonicity per spec: bigger chips refresh longer.
+// ---------------------------------------------------------------------
+
+TEST(DramSpec, TrfcGrowsWithDensity)
+{
+    for (const std::string &name : allSpecNames()) {
+        const DramSpec &spec = DramSpecRegistry::instance().at(name);
+        const TimingParams t8 = spec.timingFor(cfgFor(name, Density::k8Gb));
+        const TimingParams t16 =
+            spec.timingFor(cfgFor(name, Density::k16Gb));
+        const TimingParams t32 =
+            spec.timingFor(cfgFor(name, Density::k32Gb));
+        EXPECT_LT(t8.tRfcAb, t16.tRfcAb) << name;
+        EXPECT_LT(t16.tRfcAb, t32.tRfcAb) << name;
+        EXPECT_LT(t8.tRfcPb, t16.tRfcPb) << name;
+        EXPECT_LT(t16.tRfcPb, t32.tRfcPb) << name;
+    }
+}
+
+TEST(DramSpec, LpddrUsesNativePerBankTable)
+{
+    const DramSpec &lp = DramSpecRegistry::instance().at("LPDDR4-3200");
+    ASSERT_TRUE(lp.nativePerBankRefresh);
+    const TimingParams t = lp.timingFor(cfgFor("LPDDR4-3200",
+                                               Density::k8Gb));
+    // 140 ns at tCK = 0.625 ns -> 224 cycles, straight from the native
+    // table rather than tRFCab / 2.3 (= 179 cycles).
+    EXPECT_EQ(t.tRfcPb, TimingParams::nsToCycles(140.0, 0.625));
+    const double ratio =
+        static_cast<double>(t.tRfcAb) / static_cast<double>(t.tRfcPb);
+    EXPECT_NEAR(ratio, 2.0, 0.01);
+}
+
+TEST(DramSpec, Ddr4CarriesNativeFgrDivisors)
+{
+    const DramSpec &d4 = DramSpecRegistry::instance().at("DDR4-2400");
+    // tRFC1/tRFC2/tRFC4 = 350/260/160 ns at 8 Gb.
+    EXPECT_NEAR(d4.fgrDivisor2x, 350.0 / 260.0, 1e-9);
+    EXPECT_NEAR(d4.fgrDivisor4x, 350.0 / 160.0, 1e-9);
+    // Strictly steeper than the paper's DDR3 projections at 4x.
+    EXPECT_GT(d4.fgrDivisor4x, TimingParams::fgrRfcDivisor(4));
+}
+
+// ---------------------------------------------------------------------
+// The default spec must reproduce the pre-registry derivation exactly.
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+expectIdenticalTimings(const TimingParams &a, const TimingParams &b)
+{
+    EXPECT_DOUBLE_EQ(a.tCkNs, b.tCkNs);
+    EXPECT_EQ(a.tCl, b.tCl);
+    EXPECT_EQ(a.tCwl, b.tCwl);
+    EXPECT_EQ(a.tRcd, b.tRcd);
+    EXPECT_EQ(a.tRp, b.tRp);
+    EXPECT_EQ(a.tRas, b.tRas);
+    EXPECT_EQ(a.tRc, b.tRc);
+    EXPECT_EQ(a.tBl, b.tBl);
+    EXPECT_EQ(a.tCcd, b.tCcd);
+    EXPECT_EQ(a.tRtp, b.tRtp);
+    EXPECT_EQ(a.tWr, b.tWr);
+    EXPECT_EQ(a.tWtr, b.tWtr);
+    EXPECT_EQ(a.tRtw, b.tRtw);
+    EXPECT_EQ(a.tRrd, b.tRrd);
+    EXPECT_EQ(a.tFaw, b.tFaw);
+    EXPECT_EQ(a.tRtrs, b.tRtrs);
+    EXPECT_EQ(a.tRefiAb, b.tRefiAb);
+    EXPECT_EQ(a.tRefiPb, b.tRefiPb);
+    EXPECT_EQ(a.tRfcAb, b.tRfcAb);
+    EXPECT_EQ(a.tRfcPb, b.tRfcPb);
+    EXPECT_EQ(a.rowsPerRefresh, b.rowsPerRefresh);
+    EXPECT_EQ(a.refreshesPerRetention, b.refreshesPerRetention);
+}
+
+} // namespace
+
+TEST(DramSpec, DefaultSpecMatchesLegacyDerivation)
+{
+    for (Density d : {Density::k8Gb, Density::k16Gb, Density::k32Gb}) {
+        for (int retention : {32, 64}) {
+            for (RefreshMode mode :
+                 {RefreshMode::kAllBank, RefreshMode::kPerBank,
+                  RefreshMode::kDarp, RefreshMode::kFgr2x,
+                  RefreshMode::kFgr4x}) {
+                const MemConfig cfg =
+                    cfgFor("DDR3-1333", d, retention, mode);
+                expectIdenticalTimings(TimingParams::ddr3_1333(cfg),
+                                       TimingParams::forConfig(cfg));
+            }
+        }
+    }
+
+    // The legacy frozen tRtw = 8 must equal the derived formula on the
+    // default spec, or the pre-refactor seed would not be reproduced.
+    const TimingParams t =
+        TimingParams::forConfig(cfgFor("DDR3-1333", Density::k8Gb));
+    EXPECT_EQ(t.tRtw, 8);
+    EXPECT_EQ(t.tRefiPb, t.tRefiAb / 8);
+}
+
+TEST(DramSpec, DefaultSpecSmokeRunIsBitIdentical)
+{
+    // Same seed, same workload: selecting DDR3-1333 through the
+    // registry (via an alias, even) must produce the exact IPC/WS of a
+    // config that never mentions dram.spec.
+    auto run = [](const std::string &spec) {
+        SystemConfig cfg;
+        cfg.numCores = 2;
+        cfg.mem.org.channels = 1;
+        cfg.mem.refresh = RefreshMode::kDarp;
+        cfg.mem.sarp = true;
+        cfg.seed = 7;
+        if (!spec.empty())
+            cfg.mem.dramSpec = spec;
+        System sys(cfg, {benchmarkIndex("mcf-like"),
+                         benchmarkIndex("gcc-like")});
+        sys.run(30000);
+        return sys.coreIpc();
+    };
+    const auto base = run("");
+    const auto named = run("ddr3-1333");
+    ASSERT_EQ(base.size(), named.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        EXPECT_EQ(base[i], named[i]) << "core " << i;
+}
+
+// ---------------------------------------------------------------------
+// Config-layer round-trips for the "dram.spec" key.
+// ---------------------------------------------------------------------
+
+TEST(DramSpecConfig, KeyRoundTripsThroughSetFileAndEnv)
+{
+    ExperimentConfig cfg;
+    EXPECT_EQ(cfg.dramSpec, "DDR3-1333");
+
+    // Programmatic / CLI layer.
+    cfg.set("dram.spec", "ddr4");
+    EXPECT_EQ(cfg.dramSpecName(), "DDR4-2400");
+
+    // Config-file layer.
+    const std::string path = ::testing::TempDir() + "dram_spec_test.cfg";
+    {
+        std::ofstream out(path);
+        out << "# backend selection\n"
+            << "dram.spec = DDR3-1600\n";
+    }
+    cfg.applyFile(path);
+    EXPECT_EQ(cfg.dramSpec, "DDR3-1600");
+    std::remove(path.c_str());
+
+    // Environment layer (highest of the three applied here).
+    ::setenv("DSARP_SET", "dram.spec=lpddr4-3200", 1);
+    cfg.applyEnv();
+    ::unsetenv("DSARP_SET");
+    EXPECT_EQ(cfg.dramSpecName(), "LPDDR4-3200");
+}
+
+TEST(DramSpecConfig, UnknownSpecFailsValidationWithNamedKey)
+{
+    ExperimentConfig cfg;
+    cfg.dramSpec = "HBM3-9999";
+    const std::string errors = cfg.validate();
+    EXPECT_NE(errors.find("config key 'dram.spec'"), std::string::npos);
+    EXPECT_NE(errors.find("HBM3-9999"), std::string::npos);
+    EXPECT_NE(errors.find("DDR4-2400"), std::string::npos);
+}
+
+TEST(DramSpecConfig, EmptySpecValueIsRejected)
+{
+    ExperimentConfig cfg;
+    const std::string err = cfg.trySet("dram.spec", "");
+    EXPECT_NE(err.find("dram.spec"), std::string::npos);
+    EXPECT_EQ(cfg.dramSpec, "DDR3-1333");
+}
+
+TEST(DramSpecConfig, SimulationResolvesAndCachesSpec)
+{
+    Simulation sim = Simulation::builder()
+                         .policy("REFab")
+                         .dramSpec("lpddr4")
+                         .cores(2)
+                         .warmupCycles(500)
+                         .measureCycles(2000)
+                         .build();
+    EXPECT_EQ(sim.dramSpecName(), "LPDDR4-3200");
+    EXPECT_EQ(sim.config().dramSpec, "LPDDR4-3200");
+    EXPECT_TRUE(sim.dramSpec().nativePerBankRefresh);
+}
+
+// ---------------------------------------------------------------------
+// Every registered spec must run end-to-end.
+// ---------------------------------------------------------------------
+
+class SpecEndToEnd : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SpecEndToEnd, SystemMakesProgressUnderDsarp)
+{
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.mem.org.channels = 1;
+    cfg.mem.policy = "DSARP";
+    cfg.mem.dramSpec = GetParam();
+    cfg.seed = 11;
+    System sys(cfg, {benchmarkIndex("milc-like"),
+                     benchmarkIndex("soplex-like")});
+    sys.run(4 * sys.timing().tRefiAb);
+
+    EXPECT_EQ(sys.timing().spec, GetParam());
+    std::uint64_t reads = 0, refreshes = 0;
+    for (int ch = 0; ch < sys.numChannels(); ++ch) {
+        reads += sys.controller(ch).stats().readsCompleted;
+        const auto &cs = sys.controller(ch).channel().stats();
+        refreshes += cs.refAb + cs.refPb;
+    }
+    EXPECT_GT(reads, 100u);
+    EXPECT_GT(refreshes, 0u);
+}
+
+namespace {
+
+std::string
+specName(const ::testing::TestParamInfo<std::string> &info)
+{
+    std::string out = info.param;
+    for (char &c : out) {
+        if (c == '-')
+            c = '_';
+    }
+    return out;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, SpecEndToEnd,
+                         ::testing::ValuesIn(allSpecNames()), specName);

@@ -42,6 +42,8 @@ usage()
     std::printf(
         "dsarp_sim -- run one workload under one refresh mechanism\n\n"
         "  --mech NAME        refresh mechanism (--list-mechs)  [DSARP]\n"
+        "  --spec NAME        DRAM spec, = dram.spec (--list-specs)\n"
+        "                                                  [DDR3-1333]\n"
         "  --density GB       8 | 16 | 32                       [32]\n"
         "  --cores N          cores / workload slots            [8]\n"
         "  --retention MS     32 | 64                           [32]\n"
@@ -53,7 +55,9 @@ usage()
         "  --intensity PCT    0|25|50|75|100 intensive mix      [100]\n"
         "  --config FILE      key=value config file (layered first)\n"
         "  --set key=value    one config override (repeatable)\n"
+        "  --list             print refresh mechanisms and DRAM specs\n"
         "  --list-mechs       print the registered refresh mechanisms\n"
+        "  --list-specs       print the registered DRAM specs\n"
         "  --list-keys        print every config key --set accepts\n"
         "  --list-benchmarks  print the benchmark catalogue\n"
         "\nDSARP_SET=\"key=value,...\" in the environment is applied\n"
@@ -67,6 +71,26 @@ listMechs()
     for (const std::string &name : registry.names())
         std::printf("%-10s %s\n", name.c_str(),
                     registry.find(name)->summary.c_str());
+}
+
+void
+listSpecs()
+{
+    const auto &registry = DramSpecRegistry::instance();
+    for (const std::string &name : registry.names()) {
+        const DramSpec *spec = registry.find(name);
+        std::printf("%-12s tCK %5.3f ns  %s\n", name.c_str(), spec->tCkNs,
+                    spec->summary.c_str());
+    }
+}
+
+void
+listAll()
+{
+    std::printf("refresh mechanisms (--mech):\n");
+    listMechs();
+    std::printf("\nDRAM specs (--spec / --set dram.spec=...):\n");
+    listSpecs();
 }
 
 void
@@ -114,8 +138,14 @@ main(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
+        } else if (arg == "--list") {
+            listAll();
+            return 0;
         } else if (arg == "--list-mechs") {
             listMechs();
+            return 0;
+        } else if (arg == "--list-specs") {
+            listSpecs();
             return 0;
         } else if (arg == "--list-keys") {
             for (const std::string &key : ExperimentConfig::knownKeys())
@@ -130,6 +160,8 @@ main(int argc, char **argv)
             cfg.applyOverride(value());
         } else if (arg == "--mech") {
             cfg.set("policy", value());
+        } else if (arg == "--spec") {
+            cfg.set("dram.spec", value());
         } else if (arg == "--density") {
             cfg.set("densityGb", value());
         } else if (arg == "--cores") {
@@ -158,6 +190,8 @@ main(int argc, char **argv)
     Simulation sim = Simulation::builder().config(cfg).build();
 
     std::printf("mechanism  : %s\n", sim.mechanismName().c_str());
+    std::printf("dram spec  : %s (tCK %.3f ns)\n",
+                sim.dramSpecName().c_str(), sim.dramSpec().tCkNs);
     std::printf("density    : %dGb, retention %d ms, %d subarrays/bank\n",
                 cfg.densityGb, cfg.retentionMs, cfg.subarraysPerBank);
     std::printf("system     : %d cores, %llu+%llu cycles\n", cfg.numCores,
