@@ -29,14 +29,15 @@ main(int argc, char **argv)
     const auto workloads =
         makeWorkloads(runner.workloadsPerCategory(), 8, 1);
 
-    std::printf("%-10s %7s %8s %7s %7s %7s %7s %7s\n", "density", "REFpb",
-                "Elastic", "DARP", "SARPab", "SARPpb", "DSARP", "NoREF");
+    std::printf("%-10s %7s %8s %7s %7s %7s %7s %7s %7s\n", "density",
+                "REFpb", "Elastic", "DARP", "SARPab", "SARPpb", "DSARP",
+                "HiRA", "NoREF");
     for (Density d : densities()) {
         const auto refab =
             wsOf(sweep(runner, mechNamed("REFab", d, spec), workloads));
         std::printf("%-10s", densityName(d));
         for (const char *mech : {"REFpb", "Elastic", "DARP", "SARPab",
-                                 "SARPpb", "DSARP", "NoREF"}) {
+                                 "SARPpb", "DSARP", "HiRA", "NoREF"}) {
             const auto ws =
                 wsOf(sweep(runner, mechNamed(mech, d, spec), workloads));
             std::printf(" %6.1f%%", gmeanPctOver(ws, refab));

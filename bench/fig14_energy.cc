@@ -1,11 +1,16 @@
 /**
  * @file
  * Figure 14: DRAM energy per memory access for every mechanism and
- * density (Micron power-calculator methodology).
+ * density (Micron power-calculator methodology, per-spec IDD sets).
  *
  * Paper reference: DSARP cuts energy/access by 3.0/5.2/9.0% versus
  * REFab at 8/16/32 Gb, mostly by reducing static energy per access
  * through higher performance.
+ *
+ * Backend axis: --spec NAME (or DSARP_DRAM_SPEC) re-runs the figure
+ * under any registered DRAM spec with that spec's own vdd/IDD energy
+ * parameters -- the CI runs DDR4-2400 and LPDDR4-3200 legs so
+ * spec-blind energy regressions fail loudly.
  */
 
 #include <cstdio>
@@ -16,9 +21,14 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 14", "energy per access (nJ) by mechanism");
+
+    // Backend axis: --spec NAME > DSARP_DRAM_SPEC > DDR3-1333 default.
+    const std::string spec = specFromArgs(argc, argv);
+    if (!spec.empty())
+        std::printf("[dram spec: %s]\n", spec.c_str());
 
     Runner runner;
     const auto workloads =
@@ -29,14 +39,14 @@ main()
                 "DSARP", "NoREF", "DSARPvAB");
     for (Density d : densities()) {
         const auto refab =
-            energyOf(sweep(runner, mechRefAb(d), workloads));
+            energyOf(sweep(runner, mechNamed("REFab", d, spec), workloads));
         std::printf("%-10s %7.2f", densityName(d), mean(refab));
         double dsarp_mean = 0.0;
-        for (const RunConfig &cfg :
-             {mechRefPb(d), mechElastic(d), mechDarp(d), mechSarpAb(d),
-              mechSarpPb(d), mechDsarp(d), mechNoRef(d)}) {
-            const auto e = energyOf(sweep(runner, cfg, workloads));
-            if (cfg.mechanismName() == "DSARP")
+        for (const char *mech : {"REFpb", "Elastic", "DARP", "SARPab",
+                                 "SARPpb", "DSARP", "NoREF"}) {
+            const auto e =
+                energyOf(sweep(runner, mechNamed(mech, d, spec), workloads));
+            if (std::string(mech) == "DSARP")
                 dsarp_mean = mean(e);
             std::printf(" %7.2f", mean(e));
         }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "dram/spec.hh"
 
 namespace dsarp {
 
@@ -94,6 +95,24 @@ MemConfig::validate() const
         fail("config key 'lineBytes' (" +
              std::to_string(org.lineBytes) + ") must divide rowBytes (" +
              std::to_string(org.rowBytes) + ")");
+    } else if (const DramSpec *spec =
+                   DramSpecRegistry::instance().find(dramSpec)) {
+        // Address mapping is burst-granular: a line must fit inside one
+        // spec burst (2 x tBl transfers x bus width), and bursts must
+        // tile the row evenly.
+        const int burst = spec->burstBytes();
+        if (org.lineBytes > burst || burst % org.lineBytes != 0) {
+            fail("config key 'lineBytes' (" +
+                 std::to_string(org.lineBytes) + ") is inconsistent "
+                 "with DRAM spec '" + spec->name + "': one burst "
+                 "transfers " + std::to_string(burst) + " bytes (2 x "
+                 "tBl x bus width); lines must evenly divide a burst");
+        } else if (org.rowBytes % burst != 0) {
+            fail("config key 'rowBytes' (" +
+                 std::to_string(org.rowBytes) + ") must be a multiple "
+                 "of DRAM spec '" + spec->name + "' burst size (" +
+                 std::to_string(burst) + " bytes)");
+        }
     }
 
     atLeastOne("readQueueSize", readQueueSize);
@@ -132,6 +151,16 @@ MemConfig::validate() const
              ">= 1.0: SARP inflates tFAW/tRRD during refresh, never "
              "shrinks them");
     }
+    if (hiraCoverage > 1.0 || (hiraCoverage < 0.0 && hiraCoverage != -1.0)) {
+        fail("config key 'refresh.hiraCoverage' must be within [0, 1], "
+             "or -1 for the spec default (got " +
+             std::to_string(hiraCoverage) + ")");
+    }
+    if (hiraDelayCycles < 0) {
+        fail("config key 'refresh.hiraDelay' must be >= 0 cycles, 0 for "
+             "the spec default (got " + std::to_string(hiraDelayCycles) +
+             ")");
+    }
     return bad.str();
 }
 
@@ -139,6 +168,10 @@ void
 MemConfig::finalize()
 {
     org.rowsPerBank = rowsPerBankFor(density);
+    // Address mapping is burst-granular; the burst size is a property
+    // of the selected device spec (LPDDR4's BL16 halves the column
+    // count a DDR3 row would have).
+    org.burstBytes = DramSpecRegistry::instance().at(dramSpec).burstBytes();
 
     const std::string errors = validate();
     if (!errors.empty())

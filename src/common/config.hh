@@ -62,10 +62,24 @@ struct MemOrg
     int subarraysPerBank = 8;
     int rowsPerBank = 65536;   ///< Overridden from Density by MemConfig.
     int rowBytes = 8192;       ///< 8 KB rows.
-    int lineBytes = 64;        ///< Cache line (memory burst) size.
+    int lineBytes = 64;        ///< Cache line size.
 
-    /** Cache lines per row. */
-    int columns() const { return rowBytes / lineBytes; }
+    /**
+     * Bytes one burst of the selected DRAM spec transfers (2 x tBl
+     * transfers x bus width), set from the spec by
+     * MemConfig::finalize(). The default matches DDR3/DDR4 BL8 on a
+     * 64-bit channel; LPDDR4's BL16 doubles it, halving columns().
+     */
+    int burstBytes = 64;
+
+    /** Bytes per DRAM column address: one burst, never below a line. */
+    int columnBytes() const
+    {
+        return burstBytes > lineBytes ? burstBytes : lineBytes;
+    }
+
+    /** Column addresses per row (spec burst aware). */
+    int columns() const { return rowBytes / columnBytes(); }
 
     /** Rows per subarray group. */
     int rowsPerSubarray() const { return rowsPerBank / subarraysPerBank; }
@@ -102,6 +116,29 @@ struct MemConfig
 
     RefreshMode refresh = RefreshMode::kAllBank;  ///< Timing profile.
     bool sarp = false;      ///< Subarray access refresh parallelization.
+
+    /**
+     * HiRA (hidden row activation, Yağlıkçı et al., MICRO'22) support,
+     * set by the "HiRA" policy's config bundle: banks accept a hidden
+     * per-bank refresh beneath an open row in a different subarray,
+     * and tRRD/tFAW inflate while one is in flight (power integrity,
+     * same Eq. 1-3 modeling as SARP).
+     */
+    bool hira = false;
+
+    /**
+     * Fraction of activated rows whose refresh can hide beneath the
+     * access (config key "refresh.hiraCoverage"); negative keeps the
+     * spec's characterized figure (~32%).
+     */
+    double hiraCoverage = -1.0;
+
+    /**
+     * Delay in DRAM cycles between a demand ACT and the hidden
+     * refresh activation it covers (config key "refresh.hiraDelay");
+     * 0 keeps the spec's tHiRA.
+     */
+    int hiraDelayCycles = 0;
 
     /**
      * Enable DARP's second component (write-refresh parallelization).

@@ -103,6 +103,7 @@ ChannelController::toCommand(const RefreshRequest &req) const
     cmd.bank = req.bank;
     cmd.tRfcOverride = req.tRfcOverride;
     cmd.rowsOverride = req.rowsOverride;
+    cmd.hidden = req.hidden;
     return cmd;
 }
 
@@ -125,6 +126,7 @@ ChannelController::serveDemand(RequestQueue &queue, const CmdChoice &choice,
     if (cmdLog_)
         cmdLog_->push_back({now, choice.cmd});
     lastDemandActivity_[choice.cmd.rank] = now;
+    refreshSched_->onDemandCommand(choice.cmd, now);
 
     if (!isColumnCmd(choice.cmd.type))
         return;  // ACT: the request stays queued for its column command.

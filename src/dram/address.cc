@@ -6,7 +6,9 @@ namespace dsarp {
 
 AddressMap::AddressMap(const MemOrg &org) : org_(org)
 {
-    capacity_ = static_cast<Addr>(org.lineBytes) * org.channels *
+    // columns() x columnBytes() == rowBytes, so capacity is independent
+    // of the mapping granularity.
+    capacity_ = static_cast<Addr>(org.columnBytes()) * org.channels *
         org.columns() * org.banksPerRank * org.ranksPerChannel *
         org.rowsPerBank;
 }
@@ -16,7 +18,9 @@ AddressMap::decode(Addr addr) const
 {
     DSARP_ASSERT(addr < capacity_, "address beyond mapped capacity");
 
-    Addr x = addr / org_.lineBytes;
+    // The mapping unit is one DRAM column: a full spec burst, which is
+    // a cache line on DDR3/DDR4 but two lines on LPDDR4 (BL16).
+    Addr x = addr / org_.columnBytes();
 
     DecodedAddr d;
     d.channel = static_cast<ChannelId>(x % org_.channels);
@@ -46,7 +50,7 @@ AddressMap::encode(const DecodedAddr &d) const
     x = x * org_.banksPerRank + d.bank;
     x = x * org_.columns() + d.column;
     x = x * org_.channels + d.channel;
-    return x * org_.lineBytes;
+    return x * org_.columnBytes();
 }
 
 } // namespace dsarp

@@ -2,11 +2,16 @@
  * @file
  * Physical address mapping.
  *
- * The interleaving is line:channel:column:bank:rank:row from least to most
- * significant, i.e. consecutive cache lines alternate across channels, then
- * walk the columns of one row within a channel. This gives streaming
- * workloads both channel-level parallelism and row-buffer locality, the
- * standard layout for FR-FCFS studies.
+ * The interleaving is burst:channel:column:bank:rank:row from least to
+ * most significant, i.e. consecutive bursts alternate across channels,
+ * then walk the columns of one row within a channel. This gives
+ * streaming workloads both channel-level parallelism and row-buffer
+ * locality, the standard layout for FR-FCFS studies.
+ *
+ * The mapping unit is one DRAM column = one spec burst
+ * (MemOrg::columnBytes()): a 64 B cache line on DDR3/DDR4, but 128 B
+ * on LPDDR4 whose BL16 halves the column count per row. Lines smaller
+ * than a burst alias into the same column (the burst over-fetches).
  */
 
 #ifndef DSARP_DRAM_ADDRESS_HH

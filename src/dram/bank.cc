@@ -51,12 +51,25 @@ Bank::canRefresh(Tick now) const
     return openRow_ == kNone && !refreshing(now) && now >= actAllowedAt_;
 }
 
+bool
+Bank::canHiddenRefresh(Tick now) const
+{
+    if (openRow_ == kNone || refreshing(now))
+        return false;
+    if (lastActAt_ == kTickNever ||
+        now < lastActAt_ + static_cast<Tick>(timing_->tHiRA)) {
+        return false;
+    }
+    return subarrayOf(refRowCounter_) != openSubarray_;
+}
+
 void
 Bank::onAct(Tick now, RowId row, SubarrayId subarray)
 {
     DSARP_ASSERT(canAct(now, row), "illegal ACT");
     openRow_ = row;
     openSubarray_ = subarray;
+    lastActAt_ = now;
     colAllowedAt_ = now + timing_->tRcd;
     actAllowedAt_ = std::max(actAllowedAt_, now + timing_->tRc);
     preAllowedAt_ = now + timing_->tRas;
@@ -105,16 +118,20 @@ Bank::onPre(Tick now)
 }
 
 void
-Bank::onRefresh(Tick now, int t_rfc, int rows)
+Bank::onRefresh(Tick now, int t_rfc, int rows, bool hidden)
 {
-    DSARP_ASSERT(canRefresh(now), "illegal refresh");
+    DSARP_ASSERT(hidden ? canHiddenRefresh(now) : canRefresh(now),
+                 "illegal refresh");
     if (rows == 0)
         rows = timing_->rowsPerRefresh;
     refreshSubarray_ = subarrayOf(refRowCounter_);
+    refreshHidden_ = hidden;
     refreshUntil_ = now + t_rfc;
     refRowCounter_ = (refRowCounter_ + rows) % rowsPerBank_;
     if (!sarp_) {
-        // Whole bank unavailable for the duration of the refresh.
+        // No new ACT until the refresh completes. For a hidden refresh
+        // the open row keeps serving column commands -- only further
+        // activations wait (HiRA interleaves exactly two activations).
         actAllowedAt_ = std::max(actAllowedAt_, refreshUntil_);
     }
 }

@@ -7,6 +7,13 @@
  * subarray is recorded; ACTs to *other* subarrays are permitted when SARP
  * is enabled, and the refresh neither uses nor blocks the global bitlines
  * (the AND-gate isolation of Figure 11b).
+ *
+ * HiRA support (Yağlıkçı et al., MICRO'22): a *hidden* refresh may start
+ * while a row is open, provided the refresh-counter row lives in a
+ * different subarray and at least tHiRA cycles passed since the demand
+ * ACT -- the refresh activation hides beneath the access. The open row
+ * keeps serving column commands; new ACTs still wait for the refresh to
+ * finish (off-the-shelf chips interleave exactly two activations).
  */
 
 #ifndef DSARP_DRAM_BANK_HH
@@ -32,6 +39,13 @@ class Bank
 
     /** Bank idle (precharged, no refresh) so a refresh may start. */
     bool canRefresh(Tick now) const;
+
+    /**
+     * A HiRA hidden refresh may start: a row is open, no refresh is in
+     * flight, the demand ACT is at least tHiRA cycles old, and the
+     * refresh counter targets a different subarray than the open row.
+     */
+    bool canHiddenRefresh(Tick now) const;
     /// @}
 
     /** @name State transitions; caller must have checked legality. */
@@ -44,9 +58,11 @@ class Bank
     /**
      * Begin refreshing @p rows rows (0 = the TimingParams default)
      * starting at the internal row counter; occupies the counter's
-     * subarray for tRfc cycles.
+     * subarray for tRfc cycles. With @p hidden the refresh starts
+     * beneath the open row (HiRA); the caller must have checked
+     * canHiddenRefresh() instead of canRefresh().
      */
-    void onRefresh(Tick now, int tRfc, int rows = 0);
+    void onRefresh(Tick now, int tRfc, int rows = 0, bool hidden = false);
     /// @}
 
     /** @name Observers. */
@@ -55,6 +71,16 @@ class Bank
     bool isOpen() const { return openRow_ != kNone; }
     bool refreshing(Tick now) const { return refreshUntil_ > now; }
     Tick refreshUntil() const { return refreshUntil_; }
+
+    /** True while a HiRA hidden refresh is in flight. */
+    bool
+    hiddenRefreshing(Tick now) const
+    {
+        return refreshing(now) && refreshHidden_;
+    }
+
+    /** Tick of the last ACT accepted (kTickNever before the first). */
+    Tick lastActAt() const { return lastActAt_; }
 
     /** Subarray currently being refreshed (kNone when not refreshing). */
     SubarrayId
@@ -87,7 +113,9 @@ class Bank
 
     Tick refreshUntil_ = 0;
     SubarrayId refreshSubarray_ = kNone;
+    bool refreshHidden_ = false;
     RowId refRowCounter_ = 0;
+    Tick lastActAt_ = kTickNever;
 };
 
 } // namespace dsarp

@@ -67,7 +67,9 @@ Channel::canIssue(const Command &cmd, Tick now) const
       case CommandType::kPre:
         return rk.bank(cmd.bank).canPre(now);
       case CommandType::kRefPb:
-        return rk.canRefPbRankLevel(now) && rk.bank(cmd.bank).canRefresh(now);
+        return rk.canRefPbRankLevel(now) &&
+            (cmd.hidden ? rk.bank(cmd.bank).canHiddenRefresh(now)
+                        : rk.bank(cmd.bank).canRefresh(now));
       case CommandType::kRefAb:
         return rk.canRefAb(now);
     }
@@ -116,8 +118,11 @@ Channel::issue(const Command &cmd, Tick now)
         return 0;
 
       case CommandType::kRefPb:
-        rk.onRefPb(now, cmd.bank, cmd.tRfcOverride, cmd.rowsOverride);
+        rk.onRefPb(now, cmd.bank, cmd.tRfcOverride, cmd.rowsOverride,
+                   cmd.hidden);
         ++stats_.refPb;
+        if (cmd.hidden)
+            ++stats_.refPbHidden;
         stats_.refPbCycles +=
             cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcPb;
         return 0;

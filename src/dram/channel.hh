@@ -30,6 +30,8 @@ struct ChannelStats
     std::uint64_t pres = 0;
     std::uint64_t refAb = 0;
     std::uint64_t refPb = 0;
+    /** Subset of refPb issued hidden beneath an open row (HiRA). */
+    std::uint64_t refPbHidden = 0;
     /** Cycles actually spent in refresh, honouring FGR/AR overrides. */
     std::uint64_t refAbCycles = 0;
     std::uint64_t refPbCycles = 0;

@@ -72,6 +72,13 @@ struct Command
      */
     int tRfcOverride = 0;
     int rowsOverride = 0;
+
+    /**
+     * HiRA hidden refresh: a REFpb issued to a bank with an open row,
+     * refreshing a *different* subarray beneath the in-progress access
+     * (legal only tHiRA cycles after the demand ACT).
+     */
+    bool hidden = false;
 };
 
 const char *commandName(CommandType t);

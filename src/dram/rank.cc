@@ -33,9 +33,10 @@ double
 Rank::refreshInflationMult(const MemConfig &cfg, bool ab_in_flight,
                            int pb_in_flight)
 {
-    // Without SARP and without the overlapped-REFpb extension, the
+    // Without SARP, HiRA, or the overlapped-REFpb extension, the
     // baseline never activates during refresh, so no inflation applies.
-    const bool extended = cfg.sarp || cfg.maxOverlappedRefPb > 1;
+    const bool extended =
+        cfg.sarp || cfg.hira || cfg.maxOverlappedRefPb > 1;
     if (!extended)
         return 1.0;
     if (ab_in_flight)
@@ -49,23 +50,56 @@ Rank::refreshInflationMult(const MemConfig &cfg, bool ab_in_flight,
 }
 
 int
+Rank::pruneInFlight(std::vector<Tick> &ends, Tick now)
+{
+    // Prune completed refreshes; the vectors never exceed the overlap
+    // cap, so this is a handful of comparisons.
+    auto it = std::remove_if(ends.begin(), ends.end(),
+                             [now](Tick end) { return end <= now; });
+    ends.erase(it, ends.end());
+    return static_cast<int>(ends.size());
+}
+
+int
 Rank::refPbCount(Tick now) const
 {
-    // Prune completed refreshes; the vector never exceeds the overlap
-    // cap, so this is a handful of comparisons.
-    auto it = std::remove_if(refPbEnds_.begin(), refPbEnds_.end(),
-                             [now](Tick end) { return end <= now; });
-    refPbEnds_.erase(it, refPbEnds_.end());
-    return static_cast<int>(refPbEnds_.size());
+    return pruneInFlight(refPbEnds_, now);
+}
+
+int
+Rank::hiddenRefPbCount(Tick now) const
+{
+    return pruneInFlight(hiddenPbEnds_, now);
+}
+
+int
+Rank::inflationPbCount(const MemConfig &cfg, int pb_in_flight,
+                       int hidden_pb_in_flight)
+{
+    // SARP (and the footnote-5 overlap extension) activates during any
+    // in-flight refresh, so every REFpb counts. HiRA alone only
+    // overlaps activations with its *hidden* refreshes -- a plain
+    // blocking REFpb under HiRA behaves exactly like DARP's and must
+    // not be penalized.
+    if (cfg.sarp || cfg.maxOverlappedRefPb > 1)
+        return pb_in_flight;
+    return hidden_pb_in_flight;
+}
+
+int
+Rank::inflationRefPbCount(Tick now) const
+{
+    return inflationPbCount(*cfg_, refPbCount(now),
+                            hiddenRefPbCount(now));
 }
 
 int
 Rank::effTRrd(Tick now) const
 {
-    if (cfg_->sarp || cfg_->maxOverlappedRefPb > 1) {
+    if (cfg_->sarp || cfg_->hira || cfg_->maxOverlappedRefPb > 1) {
         if (refAbInFlight(now))
             return tRrdInflAb_;
-        const int pb = refPbCount(now);
+        const int pb = inflationRefPbCount(now);
         if (pb == 1)
             return tRrdInflPb_;
         if (pb > 1) {
@@ -81,10 +115,10 @@ Rank::effTRrd(Tick now) const
 int
 Rank::effTFaw(Tick now) const
 {
-    if (cfg_->sarp || cfg_->maxOverlappedRefPb > 1) {
+    if (cfg_->sarp || cfg_->hira || cfg_->maxOverlappedRefPb > 1) {
         if (refAbInFlight(now))
             return tFawInflAb_;
-        const int pb = refPbCount(now);
+        const int pb = inflationRefPbCount(now);
         if (pb == 1)
             return tFawInflPb_;
         if (pb > 1) {
@@ -145,12 +179,15 @@ Rank::onAct(Tick now)
 }
 
 void
-Rank::onRefPb(Tick now, BankId bank, int t_rfc_override, int rows_override)
+Rank::onRefPb(Tick now, BankId bank, int t_rfc_override, int rows_override,
+              bool hidden)
 {
     DSARP_ASSERT(canRefPbRankLevel(now), "REFpb exceeds the overlap limit");
     const int t_rfc = t_rfc_override ? t_rfc_override : timing_->tRfcPb;
-    banks_[bank].onRefresh(now, t_rfc, rows_override);
+    banks_[bank].onRefresh(now, t_rfc, rows_override, hidden);
     refPbEnds_.push_back(now + t_rfc);
+    if (hidden)
+        hiddenPbEnds_.push_back(now + t_rfc);
 }
 
 void

@@ -43,7 +43,7 @@ class Rank
     /// @{
     void onAct(Tick now);
     void onRefPb(Tick now, BankId bank, int tRfcOverride = 0,
-                 int rowsOverride = 0);
+                 int rowsOverride = 0, bool hidden = false);
     void onRefAb(Tick now, int tRfcOverride = 0, int rowsOverride = 0);
     /// @}
 
@@ -55,6 +55,17 @@ class Rank
 
     /** Number of per-bank refreshes currently in flight. */
     int refPbCount(Tick now) const;
+
+    /**
+     * The in-flight REFpb count that drives power-integrity inflation
+     * (shared with the offline checker so both sides agree): under
+     * SARP / the overlap extension every in-flight refresh counts;
+     * under HiRA alone only the hidden ones, which overlap a demand
+     * activation -- a plain blocking REFpb behaves exactly like
+     * DARP's.
+     */
+    static int inflationPbCount(const MemConfig &cfg, int pbInFlight,
+                                int hiddenPbInFlight);
 
     /**
      * Power-integrity multiplier for tRRD/tFAW given the refresh state
@@ -79,6 +90,15 @@ class Rank
     int effTFaw(Tick now) const;
 
   private:
+    /** Prune ended entries from an in-flight list; return the count. */
+    static int pruneInFlight(std::vector<Tick> &ends, Tick now);
+
+    /** HiRA-hidden subset of refPbCount. */
+    int hiddenRefPbCount(Tick now) const;
+
+    /** inflationPbCount() on this rank's live refresh state. */
+    int inflationRefPbCount(Tick now) const;
+
     const MemConfig *cfg_;
     const TimingParams *timing_;
     std::vector<Bank> banks_;
@@ -90,6 +110,8 @@ class Rank
 
     /** End ticks of in-flight per-bank refreshes (pruned lazily). */
     mutable std::vector<Tick> refPbEnds_;
+    /** End ticks of the HiRA-hidden subset of refPbEnds_. */
+    mutable std::vector<Tick> hiddenPbEnds_;
     Tick refAbUntil_ = 0;
 
     /** Precomputed inflated values for the common cases (no fp math on

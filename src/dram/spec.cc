@@ -52,6 +52,15 @@ DramSpec::timingFor(const MemConfig &cfg) const
     t.fgrDivisor2x = fgrDivisor2x;
     t.fgrDivisor4x = fgrDivisor4x;
 
+    // HiRA: the spec's characterized delay/coverage figures, with the
+    // layered refresh.hiraDelay / refresh.hiraCoverage overrides on top.
+    t.tHiRA = cfg.hiraDelayCycles > 0
+        ? cfg.hiraDelayCycles
+        : TimingParams::nsToCycles(tHiRANs, t.tCkNs);
+    t.hiraActCoverage =
+        cfg.hiraCoverage >= 0.0 ? cfg.hiraCoverage : hiraActCoverage;
+    t.hiraRefCoverage = hiraRefCoverage;
+
     // Retention: refreshesPerRetention slots spread over the period.
     const double retentionNs = cfg.retentionMs * 1e6;
     double tRefiAbNs = retentionNs / refreshesPerRetention;

@@ -42,6 +42,37 @@ namespace dsarp {
 /** Index into the per-density tables (8/16/32 Gb). */
 int densityIndex(Density d);
 
+/**
+ * Datasheet currents in mA and the supply voltage for the energy model
+ * (sim/energy.hh). Every DramSpec carries its own set; the defaults
+ * are the Micron 8 Gb TwinDie DDR3-1333 approximation the paper's
+ * Section 5 methodology uses, which keeps DDR3-1333 bit-identical.
+ */
+struct EnergyParams
+{
+    double vdd = 1.5;     ///< Volts.
+    double idd0 = 95.0;   ///< One-bank ACT-PRE current.
+    double idd2n = 42.0;  ///< Precharge standby.
+    double idd3n = 45.0;  ///< Active standby.
+    double idd4r = 180.0; ///< Burst read.
+    double idd4w = 185.0; ///< Burst write.
+    double idd5b = 215.0; ///< Burst (all-bank) refresh.
+
+    /**
+     * Per-cycle current of a per-bank refresh, as a divisor of the
+     * all-bank refresh current above background: (IDD5B - IDD3N) /
+     * refPbCurrentDivisor. This encodes the *spec's* refresh geometry
+     * -- the bank count its tRFC tables assume (8), not whatever
+     * banksPerRank the config picked -- and native-REFpb parts derive
+     * it from their per-bank tRFC table (banks x tRFCpb / tRFCab) so
+     * a full-rank REFpb sweep costs the same charge as one REFab.
+     */
+    double refPbCurrentDivisor = 8.0;
+
+    /** Micron 8 Gb TwinDie DDR3-1333 approximation [29]. */
+    static EnergyParams micron8GbDdr3() { return EnergyParams{}; }
+};
+
 /** One DRAM device spec: the data-sheet inputs for timingFor(). */
 struct DramSpec
 {
@@ -93,6 +124,28 @@ struct DramSpec
      */
     double fgrDivisor2x = 1.35;
     double fgrDivisor4x = 1.63;
+
+    /** Data-bus width of one channel in bits; with tBl bus cycles per
+     *  burst (DDR: 2 x tBl transfers), one burst moves burstBytes(). */
+    int busWidthBits = 64;
+
+    /**
+     * HiRA (hidden row activation, Yağlıkçı et al., MICRO'22)
+     * characterization: the delay between a demand activation and the
+     * hidden refresh activation tucked beneath it, and the fraction of
+     * row pairs for which hiding is reliable -- ~32% for refresh
+     * beneath an access, ~78% for refresh parallelized with another
+     * refresh of the same bank.
+     */
+    double tHiRANs = 7.5;
+    double hiraActCoverage = 0.32;
+    double hiraRefCoverage = 0.78;
+
+    /** Datasheet IDD/vdd set for the energy model. */
+    EnergyParams energy;
+
+    /** Bytes one burst transfers: 2 x tBl transfers x bus width. */
+    int burstBytes() const { return 2 * tBl * (busWidthBits / 8); }
 
     /** tRFCab in ns for a density (before FGR scaling). */
     double tRfcAbNsFor(Density d) const { return tRfcAbNs[densityIndex(d)]; }

@@ -37,6 +37,21 @@ DSARP_REGISTER_DRAM_SPEC(ddr3_1333, []() {
     s.pbRfcDivisor = 2.3;
     s.fgrDivisor2x = 1.35;
     s.fgrDivisor4x = 1.63;
+    s.busWidthBits = 64;   // BL8 x 64-bit channel: 64 B bursts.
+    s.tHiRANs = 7.5;       // Hidden ACT follows the demand ACT by 5 tCK.
+    s.hiraActCoverage = 0.32;
+    s.hiraRefCoverage = 0.78;
+    // The paper's Section 5 energy set: Micron 8 Gb TwinDie DDR3 at
+    // 1.5 V (the EnergyParams defaults; spelled out so the golden
+    // energy numbers are pinned in data, not by accident).
+    s.energy.vdd = 1.5;
+    s.energy.idd0 = 95.0;
+    s.energy.idd2n = 42.0;
+    s.energy.idd3n = 45.0;
+    s.energy.idd4r = 180.0;
+    s.energy.idd4w = 185.0;
+    s.energy.idd5b = 215.0;
+    s.energy.refPbCurrentDivisor = 8.0;  // Ratio-model geometry: 8 banks.
     return s;
 }(), {"DDR3"})
 

@@ -34,6 +34,9 @@ DSARP_REGISTER_DRAM_SPEC(ddr3_1600, []() {
     s.pbRfcDivisor = 2.3;
     s.fgrDivisor2x = 1.35;
     s.fgrDivisor4x = 1.63;
+    s.busWidthBits = 64;   // BL8 x 64-bit channel: 64 B bursts.
+    // Same Micron 8 Gb DDR3 IDD set as DDR3-1333 (family property).
+    s.energy = EnergyParams::micron8GbDdr3();
     return s;
 }())
 

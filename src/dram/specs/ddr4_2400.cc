@@ -36,6 +36,20 @@ DSARP_REGISTER_DRAM_SPEC(ddr4_2400, []() {
     // Native FGR: tRFC2 = 260 ns, tRFC4 = 160 ns at 8 Gb.
     s.fgrDivisor2x = 350.0 / 260.0;
     s.fgrDivisor4x = 350.0 / 160.0;
+    s.busWidthBits = 64;   // BL8 x 64-bit channel: 64 B bursts.
+    s.tHiRANs = 7.5;
+    s.hiraActCoverage = 0.32;
+    s.hiraRefCoverage = 0.78;
+    // Micron 8 Gb DDR4-2400 x8 approximation at 1.2 V: lower currents
+    // and supply than DDR3, higher burst-read draw per the data sheet.
+    s.energy.vdd = 1.2;
+    s.energy.idd0 = 58.0;
+    s.energy.idd2n = 37.0;
+    s.energy.idd3n = 48.0;
+    s.energy.idd4r = 145.0;
+    s.energy.idd4w = 130.0;
+    s.energy.idd5b = 190.0;
+    s.energy.refPbCurrentDivisor = 8.0;  // Ratio-model geometry: 8 banks.
     return s;
 }(), {"DDR4"})
 

@@ -38,6 +38,27 @@ DSARP_REGISTER_DRAM_SPEC(lpddr4_3200, []() {
     s.pbRfcDivisor = 2.0;  // Matches the native table; kept coherent.
     s.fgrDivisor2x = 1.35;  // No native FGR; Section 6.5 projections.
     s.fgrDivisor4x = 1.63;
+    // BL16 on the 64-bit (4 x x16) channel: one burst moves 128 B,
+    // halving the column count of an 8 KB row versus DDR3/DDR4.
+    s.busWidthBits = 64;
+    s.tHiRANs = 7.5;
+    s.hiraActCoverage = 0.32;
+    s.hiraRefCoverage = 0.78;
+    // LPDDR4 x16 approximation at 1.1 V: mobile-class currents; the
+    // faster, lower-voltage interface makes every operation cheaper
+    // than DDR3 despite the longer burst.
+    s.energy.vdd = 1.1;
+    s.energy.idd0 = 60.0;
+    s.energy.idd2n = 28.0;
+    s.energy.idd3n = 32.0;
+    s.energy.idd4r = 155.0;
+    s.energy.idd4w = 160.0;
+    s.energy.idd5b = 130.0;
+    // Native per-bank refresh: derived from the spec's own per-bank
+    // tRFC table so the two stay coherent -- a full 8-bank REFpb sweep
+    // must cost one REFab's charge, so the per-cycle divisor is
+    // banks x tRFCpb/tRFCab (= 8 x 0.5 at every density).
+    s.energy.refPbCurrentDivisor = 8.0 * (s.tRfcPbNs[0] / s.tRfcAbNs[0]);
     return s;
 }(), {"LPDDR4"})
 

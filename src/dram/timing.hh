@@ -70,6 +70,17 @@ struct TimingParams
     double fgrDivisor2x = 1.35;
     double fgrDivisor4x = 1.63;
 
+    /**
+     * HiRA (hidden row activation) parameters, derived from the spec's
+     * characterization (dram/spec.hh) with the refresh.hiraDelay /
+     * refresh.hiraCoverage config overrides applied: the cycles
+     * between a demand ACT and the hidden refresh activation beneath
+     * it, and the fraction of row pairs hiding is reliable for.
+     */
+    int tHiRA = 5;
+    double hiraActCoverage = 0.32;
+    double hiraRefCoverage = 0.78;
+
     /** This parameter set's FGR divisor for a 1x/2x/4x rate. */
     double rfcDivisorFor(int rateMultiplier) const;
 

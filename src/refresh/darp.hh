@@ -39,7 +39,9 @@ class DarpScheduler : public RefreshScheduler
 
     const RefreshLedger &ledger() const { return ledger_; }
 
-  private:
+  protected:
+    // Protected, not private: HiRA (refresh/hira.hh) extends DARP's
+    // out-of-order scheduling with hidden-refresh issue paths.
     int index(RankId r, BankId b) const { return r * banks_ + b; }
 
     /** Bank eligible to receive a refresh right now (DRAM-state check). */

@@ -1,0 +1,149 @@
+#include "refresh/hira.hh"
+
+#include "refresh/registry.hh"
+
+namespace dsarp {
+
+DSARP_REGISTER_REFRESH_POLICY(hira, {
+    "HiRA", "hidden row activation: refresh beneath ACTs to other "
+            "subarrays of the same bank (Yağlıkçı+, MICRO'22)",
+    [](MemConfig &m) {
+        // DARP's per-bank timing profile and out-of-order scheduling,
+        // without SARP's chip modification; the hira flag arms the
+        // hidden-refresh paths and the tRRD/tFAW power-integrity
+        // inflation while one is in flight.
+        m.refresh = RefreshMode::kDarp;
+        m.sarp = false;
+        m.hira = true;
+    },
+    [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+        return std::make_unique<HiraScheduler>(&c, &t, &v);
+    }}, {"hidden-row-activation"})
+
+HiraScheduler::HiraScheduler(const MemConfig *cfg,
+                             const TimingParams *timing,
+                             ControllerView *view)
+    : DarpScheduler(cfg, timing, view),
+      rowsPerSlot_(timing->rowsPerRefresh)
+{
+    // Fractional ledger accounting: a hidden refresh is one row (one
+    // activation), a nominal REFpb slot is rowsPerRefresh rows.
+    ledger_.setDenominator(rowsPerSlot_);
+    windows_.assign(cfg->org.ranksPerChannel * banks_, HiddenWindow{});
+    refRefDraw_.assign(cfg->org.ranksPerChannel * banks_, -1);
+}
+
+void
+HiraScheduler::onDemandCommand(const Command &cmd, Tick now)
+{
+    if (cmd.type != CommandType::kAct)
+        return;
+    HiddenWindow &win = windows_[index(cmd.rank, cmd.bank)];
+    // Coverage draw per activation: only a characterized fraction of
+    // row pairs tolerate the interleaved hidden activation; the pair
+    // is fixed by this ACT and the bank's refresh counter, so the draw
+    // happens once here, not per issue attempt.
+    if (!view_->schedulerRng().chance(timing_->hiraActCoverage)) {
+        win.armed = false;
+        return;
+    }
+    win.armed = true;
+    win.readyAt = now + timing_->tHiRA;
+    // Stale once the access that would hide it has surely closed.
+    win.expiresAt = win.readyAt + timing_->tRc;
+}
+
+void
+HiraScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
+{
+    DarpScheduler::urgent(now, out);
+
+    // Refresh-refresh parallelization: a due blocking REFpb may cover
+    // two slots' rows at unchanged tRFCpb when the bank is two or more
+    // slots behind. In HiRA hardware the refresh controller pairs each
+    // row with a victim from a *different* subarray; the model's
+    // sequential refresh counter is a coverage-accounting
+    // simplification (which rows retire in which command does not
+    // affect retention correctness within the postpone window), so the
+    // pairing feasibility is modeled by the characterized 78% coverage
+    // draw plus the requirement that the bank has a second subarray at
+    // all.
+    for (RefreshRequest &req : out) {
+        if (req.allBank || !req.blocking || req.hidden ||
+            req.tRfcOverride || req.rowsOverride) {
+            continue;
+        }
+        if (cfg_->org.subarraysPerBank < 2)
+            continue;  // No partner subarray to parallelize with.
+        if (ledger_.owed(req.rank, req.bank) < 2 * rowsPerSlot_)
+            continue;
+        int &draw = refRefDraw_[index(req.rank, req.bank)];
+        if (draw < 0) {
+            draw = view_->schedulerRng().chance(timing_->hiraRefCoverage)
+                ? 1
+                : 0;
+        }
+        if (draw == 1) {
+            req.rowsOverride = 2 * timing_->rowsPerRefresh;
+            req.ledgerParts = 2 * rowsPerSlot_;
+        }
+    }
+
+    // Hidden refresh beneath an ACT: tHiRA cycles after a covered
+    // demand activation, refresh one row of a *different* subarray of
+    // the same bank while the open row keeps serving. Non-blocking --
+    // issued only when legal this tick.
+    for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        const Rank &rk = view_->dram().rank(r);
+        for (BankId b = 0; b < banks_; ++b) {
+            HiddenWindow &win = windows_[index(r, b)];
+            if (!win.armed || now < win.readyAt)
+                continue;
+            if (now > win.expiresAt) {
+                win.armed = false;
+                continue;
+            }
+            if (!ledger_.canPullInParts(r, b, 1))
+                continue;
+            if (!rk.canRefPbRankLevel(now) ||
+                !rk.bank(b).canHiddenRefresh(now)) {
+                continue;
+            }
+            RefreshRequest req;
+            req.rank = r;
+            req.bank = b;
+            req.blocking = false;
+            req.hidden = true;
+            // An activation-based refresh of a single row: the hidden
+            // ACT-PRE cycle, not a full multi-row REFpb.
+            req.tRfcOverride = timing_->tRc;
+            req.rowsOverride = 1;
+            req.ledgerParts = 1;
+            out.push_back(req);
+        }
+    }
+}
+
+void
+HiraScheduler::onIssued(const RefreshRequest &req, Tick now)
+{
+    if (req.hidden) {
+        if (ledger_.owed(req.rank, req.bank) <= 0)
+            ++stats_.pulledIn;
+        ledger_.onPartialRefresh(req.rank, req.bank, req.ledgerParts);
+        windows_[index(req.rank, req.bank)].armed = false;
+        ++hiddenIssued_;
+        ++stats_.issued;
+        return;
+    }
+    DarpScheduler::onIssued(req, now);
+    // The base slot is retired by DARP; a refresh-refresh doubled
+    // command retires the second slot here.
+    if (req.ledgerParts > rowsPerSlot_) {
+        ledger_.onPartialRefresh(req.rank, req.bank,
+                                 req.ledgerParts - rowsPerSlot_);
+    }
+    refRefDraw_[index(req.rank, req.bank)] = -1;
+}
+
+} // namespace dsarp

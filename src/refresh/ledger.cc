@@ -56,7 +56,16 @@ RefreshLedger::mustForce(RankId r, BankId b) const
 bool
 RefreshLedger::canPullIn(RankId r, BankId b) const
 {
-    return owed(r, b) > -maxSlack_ * denom_;
+    // Equivalent to owed > -maxSlack for whole-slot accounting
+    // (denom == 1), and generalizes to fractional denominators: the
+    // retired slot must not push the balance past the window.
+    return canPullInParts(r, b, denom_);
+}
+
+bool
+RefreshLedger::canPullInParts(RankId r, BankId b, int parts) const
+{
+    return owed(r, b) - parts >= -maxSlack_ * denom_;
 }
 
 void

@@ -52,8 +52,13 @@ class RefreshLedger
     /** Below the postpone limit but owes at least one refresh. */
     bool due(RankId r, BankId b = 0) const { return owed(r, b) > 0; }
 
-    /** A refresh may be pulled in (not yet at the pull-in limit). */
+    /** A full-slot refresh may be pulled in without overdrawing the
+     *  JEDEC pull-in window. */
     bool canPullIn(RankId r, BankId b = 0) const;
+
+    /** Same, for a refresh retiring @p parts sub-units (fractional
+     *  accounting: HiRA's one-row hidden refreshes). */
+    bool canPullInParts(RankId r, BankId b, int parts) const;
 
     /** Record an issued refresh for the unit. */
     void onRefresh(RankId r, BankId b = 0);

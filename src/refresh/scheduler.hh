@@ -57,6 +57,7 @@ struct RefreshRequest
     int tRfcOverride = 0;   ///< Nonzero: refresh latency in cycles (FGR/AR).
     int rowsOverride = 0;   ///< Nonzero: rows advanced by this refresh.
     int ledgerParts = 0;    ///< Ledger sub-units retired (0 = full slot).
+    bool hidden = false;    ///< HiRA: refresh beneath the bank's open row.
 };
 
 /** Counters reported by every policy. */
@@ -92,6 +93,18 @@ class RefreshScheduler
 
     /** Notification that @p req was put on the command bus at @p now. */
     virtual void onIssued(const RefreshRequest &req, Tick now) = 0;
+
+    /**
+     * Notification that a *demand* command went on the bus at @p now.
+     * Default no-op; HiRA watches ACTs so it can pair a hidden refresh
+     * with the activation (tHiRA cycles later, different subarray).
+     */
+    virtual void
+    onDemandCommand(const Command &cmd, Tick now)
+    {
+        (void)cmd;
+        (void)now;
+    }
 
     const RefreshSchedStats &stats() const { return stats_; }
 

@@ -30,12 +30,21 @@ struct RankModel
     std::deque<Tick> acts;       ///< ACT history for tRRD/tFAW.
     Tick refAbUntil = 0;         ///< All-bank refresh in flight.
     std::vector<Tick> refPbEnds; ///< In-flight per-bank refresh ends.
+    std::vector<Tick> hiddenPbEnds;  ///< HiRA-hidden subset.
 
     int
     pbInFlight(Tick now)
     {
         std::erase_if(refPbEnds, [now](Tick end) { return end <= now; });
         return static_cast<int>(refPbEnds.size());
+    }
+
+    int
+    hiddenPbInFlight(Tick now)
+    {
+        std::erase_if(hiddenPbEnds,
+                      [now](Tick end) { return end <= now; });
+        return static_cast<int>(hiddenPbEnds.size());
     }
 };
 
@@ -65,8 +74,12 @@ class Verifier
     double
     inflation(RankModel &rank, Tick now) const
     {
+        // Both which-count-inflates and the multiplier are shared with
+        // the live Rank model so the two sides cannot drift.
+        const int pb = Rank::inflationPbCount(
+            cfg_, rank.pbInFlight(now), rank.hiddenPbInFlight(now));
         return Rank::refreshInflationMult(cfg_, rank.refAbUntil > now,
-                                          rank.pbInFlight(now));
+                                          pb);
     }
 
     void
@@ -169,12 +182,31 @@ class Verifier
 
     void
     refreshBank(Tick now, const Command &cmd, BankModel &bank, int t_rfc,
-                int rows)
+                int rows, bool hidden)
     {
-        if (bank.open)
-            fail(now, cmd, "refresh to an open bank");
-        if (now < bank.actLegalAt)
-            fail(now, cmd, "refresh before precharge completion");
+        if (hidden) {
+            // HiRA hidden refresh: beneath an open row, in a different
+            // subarray, no earlier than tHiRA after the demand ACT.
+            if (!cfg_.hira)
+                fail(now, cmd, "hidden refresh without HiRA enabled");
+            if (!bank.open) {
+                fail(now, cmd, "hidden refresh to a closed bank");
+            } else if (bank.openRow / cfg_.org.rowsPerSubarray() ==
+                       bank.refRowCounter / cfg_.org.rowsPerSubarray()) {
+                fail(now, cmd,
+                     "hidden refresh conflicts with the open row's "
+                     "subarray");
+            }
+            if (bank.lastAct == kTickNever ||
+                now < bank.lastAct + static_cast<Tick>(t_.tHiRA)) {
+                fail(now, cmd, "hidden refresh violates tHiRA");
+            }
+        } else {
+            if (bank.open)
+                fail(now, cmd, "refresh to an open bank");
+            if (now < bank.actLegalAt)
+                fail(now, cmd, "refresh before precharge completion");
+        }
         if (bank.refreshUntil > now)
             fail(now, cmd, "refresh overlaps refresh in the same bank");
         bank.refreshUntil = now + t_rfc;
@@ -213,11 +245,14 @@ class Verifier
             cmd.rowsOverride ? cmd.rowsOverride : t_.rowsPerRefresh;
         if (all_bank) {
             for (auto &bank : rank.banks)
-                refreshBank(now, cmd, bank, t_rfc, rows);
+                refreshBank(now, cmd, bank, t_rfc, rows, false);
             rank.refAbUntil = now + t_rfc;
         } else {
-            refreshBank(now, cmd, rank.banks[cmd.bank], t_rfc, rows);
+            refreshBank(now, cmd, rank.banks[cmd.bank], t_rfc, rows,
+                        cmd.hidden);
             rank.refPbEnds.push_back(now + t_rfc);
+            if (cmd.hidden)
+                rank.hiddenPbEnds.push_back(now + t_rfc);
         }
     }
 

@@ -12,6 +12,8 @@
  *     subarray differs from the refreshing one;
  *   - per-bank/all-bank refreshes never overlap within a rank; all-bank
  *     refresh only on a fully precharged rank;
+ *   - HiRA hidden refreshes only beneath an open row, targeting a
+ *     different subarray, no earlier than tHiRA after the demand ACT;
  *   - data-bus bursts never overlap;
  *   - every bank's refresh obligation balance stays within the JEDEC
  *     postpone window (the erratum's data-integrity requirement).

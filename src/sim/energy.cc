@@ -4,7 +4,7 @@ namespace dsarp {
 
 EnergyBreakdown
 channelEnergy(const ChannelStats &stats, const TimingParams &timing,
-              const EnergyParams &p, int banks_per_rank)
+              const EnergyParams &p)
 {
     EnergyBreakdown e;
     // mA * V * ns = pJ; divide by 1000 for nJ.
@@ -27,11 +27,14 @@ channelEnergy(const ChannelStats &stats, const TimingParams &timing,
     e.readNj = rd_one * static_cast<double>(stats.reads);
     e.writeNj = wr_one * static_cast<double>(stats.writes);
 
-    // Refresh: all-bank commands draw IDD5B; a per-bank refresh draws
-    // about 1/banks of that above background (Section 4.3.3).
+    // Refresh: all-bank commands draw IDD5B; a per-bank refresh draws a
+    // spec-geometry fraction of that above background (Section 4.3.3) --
+    // the divisor comes from the spec's per-bank tRFC table, not from
+    // whatever banksPerRank the config happens to use.
     const double ref_cur = p.vdd * (p.idd5b - p.idd3n) * tck * to_nj;
     e.refreshNj = ref_cur * static_cast<double>(stats.refAbCycles) +
-        ref_cur / banks_per_rank * static_cast<double>(stats.refPbCycles);
+        ref_cur / p.refPbCurrentDivisor *
+            static_cast<double>(stats.refPbCycles);
 
     // Background: active standby while any bank is open or refreshing,
     // precharge standby otherwise.
@@ -46,14 +49,13 @@ channelEnergy(const ChannelStats &stats, const TimingParams &timing,
 
 double
 energyPerAccessNj(const ChannelStats &stats, const TimingParams &timing,
-                  const EnergyParams &params, int banks_per_rank)
+                  const EnergyParams &params)
 {
     const double accesses =
         static_cast<double>(stats.reads + stats.writes);
     if (accesses <= 0.0)
         return 0.0;
-    return channelEnergy(stats, timing, params, banks_per_rank).totalNj() /
-        accesses;
+    return channelEnergy(stats, timing, params).totalNj() / accesses;
 }
 
 } // namespace dsarp

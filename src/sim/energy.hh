@@ -5,32 +5,22 @@
  * currents, plus state-dependent background power. Reported, like the
  * paper's Figure 14, as energy per serviced memory access.
  *
- * A per-bank refresh draws roughly 1/banks of an all-bank refresh's
- * current (Section 4.3.3), which the refresh term accounts for.
+ * The IDD/vdd sets live on the DramSpec (dram/spec.hh), so each
+ * registered backend carries its own parameters; the runner resolves
+ * them from the selected spec. A per-bank refresh draws a fraction of
+ * an all-bank refresh's current given by the spec's refresh geometry
+ * (EnergyParams::refPbCurrentDivisor, Section 4.3.3) -- native-REFpb
+ * parts derive it from their per-bank tRFC table.
  */
 
 #ifndef DSARP_SIM_ENERGY_HH
 #define DSARP_SIM_ENERGY_HH
 
 #include "dram/channel.hh"
+#include "dram/spec.hh"
 #include "dram/timing.hh"
 
 namespace dsarp {
-
-/** Datasheet currents in mA and the supply voltage. */
-struct EnergyParams
-{
-    double vdd = 1.5;     ///< Volts.
-    double idd0 = 95.0;   ///< One-bank ACT-PRE current.
-    double idd2n = 42.0;  ///< Precharge standby.
-    double idd3n = 45.0;  ///< Active standby.
-    double idd4r = 180.0; ///< Burst read.
-    double idd4w = 185.0; ///< Burst write.
-    double idd5b = 215.0; ///< Burst (all-bank) refresh.
-
-    /** Micron 8 Gb TwinDie DDR3-1333 approximation [29]. */
-    static EnergyParams micron8GbDdr3() { return EnergyParams{}; }
-};
 
 /** Energy in nanojoules, broken down by source. */
 struct EnergyBreakdown
@@ -51,12 +41,12 @@ struct EnergyBreakdown
 /** Energy consumed by one channel over its counted window. */
 EnergyBreakdown channelEnergy(const ChannelStats &stats,
                               const TimingParams &timing,
-                              const EnergyParams &params, int banksPerRank);
+                              const EnergyParams &params);
 
 /** Energy per serviced access (reads + writes) in nJ; 0 if no accesses. */
 double energyPerAccessNj(const ChannelStats &stats,
                          const TimingParams &timing,
-                         const EnergyParams &params, int banksPerRank);
+                         const EnergyParams &params);
 
 } // namespace dsarp
 

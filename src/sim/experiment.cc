@@ -54,6 +54,21 @@ parseU64(const std::string &value, std::uint64_t &out)
 }
 
 std::string
+parseDouble(const std::string &value, double &out)
+{
+    try {
+        std::size_t pos = 0;
+        const double parsed = std::stod(value, &pos);
+        if (pos != value.size())
+            return "expected a number, got '" + value + "'";
+        out = parsed;
+        return "";
+    } catch (const std::exception &) {
+        return "expected a number, got '" + value + "'";
+    }
+}
+
+std::string
 parseBool(const std::string &value, bool &out)
 {
     const std::string v = lowered(value);
@@ -81,6 +96,14 @@ u64Key(const char *key, std::uint64_t ExperimentConfig::*field)
 {
     return {key, [field](ExperimentConfig &cfg, const std::string &v) {
                 return parseU64(v, cfg.*field);
+            }};
+}
+
+KeyDesc
+doubleKey(const char *key, double ExperimentConfig::*field)
+{
+    return {key, [field](ExperimentConfig &cfg, const std::string &v) {
+                return parseDouble(v, cfg.*field);
             }};
 }
 
@@ -126,6 +149,8 @@ keyTable()
         intKey("tFawOverride", &ExperimentConfig::tFawOverride),
         intKey("tRrdOverride", &ExperimentConfig::tRrdOverride),
         boolKey("darpWriteRefresh", &ExperimentConfig::darpWriteRefresh),
+        doubleKey("refresh.hiraCoverage", &ExperimentConfig::hiraCoverage),
+        intKey("refresh.hiraDelay", &ExperimentConfig::hiraDelay),
         intKey("numCores", &ExperimentConfig::numCores),
         u64Key("seed", &ExperimentConfig::seed),
         boolKey("enableChecker", &ExperimentConfig::enableChecker),
@@ -274,6 +299,8 @@ ExperimentConfig::validate() const
     explicitOrDefault("writeLowWatermark", writeLowWatermark);
     explicitOrDefault("refabStaggerDivisor", refabStaggerDivisor);
     explicitOrDefault("maxOverlappedRefPb", maxOverlappedRefPb);
+    // refresh.hiraCoverage / refresh.hiraDelay are checked by the
+    // delegated MemConfig::validate() below, like the other mem keys.
 
     // Delegate the memory-system cross-checks; their messages already
     // name keys. rowsPerBank must be applied first, as finalize() would.
@@ -326,6 +353,8 @@ ExperimentConfig::toSystemConfig() const
     sys.mem.tFawOverride = tFawOverride;
     sys.mem.tRrdOverride = tRrdOverride;
     sys.mem.darpWriteRefresh = darpWriteRefresh;
+    sys.mem.hiraCoverage = hiraCoverage;
+    sys.mem.hiraDelayCycles = hiraDelay;
     sys.numCores = numCores;
     sys.seed = seed;
     sys.enableChecker = enableChecker;

@@ -60,6 +60,14 @@ struct ExperimentConfig
     int tRrdOverride = 0;        ///< Cycles; 0 = datasheet value.
     bool darpWriteRefresh = true;
 
+    /** HiRA hidden-refresh coverage fraction (key
+     *  "refresh.hiraCoverage"); -1 = the spec's characterized ~32%. */
+    double hiraCoverage = -1.0;
+
+    /** Demand-ACT to hidden-refresh delay in cycles (key
+     *  "refresh.hiraDelay"); 0 = the spec's tHiRA. */
+    int hiraDelay = 0;
+
     // --- System ------------------------------------------------------
     int numCores = 8;
     std::uint64_t seed = 1;

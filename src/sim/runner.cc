@@ -154,17 +154,19 @@ void
 collectChannelStats(System &system, const SystemConfig &sys,
                     RunResult &res)
 {
-    const EnergyParams energy = EnergyParams::micron8GbDdr3();
+    // Per-spec IDD/vdd sets: the selected backend's datasheet values,
+    // not a hard-coded Micron DDR3 approximation for every spec.
+    const EnergyParams &energy =
+        DramSpecRegistry::instance().at(sys.mem.dramSpec).energy;
     double total_nj = 0.0;
     double accesses = 0.0;
     for (int ch = 0; ch < system.numChannels(); ++ch) {
         const ChannelStats &cs = system.controller(ch).channel().stats();
-        total_nj += channelEnergy(cs, system.timing(), energy,
-                                  sys.mem.org.banksPerRank)
-                        .totalNj();
+        total_nj += channelEnergy(cs, system.timing(), energy).totalNj();
         accesses += static_cast<double>(cs.reads + cs.writes);
         res.refAb += cs.refAb;
         res.refPb += cs.refPb;
+        res.refPbHidden += cs.refPbHidden;
         res.readsCompleted += system.controller(ch).stats().readsCompleted;
         res.writesIssued += system.controller(ch).stats().writesIssued;
     }

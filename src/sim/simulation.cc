@@ -68,6 +68,20 @@ Simulation::Builder::workloadSeed(std::uint64_t s)
 }
 
 Simulation::Builder &
+Simulation::Builder::hiraCoverage(double fraction)
+{
+    cfg_.hiraCoverage = fraction;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::hiraDelay(int cycles)
+{
+    cfg_.hiraDelay = cycles;
+    return *this;
+}
+
+Simulation::Builder &
 Simulation::Builder::intensityPct(int pct)
 {
     cfg_.intensityPct = pct;

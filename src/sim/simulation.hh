@@ -52,6 +52,12 @@ class Simulation
         Builder &subarraysPerBank(int n);
         Builder &seed(std::uint64_t s);
         Builder &workloadSeed(std::uint64_t s);
+
+        /** HiRA knobs (= "refresh.hiraCoverage" / "refresh.hiraDelay"):
+         *  hidden-refresh coverage fraction (-1 = spec default) and the
+         *  demand-ACT to hidden-refresh delay (0 = spec tHiRA). */
+        Builder &hiraCoverage(double fraction);
+        Builder &hiraDelay(int cycles);
         Builder &intensityPct(int pct);
         Builder &warmupCycles(std::uint64_t ticks);
         Builder &measureCycles(std::uint64_t ticks);

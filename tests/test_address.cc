@@ -7,6 +7,7 @@
 
 #include "common/rng.hh"
 #include "dram/address.hh"
+#include "dram/spec.hh"
 
 using namespace dsarp;
 
@@ -17,6 +18,16 @@ defaultOrg()
 {
     MemOrg org;
     return org;
+}
+
+/** The finalized org for a registered spec (burstBytes resolved). */
+MemOrg
+orgFor(const std::string &spec)
+{
+    MemConfig cfg;
+    cfg.dramSpec = spec;
+    cfg.finalize();
+    return cfg.org;
 }
 
 } // namespace
@@ -107,4 +118,82 @@ TEST(Address, DenserOrgRoundTrip)
         const Addr addr = rng.below(map.capacityBytes() / 64) * 64;
         EXPECT_EQ(map.encode(map.decode(addr)), addr);
     }
+}
+
+// ---------------------------------------------------------------------
+// Spec-aware mapping: the column unit is one spec burst.
+// ---------------------------------------------------------------------
+
+TEST(Address, Lpddr4Bl16HalvesColumnCount)
+{
+    const MemOrg ddr3 = orgFor("DDR3-1333");
+    const MemOrg lpddr4 = orgFor("LPDDR4-3200");
+    EXPECT_EQ(ddr3.burstBytes, 64);    // BL8 x 64-bit bus.
+    EXPECT_EQ(lpddr4.burstBytes, 128); // BL16 x 64-bit bus.
+    EXPECT_EQ(ddr3.columns(), 128);    // 8 KB row / 64 B.
+    EXPECT_EQ(lpddr4.columns(), 64);   // 8 KB row / 128 B: halved.
+    // Capacity is unchanged: columns x columnBytes == rowBytes.
+    EXPECT_EQ(AddressMap(ddr3).capacityBytes(),
+              AddressMap(lpddr4).capacityBytes());
+}
+
+TEST(Address, RoundTripsUnderEveryRegisteredSpec)
+{
+    for (const std::string &name : DramSpecRegistry::instance().names()) {
+        const MemOrg org = orgFor(name);
+        AddressMap map(org);
+        Rng rng(11);
+        // Coordinate round trip: every field survives encode/decode.
+        for (int i = 0; i < 5000; ++i) {
+            DecodedAddr d;
+            d.channel = static_cast<int>(rng.below(org.channels));
+            d.rank = static_cast<int>(rng.below(org.ranksPerChannel));
+            d.bank = static_cast<int>(rng.below(org.banksPerRank));
+            d.row = static_cast<int>(rng.below(org.rowsPerBank));
+            d.column = static_cast<int>(rng.below(org.columns()));
+            d.subarray = d.row / org.rowsPerSubarray();
+            EXPECT_EQ(map.decode(map.encode(d)), d) << name;
+        }
+        // Address round trip at the mapping granularity (one burst).
+        const Addr unit = org.columnBytes();
+        for (int i = 0; i < 5000; ++i) {
+            const Addr addr = rng.below(map.capacityBytes() / unit) * unit;
+            EXPECT_EQ(map.encode(map.decode(addr)), addr) << name;
+        }
+    }
+}
+
+TEST(Address, LinesWithinABurstAliasToOneColumn)
+{
+    // On LPDDR4 two consecutive 64 B lines share one 128 B burst:
+    // same channel, same column -- the burst over-fetches.
+    AddressMap map(orgFor("LPDDR4-3200"));
+    const DecodedAddr a = map.decode(0);
+    const DecodedAddr b = map.decode(64);
+    EXPECT_EQ(a, b);
+    const DecodedAddr c = map.decode(128);  // Next burst: next channel.
+    EXPECT_NE(a.channel, c.channel);
+}
+
+TEST(Address, InconsistentLineSizeRejected)
+{
+    // A line larger than the spec's burst would need multiple bursts
+    // per access, which the request model does not support: reject
+    // with an error naming the key.
+    MemConfig cfg;
+    cfg.org.lineBytes = 256;  // DDR3 bursts move 64 B.
+    const std::string err = cfg.validate();
+    EXPECT_NE(err.find("lineBytes"), std::string::npos);
+    EXPECT_NE(err.find("burst"), std::string::npos);
+
+    // A line equal to LPDDR4's 128 B burst is fine.
+    MemConfig lp;
+    lp.dramSpec = "LPDDR4-3200";
+    lp.org.lineBytes = 128;
+    EXPECT_EQ(lp.validate(), "");
+
+    // ...but 128 B lines over DDR3's 64 B bursts are not.
+    MemConfig ddr3;
+    ddr3.org.lineBytes = 128;
+    EXPECT_NE(ddr3.validate().find("lineBytes"), std::string::npos);
 }

@@ -171,10 +171,10 @@ TEST(Registry, MakeDispatchesByNameAndByLegacyEnum)
 TEST(RegistryDeath, UnknownNameListsKnownMechanisms)
 {
     MemConfig cfg;
-    cfg.policy = "hira";  // Not (yet) a registered mechanism.
+    cfg.policy = "quantum-refresh";  // Not a registered mechanism.
     EXPECT_EXIT(RefreshPolicyRegistry::instance().resolve(cfg),
                 testing::ExitedWithCode(1),
-                "unknown refresh policy 'hira'.*DSARP");
+                "unknown refresh policy 'quantum-refresh'.*DSARP");
 }
 
 // ---------------------------------------------------------------------
