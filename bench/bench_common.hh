@@ -70,6 +70,18 @@ specFromArgs(int argc, char **argv)
 }
 
 /**
+ * True when the (possibly empty = default DDR3-1333) spec name on a
+ * bench's spec axis declares same-bank refresh support, i.e. the
+ * REFsb/HiRAsb columns are meaningful for it.
+ */
+inline bool
+specSupportsSameBank(const std::string &spec)
+{
+    const std::string name = spec.empty() ? "DDR3-1333" : spec;
+    return DramSpecRegistry::instance().at(name).banksPerGroup > 0;
+}
+
+/**
  * A sweep point selecting its mechanism by refresh-policy registry
  * name ("DSARP", "FGR2x", ...) -- the same names dsarp_sim --mech and
  * Simulation::builder().policy() accept -- and optionally its DRAM

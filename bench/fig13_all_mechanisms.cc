@@ -29,15 +29,23 @@ main(int argc, char **argv)
     const auto workloads =
         makeWorkloads(runner.workloadsPerCategory(), 8, 1);
 
-    std::printf("%-10s %7s %8s %7s %7s %7s %7s %7s %7s\n", "density",
-                "REFpb", "Elastic", "DARP", "SARPab", "SARPpb", "DSARP",
-                "HiRA", "NoREF");
+    // The REFsb column is meaningful only on same-bank-capable specs
+    // (DDR5): fig13 gains it automatically when --spec selects one.
+    std::vector<const char *> mechs = {"REFpb",  "Elastic", "DARP",
+                                       "SARPab", "SARPpb",  "DSARP",
+                                       "HiRA",   "NoREF"};
+    if (specSupportsSameBank(spec))
+        mechs.insert(mechs.begin() + 1, "REFsb");
+
+    std::printf("%-10s", "density");
+    for (const char *mech : mechs)
+        std::printf(" %7s", mech);
+    std::printf("\n");
     for (Density d : densities()) {
         const auto refab =
             wsOf(sweep(runner, mechNamed("REFab", d, spec), workloads));
         std::printf("%-10s", densityName(d));
-        for (const char *mech : {"REFpb", "Elastic", "DARP", "SARPab",
-                                 "SARPpb", "DSARP", "HiRA", "NoREF"}) {
+        for (const char *mech : mechs) {
             const auto ws =
                 wsOf(sweep(runner, mechNamed(mech, d, spec), workloads));
             std::printf(" %6.1f%%", gmeanPctOver(ws, refab));

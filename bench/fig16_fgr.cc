@@ -30,8 +30,15 @@ main(int argc, char **argv)
     const auto workloads =
         makeWorkloads(runner.workloadsPerCategory(), 8, 1);
 
-    std::printf("%-10s %8s %8s %8s %8s %8s\n", "density", "REFab",
-                "FGR2x", "FGR4x", "AR", "DSARP");
+    // On same-bank-capable specs (DDR5) the figure gains a REFsb
+    // column: the standard's refresh-access parallelism against its
+    // own fine-granularity modes.
+    const bool same_bank = specSupportsSameBank(spec);
+    std::printf("%-10s %8s %8s %8s %8s", "density", "REFab", "FGR2x",
+                "FGR4x", "AR");
+    if (same_bank)
+        std::printf(" %8s", "REFsb");
+    std::printf(" %8s\n", "DSARP");
     for (Density d : densities()) {
         RunConfig refabCfg = mechRefAb(d);
         refabCfg.dramSpec = spec;
@@ -45,7 +52,11 @@ main(int argc, char **argv)
         RunConfig ar = mechRefAb(d);
         ar.refresh = RefreshMode::kAdaptive;
 
-        for (RunConfig cfg : {fgr2, fgr4, ar, mechDsarp(d)}) {
+        std::vector<RunConfig> points = {fgr2, fgr4, ar};
+        if (same_bank)
+            points.push_back(mechNamed("REFsb", d, spec));
+        points.push_back(mechDsarp(d));
+        for (RunConfig cfg : points) {
             cfg.dramSpec = spec;
             const auto ws = wsOf(sweep(runner, cfg, workloads));
             std::printf(" %8.3f",

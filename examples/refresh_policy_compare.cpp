@@ -36,6 +36,17 @@ main()
     std::string best;
     for (const std::string &mech :
          RefreshPolicyRegistry::instance().names()) {
+        // Some mechanisms need device support the host's spec lacks
+        // (same-bank refresh has no DDR3 command, for instance); a
+        // probe validation skips those instead of dying mid-walk.
+        ExperimentConfig probe;
+        probe.policy = mech;
+        probe.densityGb = 32;
+        if (!probe.validate().empty()) {
+            std::printf("%-9s %s\n", mech.c_str(),
+                        "(unsupported by this DRAM spec; skipped)");
+            continue;
+        }
         const RunResult res = Simulation::builder()
                                   .policy(mech)
                                   .densityGb(32)

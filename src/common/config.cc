@@ -19,6 +19,7 @@ refreshModeName(RefreshMode mode)
       case RefreshMode::kFgr2x: return "FGR2x";
       case RefreshMode::kFgr4x: return "FGR4x";
       case RefreshMode::kAdaptive: return "AR";
+      case RefreshMode::kSameBank: return "REFsb";
     }
     return "?";
 }
@@ -150,6 +151,49 @@ MemConfig::validate() const
         fail("config keys 'sarpInflationAb'/'sarpInflationPb' must be "
              ">= 1.0: SARP inflates tFAW/tRRD during refresh, never "
              "shrinks them");
+    }
+    if (sameBankGroupSize < 0) {
+        fail("config key 'refresh.samebank.groupSize' must be >= 0, 0 "
+             "for the spec's bank-group geometry (got " +
+             std::to_string(sameBankGroupSize) + ")");
+    } else if (sameBankGroupSize > 0 &&
+               org.banksPerRank % sameBankGroupSize != 0) {
+        fail("config key 'refresh.samebank.groupSize' (" +
+             std::to_string(sameBankGroupSize) + ") must divide "
+             "banksPerRank (" + std::to_string(org.banksPerRank) + ")");
+    }
+    if (const DramSpec *spec =
+            DramSpecRegistry::instance().find(dramSpec)) {
+        if (spec->banksPerGroup <= 0) {
+            // Same-bank refresh needs the spec's tRFCsb data; neither
+            // the REFsb policy nor a slice-size override can conjure
+            // it.
+            if (refresh == RefreshMode::kSameBank) {
+                fail("config key 'policy': same-bank refresh (REFsb) "
+                     "requires a DRAM spec with bank-group refresh "
+                     "support; '" + spec->name + "' declares none "
+                     "(try DDR5-4800)");
+            } else if (sameBankGroupSize > 0) {
+                fail("config key 'refresh.samebank.groupSize': DRAM "
+                     "spec '" + spec->name + "' has no same-bank "
+                     "refresh support to re-slice");
+            }
+        } else if (sameBankGroupSize > spec->banksPerGroup) {
+            // Holding the data-sheet tRFCsb is conservative only for
+            // slices at or below the device's bank group; a larger
+            // slice would refresh more banks in the same window than
+            // the device can, which is physically impossible.
+            fail("config key 'refresh.samebank.groupSize' (" +
+                 std::to_string(sameBankGroupSize) + ") exceeds DRAM "
+                 "spec '" + spec->name + "' bank-group size (" +
+                 std::to_string(spec->banksPerGroup) + "); slices can "
+                 "only be narrowed");
+        }
+    }
+    if (selfRefreshIdleCycles < 0) {
+        fail("config key 'energy.selfRefreshIdle' must be >= 0 cycles, "
+             "0 to disable the self-refresh energy state (got " +
+             std::to_string(selfRefreshIdleCycles) + ")");
     }
     if (hiraCoverage > 1.0 || (hiraCoverage < 0.0 && hiraCoverage != -1.0)) {
         fail("config key 'refresh.hiraCoverage' must be within [0, 1], "

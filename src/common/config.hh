@@ -37,6 +37,7 @@ enum class RefreshMode {
     kFgr2x,      ///< DDR4 fine granularity refresh, 2x rate.
     kFgr4x,      ///< DDR4 fine granularity refresh, 4x rate.
     kAdaptive,   ///< Adaptive refresh (AR) [Mukundan+, ISCA'13]: 1x/4x FGR.
+    kSameBank,   ///< REFsb: DDR5 same-bank refresh (one bank-group slice).
 };
 
 /** Human-readable mechanism name, e.g. for bench table headers. */
@@ -139,6 +140,35 @@ struct MemConfig
      * 0 keeps the spec's tHiRA.
      */
     int hiraDelayCycles = 0;
+
+    /**
+     * Same-bank refresh (DDR5 REFsb) slice size in banks: how many
+     * banks one REFsb command refreshes together (config key
+     * "refresh.samebank.groupSize"). 0 keeps the spec's bank-group
+     * geometry (DDR5-4800: 4 banks per group). Must divide
+     * banksPerRank; selectable only on specs that declare same-bank
+     * refresh support (DramSpec::banksPerGroup > 0).
+     */
+    int sameBankGroupSize = 0;
+
+    /**
+     * Allow the REFsb scheduler to pull in same-bank slices
+     * opportunistically while the channel is idle (config key
+     * "refresh.samebank.pullIn"). Disabling it isolates the blocking
+     * round-robin baseline behaviour.
+     */
+    bool sameBankPullIn = true;
+
+    /**
+     * Energy-model self-refresh state (config key
+     * "energy.selfRefreshIdle"): after this many consecutive idle DRAM
+     * cycles a rank is billed the spec's IDD6 self-refresh current
+     * instead of IDD2N precharge standby. 0 disables the state, which
+     * keeps every pre-existing energy number bit-identical. This is an
+     * energy accounting state only -- the command protocol (and the
+     * external refresh schedule) is not altered.
+     */
+    int selfRefreshIdleCycles = 0;
 
     /**
      * Enable DARP's second component (write-refresh parallelization).

@@ -98,9 +98,11 @@ Command
 ChannelController::toCommand(const RefreshRequest &req) const
 {
     Command cmd;
-    cmd.type = req.allBank ? CommandType::kRefAb : CommandType::kRefPb;
+    cmd.type = req.allBank ? CommandType::kRefAb
+        : req.sameBank     ? CommandType::kRefSb
+                           : CommandType::kRefPb;
     cmd.rank = req.rank;
-    cmd.bank = req.bank;
+    cmd.bank = req.bank;  // Bank-group index for same-bank requests.
     cmd.tRfcOverride = req.tRfcOverride;
     cmd.rowsOverride = req.rowsOverride;
     cmd.hidden = req.hidden;
@@ -154,6 +156,13 @@ ChannelController::arbitrate(Tick now)
             continue;
         if (req.allBank) {
             blockedActRank_[req.rank] = 1;
+        } else if (req.sameBank) {
+            // A blocking slice refresh drains every bank of its group.
+            const int slice = timing_->banksPerGroup;
+            for (int b = req.bank * slice; b < (req.bank + 1) * slice;
+                 ++b) {
+                blockedActBank_[req.rank * cfg_->org.banksPerRank + b] = 1;
+            }
         } else {
             blockedActBank_[req.rank * cfg_->org.banksPerRank + req.bank] =
                 1;
@@ -183,8 +192,14 @@ ChannelController::arbitrate(Tick now)
     for (const RefreshRequest &req : urgentScratch_) {
         if (!req.blocking)
             continue;
-        const int lo = req.allBank ? 0 : req.bank;
-        const int hi = req.allBank ? cfg_->org.banksPerRank - 1 : req.bank;
+        int lo = req.bank, hi = req.bank;
+        if (req.allBank) {
+            lo = 0;
+            hi = cfg_->org.banksPerRank - 1;
+        } else if (req.sameBank) {
+            lo = req.bank * timing_->banksPerGroup;
+            hi = lo + timing_->banksPerGroup - 1;
+        }
         for (BankId b = lo; b <= hi; ++b) {
             const Bank &bank = channel_.rank(req.rank).bank(b);
             if (!bank.isOpen())

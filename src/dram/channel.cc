@@ -13,6 +13,7 @@ Channel::Channel(const MemConfig *cfg, const TimingParams *timing)
     for (int r = 0; r < cfg->org.ranksPerChannel; ++r)
         ranks_.emplace_back(cfg, timing);
     wrDataEnd_.assign(cfg->org.ranksPerChannel, 0);
+    lastActiveAt_.assign(cfg->org.ranksPerChannel, 0);
 }
 
 bool
@@ -72,6 +73,8 @@ Channel::canIssue(const Command &cmd, Tick now) const
                         : rk.bank(cmd.bank).canRefresh(now));
       case CommandType::kRefAb:
         return rk.canRefAb(now);
+      case CommandType::kRefSb:
+        return rk.canRefSb(now, cmd.bank);
     }
     return false;
 }
@@ -133,6 +136,13 @@ Channel::issue(const Command &cmd, Tick now)
         stats_.refAbCycles +=
             cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcAb;
         return 0;
+
+      case CommandType::kRefSb:
+        rk.onRefSb(now, cmd.bank, cmd.tRfcOverride, cmd.rowsOverride);
+        ++stats_.refSb;
+        stats_.refSbCycles +=
+            cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcSb;
+        return 0;
     }
     return 0;
 }
@@ -140,10 +150,19 @@ Channel::issue(const Command &cmd, Tick now)
 void
 Channel::sampleActivity(Tick now)
 {
-    for (const Rank &rk : ranks_) {
+    for (RankId r = 0; r < static_cast<RankId>(ranks_.size()); ++r) {
         ++stats_.rankTotalTicks;
-        if (rk.isActive(now))
+        if (ranks_[r].isActive(now)) {
             ++stats_.rankActiveTicks;
+            lastActiveAt_[r] = now;
+        } else if (cfg_->selfRefreshIdleCycles > 0 &&
+                   now - lastActiveAt_[r] >=
+                       static_cast<Tick>(cfg_->selfRefreshIdleCycles)) {
+            // Energy-model self-refresh state: a rank idle past the
+            // threshold is billed IDD6 instead of IDD2N. Accounting
+            // only -- commands and the refresh schedule are unchanged.
+            ++stats_.rankSelfRefTicks;
+        }
     }
 }
 

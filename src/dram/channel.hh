@@ -30,14 +30,24 @@ struct ChannelStats
     std::uint64_t pres = 0;
     std::uint64_t refAb = 0;
     std::uint64_t refPb = 0;
+    /** Same-bank (bank-group slice) refresh commands (DDR5 REFsb). */
+    std::uint64_t refSb = 0;
     /** Subset of refPb issued hidden beneath an open row (HiRA). */
     std::uint64_t refPbHidden = 0;
     /** Cycles actually spent in refresh, honouring FGR/AR overrides. */
     std::uint64_t refAbCycles = 0;
     std::uint64_t refPbCycles = 0;
+    std::uint64_t refSbCycles = 0;
     /** Rank-ticks with an open row or refresh in flight (background pwr). */
     std::uint64_t rankActiveTicks = 0;
     std::uint64_t rankTotalTicks = 0;
+    /**
+     * Rank-ticks billed at the IDD6 self-refresh current: idle past
+     * the MemConfig::selfRefreshIdleCycles threshold (a subset of the
+     * idle ticks; always 0 when the knob is disabled, keeping legacy
+     * energy numbers bit-identical).
+     */
+    std::uint64_t rankSelfRefTicks = 0;
 };
 
 class Channel
@@ -81,6 +91,7 @@ class Channel
     RankId lastBurstRank_ = kNone;
     Tick lastRdCmdAt_ = kTickNever;
     std::vector<Tick> wrDataEnd_;  ///< Per-rank last write-data end (tWTR).
+    std::vector<Tick> lastActiveAt_;  ///< Per-rank, for self-refresh entry.
 
     ChannelStats stats_;
 };

@@ -24,6 +24,7 @@ enum class CommandType {
     kPre,    ///< Explicit precharge.
     kRefAb,  ///< All-bank (rank-level) refresh.
     kRefPb,  ///< Per-bank refresh.
+    kRefSb,  ///< Same-bank refresh (DDR5): one bank-group slice.
 };
 
 /** True for RD/WR/RDA/WRA. */
@@ -48,11 +49,12 @@ isWriteCmd(CommandType t)
     return t == CommandType::kWr || t == CommandType::kWrA;
 }
 
-/** True for REFab/REFpb. */
+/** True for REFab/REFpb/REFsb. */
 inline bool
 isRefreshCmd(CommandType t)
 {
-    return t == CommandType::kRefAb || t == CommandType::kRefPb;
+    return t == CommandType::kRefAb || t == CommandType::kRefPb ||
+        t == CommandType::kRefSb;
 }
 
 /** A decoded command as it appears on a channel's command bus. */
@@ -60,7 +62,7 @@ struct Command
 {
     CommandType type;
     RankId rank = 0;
-    BankId bank = 0;       ///< Unused for REFab.
+    BankId bank = 0;       ///< Unused for REFab; group index for REFsb.
     RowId row = 0;         ///< Valid for ACT.
     int column = 0;        ///< Valid for column commands.
     SubarrayId subarray = 0;
@@ -95,6 +97,7 @@ commandName(CommandType t)
       case CommandType::kPre: return "PRE";
       case CommandType::kRefAb: return "REFab";
       case CommandType::kRefPb: return "REFpb";
+      case CommandType::kRefSb: return "REFsb";
     }
     return "?";
 }

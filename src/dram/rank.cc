@@ -147,19 +147,44 @@ Rank::canActRankLevel(Tick now) const
 }
 
 bool
+Rank::refSbInFlight(Tick now) const
+{
+    return pruneInFlight(refSbEnds_, now) > 0;
+}
+
+bool
 Rank::canRefPbRankLevel(Tick now) const
 {
     return refPbCount(now) < cfg_->maxOverlappedRefPb &&
-        !refAbInFlight(now);
+        !refAbInFlight(now) && !refSbInFlight(now);
 }
 
 bool
 Rank::canRefAb(Tick now) const
 {
-    if (refPbInFlight(now) || refAbInFlight(now))
+    if (refPbInFlight(now) || refAbInFlight(now) || refSbInFlight(now))
         return false;
     for (const Bank &b : banks_) {
         if (!b.canRefresh(now))
+            return false;
+    }
+    return true;
+}
+
+bool
+Rank::canRefSb(Tick now, int group) const
+{
+    // Refreshes of any granularity never overlap within a rank; banks
+    // outside the slice are unconstrained (they keep serving).
+    if (refAbInFlight(now) || refPbInFlight(now) || refSbInFlight(now))
+        return false;
+    const int slice = timing_->banksPerGroup;
+    if (slice <= 0 || group < 0 ||
+        (group + 1) * slice > static_cast<int>(banks_.size())) {
+        return false;
+    }
+    for (int b = group * slice; b < (group + 1) * slice; ++b) {
+        if (!banks_[b].canRefresh(now))
             return false;
     }
     return true;
@@ -191,6 +216,17 @@ Rank::onRefPb(Tick now, BankId bank, int t_rfc_override, int rows_override,
 }
 
 void
+Rank::onRefSb(Tick now, int group, int t_rfc_override, int rows_override)
+{
+    DSARP_ASSERT(canRefSb(now, group), "illegal same-bank refresh");
+    const int t_rfc = t_rfc_override ? t_rfc_override : timing_->tRfcSb;
+    const int slice = timing_->banksPerGroup;
+    for (int b = group * slice; b < (group + 1) * slice; ++b)
+        banks_[b].onRefresh(now, t_rfc, rows_override);
+    refSbEnds_.push_back(now + t_rfc);
+}
+
+void
 Rank::onRefAb(Tick now, int t_rfc_override, int rows_override)
 {
     DSARP_ASSERT(canRefAb(now), "REFab while rank not idle");
@@ -203,7 +239,7 @@ Rank::onRefAb(Tick now, int t_rfc_override, int rows_override)
 bool
 Rank::isActive(Tick now) const
 {
-    if (refAbInFlight(now) || refPbInFlight(now))
+    if (refAbInFlight(now) || refPbInFlight(now) || refSbInFlight(now))
         return true;
     for (const Bank &b : banks_) {
         if (b.isOpen())
@@ -217,6 +253,8 @@ Rank::refreshBusyUntil() const
 {
     Tick latest = refAbUntil_;
     for (Tick end : refPbEnds_)
+        latest = std::max(latest, end);
+    for (Tick end : refSbEnds_)
         latest = std::max(latest, end);
     return latest;
 }

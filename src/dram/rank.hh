@@ -37,6 +37,15 @@ class Rank
 
     /** A REFab may start: all banks idle, no refresh in flight. */
     bool canRefAb(Tick now) const;
+
+    /**
+     * A same-bank refresh (DDR5 REFsb) of bank-group slice @p group
+     * may start: every bank of the slice idle, and no other refresh
+     * of any kind in flight in the rank. Banks outside the slice keep
+     * serving accesses throughout -- the standard's own refresh-access
+     * parallelism.
+     */
+    bool canRefSb(Tick now, int group) const;
     /// @}
 
     /** @name State transitions. */
@@ -45,6 +54,8 @@ class Rank
     void onRefPb(Tick now, BankId bank, int tRfcOverride = 0,
                  int rowsOverride = 0, bool hidden = false);
     void onRefAb(Tick now, int tRfcOverride = 0, int rowsOverride = 0);
+    void onRefSb(Tick now, int group, int tRfcOverride = 0,
+                 int rowsOverride = 0);
     /// @}
 
     /** True while an all-bank refresh occupies the rank. */
@@ -52,6 +63,9 @@ class Rank
 
     /** True while any per-bank refresh is in flight in this rank. */
     bool refPbInFlight(Tick now) const { return refPbCount(now) > 0; }
+
+    /** True while a same-bank refresh slice is in flight. */
+    bool refSbInFlight(Tick now) const;
 
     /** Number of per-bank refreshes currently in flight. */
     int refPbCount(Tick now) const;
@@ -112,6 +126,8 @@ class Rank
     mutable std::vector<Tick> refPbEnds_;
     /** End ticks of the HiRA-hidden subset of refPbEnds_. */
     mutable std::vector<Tick> hiddenPbEnds_;
+    /** End ticks of in-flight same-bank refresh slices. */
+    mutable std::vector<Tick> refSbEnds_;
     Tick refAbUntil_ = 0;
 
     /** Precomputed inflated values for the common cases (no fp math on

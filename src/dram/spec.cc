@@ -69,6 +69,8 @@ DramSpec::timingFor(const MemConfig &cfg) const
     double tRfcPbNative = nativePerBankRefresh
         ? tRfcPbNs[densityIndex(cfg.density)]
         : 0.0;
+    double tRfcSbNsVal =
+        banksPerGroup > 0 ? tRfcSbNs[densityIndex(cfg.density)] : 0.0;
 
     // Fine granularity refresh: the command rate rises by 2x/4x while
     // tRFC shrinks only by the spec's divisors (Section 6.5; native
@@ -83,6 +85,7 @@ DramSpec::timingFor(const MemConfig &cfg) const
         tRefiAbNs /= rate;
         tRfcAbNs /= divisor;
         tRfcPbNative /= divisor;
+        tRfcSbNsVal /= divisor;
     }
     const double tRfcPbNsVal = nativePerBankRefresh
         ? tRfcPbNative
@@ -96,6 +99,31 @@ DramSpec::timingFor(const MemConfig &cfg) const
     // otherwise the LPDDR2-derived tRFCab ratio (Section 3.1).
     t.tRefiPb = t.tRefiAb / cfg.org.banksPerRank;
     t.tRfcPb = TimingParams::nsToCycles(tRfcPbNsVal, t.tCkNs);
+
+    // Same-bank refresh (DDR5 REFsb): one command refreshes a whole
+    // bank-group slice, so a slice command is due every tREFIab /
+    // (banks / slice size). The latency is the device's tRFCsb --
+    // held at the data-sheet value even for re-sliced what-if
+    // geometries (a conservative simplification). All three fields
+    // stay zero on specs without same-bank refresh.
+    if (banksPerGroup > 0) {
+        const int slice = cfg.sameBankGroupSize > 0
+            ? cfg.sameBankGroupSize
+            : banksPerGroup;
+        if (cfg.org.banksPerRank % slice == 0) {
+            const int groups = cfg.org.banksPerRank / slice;
+            t.banksPerGroup = slice;
+            t.tRefiSb = t.tRefiAb / groups;
+            t.tRfcSb = TimingParams::nsToCycles(tRfcSbNsVal, t.tCkNs);
+            // Energy geometry at the resolved organization/density: a
+            // full sweep of `groups` slice commands costs one REFab's
+            // charge (FGR scales tRFCsb and tRFCab together, so the
+            // ratio is rate-invariant).
+            t.refSbEnergyDivisor =
+                groups * (tRfcSbNs[densityIndex(cfg.density)] /
+                          tRfcAbNsFor(cfg.density));
+        }
+    }
 
     // Each refresh command covers rowsPerBank/refreshesPerRetention
     // rows per bank, scaled by the FGR rate (more frequent commands
@@ -119,6 +147,13 @@ DramSpec::timingFor(const MemConfig &cfg) const
         cfg.refresh == RefreshMode::kDarp) {
         DSARP_ASSERT(t.tRefiPb > static_cast<Tick>(t.tRfcPb),
                      "tREFIpb must exceed tRFCpb");
+    }
+    if (cfg.refresh == RefreshMode::kSameBank) {
+        DSARP_ASSERT(t.banksPerGroup > 0,
+                     "same-bank refresh needs a spec with bank-group "
+                     "support (and a slice that divides banksPerRank)");
+        DSARP_ASSERT(t.tRefiSb > static_cast<Tick>(t.tRfcSb),
+                     "tREFIsb must exceed tRFCsb");
     }
     return t;
 }

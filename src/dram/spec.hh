@@ -69,6 +69,14 @@ struct EnergyParams
      */
     double refPbCurrentDivisor = 8.0;
 
+    /**
+     * IDD6-style self-refresh current in mA, billed per rank-cycle
+     * while the energy model's self-refresh state is armed
+     * (MemConfig::selfRefreshIdleCycles > 0) and the rank has been
+     * idle past the threshold. Always below IDD2N.
+     */
+    double idd6 = 12.0;
+
     /** Micron 8 Gb TwinDie DDR3-1333 approximation [29]. */
     static EnergyParams micron8GbDdr3() { return EnergyParams{}; }
 };
@@ -112,6 +120,22 @@ struct DramSpec
 
     /** True when REFpb/SARPpb run on a native per-bank latency table. */
     bool nativePerBankRefresh = false;
+
+    /**
+     * Same-bank refresh (DDR5 REFsb): banks per bank group, i.e. how
+     * many banks one REFsb command refreshes together (DDR5: 4, the
+     * banks of one bank-group slice). 0 means the device has no
+     * same-bank refresh command (DDR3/DDR4/LPDDR4). When set, the
+     * native per-slice latency table below must be populated;
+     * timingFor() derives tREFIsb = tREFIab / (banksPerRank /
+     * banksPerGroup) so the slices cover every bank exactly once per
+     * tREFIab window. MemConfig::sameBankGroupSize can re-slice a
+     * supporting spec for what-if sweeps.
+     */
+    int banksPerGroup = 0;
+
+    /** Same-bank refresh latency in ns per density (8/16/32 Gb). */
+    std::array<double, 3> tRfcSbNs = {0.0, 0.0, 0.0};
 
     /** REFab slots per retention period (JEDEC: 8192). */
     int refreshesPerRetention = 8192;

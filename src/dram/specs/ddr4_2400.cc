@@ -49,6 +49,7 @@ DSARP_REGISTER_DRAM_SPEC(ddr4_2400, []() {
     s.energy.idd4r = 145.0;
     s.energy.idd4w = 130.0;
     s.energy.idd5b = 190.0;
+    s.energy.idd6 = 22.0;  // Self-refresh (energy-model state only).
     s.energy.refPbCurrentDivisor = 8.0;  // Ratio-model geometry: 8 banks.
     return s;
 }(), {"DDR4"})

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * DDR5-4800: one 32-bit subchannel of the 40-40-40 bin at tCK =
+ * 0.417 ns, with the standard's own adoption of refresh-access
+ * parallelism -- *same-bank refresh* (REFsb). The canonical device is
+ * 2 ranks x 8 bank groups x 4 banks (32 banks/rank; run it with
+ * banksPerRank=32); one REFsb command refreshes one bank-group slice
+ * of 4 banks in tRFCsb while every other bank group keeps serving
+ * accesses, which is exactly the rank-granularity half of what the
+ * paper's DARP/SARP build in controller logic (Section 3).
+ *
+ * Fine granularity refresh is native at 2x (the data-sheet
+ * tRFC1/tRFC2 ratio); DDR5 defines no 4x all-bank mode, so the 4x
+ * divisor is a projection in the spirit of the paper's Section 6.5.
+ * BL16 on the 32-bit subchannel moves 64 B per burst -- the same
+ * column granularity as DDR3's BL8 x 64-bit.
+ */
+
+#include "dram/spec.hh"
+
+namespace dsarp {
+
+DSARP_REGISTER_DRAM_SPEC(ddr5_4800, []() {
+    DramSpec s;
+    s.name = "DDR5-4800";
+    s.summary = "DDR5 with same-bank refresh: 40-40-40, tCK 0.417 ns";
+    s.tCkNs = 0.417;
+    s.tCl = 40;
+    s.tCwl = 38;
+    s.tRcd = 40;   // 16.67 ns.
+    s.tRp = 40;
+    s.tRas = 77;   // 32 ns.
+    s.tRc = 117;
+    s.tBl = 8;     // BL16.
+    s.tCcd = 8;    // tCCD_L.
+    s.tRtp = 18;   // 7.5 ns.
+    s.tWr = 72;    // 30 ns.
+    s.tWtr = 24;   // tWTR_L, 10 ns.
+    s.tRrd = 12;   // tRRD_L, 5 ns.
+    s.tFaw = 32;   // 13.33 ns.
+    s.tRtrs = 2;
+    s.tRfcAbNs = {195.0, 295.0, 410.0};  // tRFC1; 32 Gb projected.
+    s.pbRfcDivisor = 2.3;  // No native REFpb; Section 3.1 ratio model.
+    // Native FGR at 2x: tRFC2 = 130/160/220 ns. No native 4x mode --
+    // the 4x divisor projects the tRFC2 trend one step further.
+    s.fgrDivisor2x = 195.0 / 130.0;
+    s.fgrDivisor4x = 195.0 / 115.0;
+    // Same-bank refresh: 4 banks per bank group; one REFsb command
+    // refreshes one group slice in tRFCsb = 115/130/190 ns while the
+    // other bank groups stay available.
+    s.banksPerGroup = 4;
+    s.tRfcSbNs = {115.0, 130.0, 190.0};
+    // One 32-bit subchannel at BL16: 64 B bursts, DDR3-equivalent
+    // column granularity.
+    s.busWidthBits = 32;
+    s.tHiRANs = 7.5;
+    s.hiraActCoverage = 0.32;
+    s.hiraRefCoverage = 0.78;
+    // DDR5 x8 approximation at 1.1 V: DDR4-class currents on the
+    // lower supply, with the higher burst-read draw of the 4800 MT/s
+    // interface and a deep IDD6 self-refresh state.
+    s.energy.vdd = 1.1;
+    s.energy.idd0 = 65.0;
+    s.energy.idd2n = 50.0;
+    s.energy.idd3n = 57.0;
+    s.energy.idd4r = 170.0;
+    s.energy.idd4w = 160.0;
+    s.energy.idd5b = 210.0;
+    s.energy.idd6 = 30.0;
+    s.energy.refPbCurrentDivisor = 8.0;  // Ratio-model geometry.
+    // Same-bank slice energy needs no constant here: timingFor()
+    // derives the per-cycle divisor (groups x tRFCsb / tRFCab) at the
+    // resolved geometry and density.
+    return s;
+}(), {"DDR5"})
+
+} // namespace dsarp

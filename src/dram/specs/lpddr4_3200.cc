@@ -54,6 +54,7 @@ DSARP_REGISTER_DRAM_SPEC(lpddr4_3200, []() {
     s.energy.idd4r = 155.0;
     s.energy.idd4w = 160.0;
     s.energy.idd5b = 130.0;
+    s.energy.idd6 = 8.0;  // Mobile-class self-refresh draw.
     // Native per-bank refresh: derived from the spec's own per-bank
     // tRFC table so the two stay coherent -- a full 8-bank REFpb sweep
     // must cost one REFab's charge, so the per-cycle divisor is

@@ -56,6 +56,31 @@ struct TimingParams
     int tRfcAb = 234;     ///< All-bank refresh latency.
     int tRfcPb = 102;     ///< Per-bank refresh latency.
 
+    /**
+     * Same-bank refresh (DDR5 REFsb) geometry, derived from the spec's
+     * bank-group declaration: one REFsb command refreshes every bank
+     * of one bank-group slice (banksPerGroup banks) in tRfcSb cycles,
+     * and a slice is due every tRefiSb = tREFIab / (banks / group
+     * size). All three stay 0 when the selected spec has no same-bank
+     * refresh (DDR3/DDR4/LPDDR4), which is what the checker and the
+     * REFsb policy key off.
+     */
+    Tick tRefiSb = 0;     ///< Same-bank refresh command interval.
+    int tRfcSb = 0;       ///< Same-bank refresh latency.
+    int banksPerGroup = 0;///< Banks one REFsb command covers (0 = none).
+
+    /**
+     * Per-cycle current of one same-bank slice for the energy model,
+     * as a divisor of the all-bank refresh current above background:
+     * (IDD5B - IDD3N) / refSbEnergyDivisor. Derived, never spec data:
+     * a full sweep of `groups` REFsb commands must cost one REFab's
+     * charge, so the divisor is groups x tRFCsb / tRFCab at the
+     * *resolved* geometry and density (a static per-spec constant
+     * would silently misprice re-sliced or non-canonical bank
+     * counts).
+     */
+    double refSbEnergyDivisor = 1.0;
+
     /** Rows refreshed in each bank by one refresh command. */
     int rowsPerRefresh = 8;
 

@@ -31,7 +31,24 @@ void
 RefreshLedger::setDenominator(int denom)
 {
     DSARP_ASSERT(denom >= 1, "bad denominator");
-    DSARP_ASSERT(totalAccrued_ == 0, "set denominator before first accrual");
+    if (denom == denom_)
+        return;
+    // The denominator may change mid-window (e.g. a policy that turns
+    // fractional accounting on once slice pairing arms -- REFsb
+    // retiring multiple banks at once composed with HiRA). Balances
+    // are stored in 1/denom sub-units, so they must be rescaled in
+    // place; without this, an existing balance silently reinterprets
+    // against the new denominator while canPullInParts() compares it
+    // to the rescaled window -maxSlack * denom, letting a unit pull in
+    // far beyond (or short of) the JEDEC window.
+    for (int &balance : owed_) {
+        const long long scaled =
+            static_cast<long long>(balance) * denom;
+        DSARP_ASSERT(scaled % denom_ == 0,
+                     "denominator change would truncate a fractional "
+                     "refresh balance");
+        balance = static_cast<int>(scaled / denom_);
+    }
     denom_ = denom;
 }
 

@@ -100,7 +100,14 @@ class RefreshLedger
     std::uint64_t totalRetired_ = 0;
 
   public:
-    /** Switch the ledger to fractional accounting (call before use). */
+    /**
+     * Switch the ledger to fractional accounting: balances are kept in
+     * 1/denom sub-units from here on. Legal at any time -- existing
+     * balances are rescaled in place so the postpone/pull-in window
+     * (maxSlack * denom) keeps its meaning across the change; a change
+     * that would truncate a fractional balance (old sub-units not
+     * representable in the new denominator) is a fatal error.
+     */
     void setDenominator(int denom);
 };
 

@@ -1,0 +1,188 @@
+#include "refresh/same_bank.hh"
+
+#include "common/log.hh"
+#include "refresh/registry.hh"
+
+namespace dsarp {
+
+DSARP_REGISTER_REFRESH_POLICY(refsb, {
+    "REFsb", "DDR5 same-bank refresh: one command refreshes a "
+             "bank-group slice while other groups keep serving",
+    [](MemConfig &m) {
+        m.refresh = RefreshMode::kSameBank;
+        m.sarp = false;
+        m.hira = false;
+    },
+    [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+        return std::make_unique<SameBankScheduler>(&c, &t, &v);
+    }}, {"same_bank", "samebank"})
+
+DSARP_REGISTER_REFRESH_POLICY(hirasb, {
+    "HiRAsb", "REFsb + HiRA refresh-refresh pairing: doubled same-bank "
+              "slices when a bank group falls two slots behind",
+    [](MemConfig &m) {
+        m.refresh = RefreshMode::kSameBank;
+        m.sarp = false;
+        m.hira = true;
+    },
+    [](const MemConfig &c, const TimingParams &t, ControllerView &v) {
+        return std::make_unique<SameBankScheduler>(&c, &t, &v);
+    }}, {"refsb+hira"})
+
+SameBankScheduler::SameBankScheduler(const MemConfig *cfg,
+                                     const TimingParams *timing,
+                                     ControllerView *view)
+    : RefreshScheduler(cfg, timing, view),
+      // One ledger unit per bank-group slice, accruing every tREFIab,
+      // staggered by tREFIsb within the rank (the slice round-robin
+      // origin); ranks are phase-shifted by half a slot, mirroring the
+      // per-bank policies.
+      ledger_(cfg->org.ranksPerChannel,
+              timing->banksPerGroup > 0
+                  ? cfg->org.banksPerRank / timing->banksPerGroup
+                  : 1,
+              timing->tRefiAb, timing->tRefiSb / 2, timing->tRefiSb),
+      groups_(timing->banksPerGroup > 0
+                  ? cfg->org.banksPerRank / timing->banksPerGroup
+                  : 1),
+      banksPerGroup_(timing->banksPerGroup),
+      pullInEnabled_(cfg->sameBankPullIn),
+      pairingEnabled_(cfg->hira && cfg->org.subarraysPerBank >= 2)
+{
+    DSARP_ASSERT(timing->banksPerGroup > 0,
+                 "REFsb scheduler needs a spec with same-bank refresh");
+    dueNow_.assign(cfg->org.ranksPerChannel * groups_, 0);
+    pairDraw_.assign(cfg->org.ranksPerChannel * groups_, -1);
+}
+
+int
+SameBankScheduler::pendingDemandsGroup(RankId r, int g) const
+{
+    int count = 0;
+    for (int b = g * banksPerGroup_; b < (g + 1) * banksPerGroup_; ++b)
+        count += view_->pendingDemands(r, b);
+    return count;
+}
+
+void
+SameBankScheduler::tick(Tick now)
+{
+    ledger_.advanceTo(now);
+
+    // DARP's postpone decision (Figure 8, step 1) at slice
+    // granularity: at a slice's nominal refresh instant, postpone when
+    // any bank of the group has pending demands and the postpone
+    // window has room; otherwise mark the slice for an on-time
+    // refresh.
+    for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        for (int g = 0; g < groups_; ++g) {
+            if (!ledger_.accruedBetween(r, g, lastTick_, now))
+                continue;
+            if (ledger_.owed(r, g) <= 0)
+                continue;  // Covered by earlier pull-ins.
+            // A slice refresh must drain a whole bank group before it
+            // becomes legal, so stop postponing two slots ahead of the
+            // hard JEDEC limit -- the drain headroom keeps the bound
+            // (never > 9 intervals unrefreshed) safe under load.
+            if (pendingDemandsGroup(r, g) > 0 &&
+                ledger_.owed(r, g) + 2 < ledger_.maxSlack() &&
+                !ledger_.mustForce(r, g)) {
+                ++stats_.postponed;
+            } else {
+                dueNow_[index(r, g)] = 1;
+            }
+        }
+    }
+    lastTick_ = now;
+}
+
+void
+SameBankScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
+{
+    (void)now;
+    for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        for (int g = 0; g < groups_; ++g) {
+            if (!ledger_.mustForce(r, g) && !dueNow_[index(r, g)])
+                continue;
+            RefreshRequest req;
+            req.sameBank = true;
+            req.rank = r;
+            req.bank = g;
+            req.blocking = true;
+            // HiRA refresh-refresh pairing extended to slices: a
+            // group two or more slots behind may retire two slots in
+            // one command at unchanged tRFCsb, coverage permitting.
+            // One draw per due slot (redrawing every tick would
+            // inflate the probability); reset when the slice issues.
+            if (pairingEnabled_ && ledger_.owed(r, g) >= 2) {
+                int &draw = pairDraw_[index(r, g)];
+                if (draw < 0) {
+                    draw = view_->schedulerRng().chance(
+                               timing_->hiraRefCoverage)
+                        ? 1
+                        : 0;
+                }
+                if (draw == 1) {
+                    req.rowsOverride = 2 * timing_->rowsPerRefresh;
+                    req.ledgerParts = 2;
+                }
+            }
+            out.push_back(req);
+        }
+    }
+}
+
+bool
+SameBankScheduler::opportunistic(Tick now, RefreshRequest &out)
+{
+    // Idle-channel pull-in (Figure 8, step 3, at slice granularity):
+    // a random slice with no pending demands in any of its banks
+    // receives a postponed or pulled-in refresh, credit permitting.
+    if (!pullInEnabled_)
+        return false;
+    const int total = ledger_.numRanks() * groups_;
+    const int start = static_cast<int>(view_->schedulerRng().below(total));
+    for (int i = 0; i < total; ++i) {
+        const int idx = (start + i) % total;
+        const RankId r = idx / groups_;
+        const int g = idx % groups_;
+        if (pendingDemandsGroup(r, g) > 0)
+            continue;
+        if (!ledger_.canPullInParts(r, g, 1) ||
+            !view_->dram().rank(r).canRefSb(now, g)) {
+            continue;
+        }
+        out = RefreshRequest{};
+        out.sameBank = true;
+        out.rank = r;
+        out.bank = g;
+        out.blocking = false;
+        return true;
+    }
+    return false;
+}
+
+void
+SameBankScheduler::onIssued(const RefreshRequest &req, Tick)
+{
+    const int g = req.bank;
+    if (ledger_.mustForce(req.rank, g))
+        ++stats_.forced;
+    if (ledger_.owed(req.rank, g) <= 0)
+        ++stats_.pulledIn;
+    // One command retires the whole slice's obligation -- all banks
+    // sharing the bank-group index at once; a paired command retires
+    // two slots' worth.
+    if (req.ledgerParts > 0) {
+        ledger_.onPartialRefresh(req.rank, g, req.ledgerParts);
+        if (req.ledgerParts > 1)
+            ++pairedIssued_;
+    } else {
+        ledger_.onRefresh(req.rank, g);
+    }
+    dueNow_[index(req.rank, g)] = 0;
+    pairDraw_[index(req.rank, g)] = -1;
+    ++stats_.issued;
+}
+
+} // namespace dsarp

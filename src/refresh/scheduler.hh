@@ -51,6 +51,9 @@ class ControllerView
 struct RefreshRequest
 {
     bool allBank = false;
+    /** Same-bank refresh (DDR5 REFsb): `bank` holds the bank-group
+     *  index; the command refreshes that whole slice. */
+    bool sameBank = false;
     RankId rank = 0;
     BankId bank = 0;        ///< Ignored for all-bank requests.
     bool blocking = false;  ///< Stop new ACTs to the target until issued.

@@ -31,6 +31,7 @@ struct RankModel
     Tick refAbUntil = 0;         ///< All-bank refresh in flight.
     std::vector<Tick> refPbEnds; ///< In-flight per-bank refresh ends.
     std::vector<Tick> hiddenPbEnds;  ///< HiRA-hidden subset.
+    std::vector<Tick> refSbEnds; ///< In-flight same-bank slice ends.
 
     int
     pbInFlight(Tick now)
@@ -45,6 +46,13 @@ struct RankModel
         std::erase_if(hiddenPbEnds,
                       [now](Tick end) { return end <= now; });
         return static_cast<int>(hiddenPbEnds.size());
+    }
+
+    int
+    sbInFlight(Tick now)
+    {
+        std::erase_if(refSbEnds, [now](Tick end) { return end <= now; });
+        return static_cast<int>(refSbEnds.size());
     }
 };
 
@@ -227,26 +235,55 @@ class Verifier
     {
         RankModel &rank = ranks_[cmd.rank];
         const bool all_bank = cmd.type == CommandType::kRefAb;
+        const bool same_bank = cmd.type == CommandType::kRefSb;
         const int pb_in_flight = rank.pbInFlight(now);
+        const int sb_in_flight = rank.sbInFlight(now);
         if (rank.refAbUntil > now) {
             fail(now, cmd, "refresh overlaps an all-bank refresh");
-        } else if (all_bank && pb_in_flight > 0) {
-            fail(now, cmd, "REFab overlaps a per-bank refresh");
-        } else if (!all_bank &&
+        } else if (sb_in_flight > 0) {
+            // Same-bank slices never overlap any other refresh of the
+            // rank (DDR5 serializes refresh commands per rank).
+            fail(now, cmd, "refresh overlaps a same-bank refresh");
+        } else if ((all_bank || same_bank) && pb_in_flight > 0) {
+            fail(now, cmd, all_bank
+                     ? "REFab overlaps a per-bank refresh"
+                     : "REFsb overlaps a per-bank refresh");
+        } else if (!all_bank && !same_bank &&
                    pb_in_flight >= cfg_.maxOverlappedRefPb) {
             // LPDDR disallows overlap (limit 1); the footnote-5
             // extension raises the limit.
             fail(now, cmd, "REFpb exceeds the rank overlap limit");
         }
-        const int t_rfc = cmd.tRfcOverride
-            ? cmd.tRfcOverride
-            : (all_bank ? t_.tRfcAb : t_.tRfcPb);
+        const int t_rfc = cmd.tRfcOverride ? cmd.tRfcOverride
+            : all_bank                     ? t_.tRfcAb
+            : same_bank                    ? t_.tRfcSb
+                                           : t_.tRfcPb;
         const int rows =
             cmd.rowsOverride ? cmd.rowsOverride : t_.rowsPerRefresh;
         if (all_bank) {
             for (auto &bank : rank.banks)
                 refreshBank(now, cmd, bank, t_rfc, rows, false);
             rank.refAbUntil = now + t_rfc;
+        } else if (same_bank) {
+            // One command retires a whole bank-group slice; every bank
+            // of the slice must individually satisfy the non-hidden
+            // refresh rules (closed, precharge complete, no overlap).
+            const int slice = t_.banksPerGroup;
+            if (slice <= 0) {
+                fail(now, cmd,
+                     "REFsb on a spec without same-bank refresh");
+                return;
+            }
+            if (cmd.bank < 0 ||
+                (cmd.bank + 1) * slice > cfg_.org.banksPerRank) {
+                fail(now, cmd, "REFsb bank-group index out of range");
+                return;
+            }
+            for (int b = cmd.bank * slice; b < (cmd.bank + 1) * slice;
+                 ++b) {
+                refreshBank(now, cmd, rank.banks[b], t_rfc, rows, false);
+            }
+            rank.refSbEnds.push_back(now + t_rfc);
         } else {
             refreshBank(now, cmd, rank.banks[cmd.bank], t_rfc, rows,
                         cmd.hidden);
@@ -282,6 +319,7 @@ class Verifier
                 break;
               case CommandType::kRefAb:
               case CommandType::kRefPb:
+              case CommandType::kRefSb:
                 checkRefresh(tc.tick, tc.cmd);
                 break;
             }

@@ -12,6 +12,9 @@
  *     subarray differs from the refreshing one;
  *   - per-bank/all-bank refreshes never overlap within a rank; all-bank
  *     refresh only on a fully precharged rank;
+ *   - same-bank refreshes (DDR5 REFsb) only on specs that declare
+ *     bank-group support, to an in-range group whose banks are all
+ *     precharged, never overlapping another refresh of the rank;
  *   - HiRA hidden refreshes only beneath an open row, targeting a
  *     different subarray, no earlier than tHiRA after the demand ACT;
  *   - data-bus bursts never overlap;

@@ -34,15 +34,23 @@ channelEnergy(const ChannelStats &stats, const TimingParams &timing,
     const double ref_cur = p.vdd * (p.idd5b - p.idd3n) * tck * to_nj;
     e.refreshNj = ref_cur * static_cast<double>(stats.refAbCycles) +
         ref_cur / p.refPbCurrentDivisor *
-            static_cast<double>(stats.refPbCycles);
+            static_cast<double>(stats.refPbCycles) +
+        // Same-bank slices: the divisor is derived per resolved
+        // geometry/density (timing), not static spec data.
+        ref_cur / timing.refSbEnergyDivisor *
+            static_cast<double>(stats.refSbCycles);
 
     // Background: active standby while any bank is open or refreshing,
+    // IDD6 self-refresh for ranks idle past the entry threshold
+    // (rankSelfRefTicks is 0 unless energy.selfRefreshIdle is set),
     // precharge standby otherwise.
+    const double sref_ticks =
+        static_cast<double>(stats.rankSelfRefTicks);
     const double idle_ticks = static_cast<double>(
-        stats.rankTotalTicks - stats.rankActiveTicks);
+        stats.rankTotalTicks - stats.rankActiveTicks) - sref_ticks;
     e.backgroundNj = p.vdd *
         (p.idd3n * static_cast<double>(stats.rankActiveTicks) +
-         p.idd2n * idle_ticks) *
+         p.idd2n * idle_ticks + p.idd6 * sref_ticks) *
         tck * to_nj;
     return e;
 }

@@ -10,7 +10,11 @@
  * them from the selected spec. A per-bank refresh draws a fraction of
  * an all-bank refresh's current given by the spec's refresh geometry
  * (EnergyParams::refPbCurrentDivisor, Section 4.3.3) -- native-REFpb
- * parts derive it from their per-bank tRFC table.
+ * parts derive it from their per-bank tRFC table -- and a same-bank
+ * slice (DDR5 REFsb) likewise via refSbCurrentDivisor. Ranks idle past
+ * the MemConfig::selfRefreshIdleCycles threshold are billed the
+ * spec's IDD6 self-refresh current instead of IDD2N (disabled by
+ * default; purely an accounting state).
  */
 
 #ifndef DSARP_SIM_ENERGY_HH

@@ -151,6 +151,12 @@ keyTable()
         boolKey("darpWriteRefresh", &ExperimentConfig::darpWriteRefresh),
         doubleKey("refresh.hiraCoverage", &ExperimentConfig::hiraCoverage),
         intKey("refresh.hiraDelay", &ExperimentConfig::hiraDelay),
+        intKey("refresh.samebank.groupSize",
+               &ExperimentConfig::sameBankGroupSize),
+        boolKey("refresh.samebank.pullIn",
+                &ExperimentConfig::sameBankPullIn),
+        intKey("energy.selfRefreshIdle",
+               &ExperimentConfig::selfRefreshIdle),
         intKey("numCores", &ExperimentConfig::numCores),
         u64Key("seed", &ExperimentConfig::seed),
         boolKey("enableChecker", &ExperimentConfig::enableChecker),
@@ -303,10 +309,15 @@ ExperimentConfig::validate() const
     // delegated MemConfig::validate() below, like the other mem keys.
 
     // Delegate the memory-system cross-checks; their messages already
-    // name keys. rowsPerBank must be applied first, as finalize() would.
+    // name keys. rowsPerBank must be applied first, as finalize()
+    // would, and the policy's config bundle resolved so checks that
+    // depend on the selected mechanism (e.g. REFsb needing a spec
+    // with bank-group support) fire here, not at System construction.
     if (densityGb == 8 || densityGb == 16 || densityGb == 32) {
         SystemConfig sys = toSystemConfig();
         sys.mem.org.rowsPerBank = rowsPerBankFor(sys.mem.density);
+        if (registry.has(sys.mem.policy))
+            registry.resolve(sys.mem);
         const std::string memErrors = sys.mem.validate();
         if (!memErrors.empty())
             fail(memErrors);
@@ -355,6 +366,9 @@ ExperimentConfig::toSystemConfig() const
     sys.mem.darpWriteRefresh = darpWriteRefresh;
     sys.mem.hiraCoverage = hiraCoverage;
     sys.mem.hiraDelayCycles = hiraDelay;
+    sys.mem.sameBankGroupSize = sameBankGroupSize;
+    sys.mem.sameBankPullIn = sameBankPullIn;
+    sys.mem.selfRefreshIdleCycles = selfRefreshIdle;
     sys.numCores = numCores;
     sys.seed = seed;
     sys.enableChecker = enableChecker;

@@ -68,6 +68,19 @@ struct ExperimentConfig
      *  "refresh.hiraDelay"); 0 = the spec's tHiRA. */
     int hiraDelay = 0;
 
+    /** Same-bank refresh slice size in banks (key
+     *  "refresh.samebank.groupSize"); 0 = the spec's bank-group
+     *  geometry. Must divide banksPerRank. */
+    int sameBankGroupSize = 0;
+
+    /** Allow opportunistic pull-in of same-bank slices on idle
+     *  channels (key "refresh.samebank.pullIn"). */
+    bool sameBankPullIn = true;
+
+    /** Self-refresh energy-state entry threshold in idle cycles (key
+     *  "energy.selfRefreshIdle"); 0 disables the state. */
+    int selfRefreshIdle = 0;
+
     // --- System ------------------------------------------------------
     int numCores = 8;
     std::uint64_t seed = 1;

@@ -166,6 +166,7 @@ collectChannelStats(System &system, const SystemConfig &sys,
         accesses += static_cast<double>(cs.reads + cs.writes);
         res.refAb += cs.refAb;
         res.refPb += cs.refPb;
+        res.refSb += cs.refSb;
         res.refPbHidden += cs.refPbHidden;
         res.readsCompleted += system.controller(ch).stats().readsCompleted;
         res.writesIssued += system.controller(ch).stats().writesIssued;

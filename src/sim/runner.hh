@@ -92,6 +92,7 @@ struct RunResult
     std::uint64_t writesIssued = 0;
     std::uint64_t refAb = 0;
     std::uint64_t refPb = 0;
+    std::uint64_t refSb = 0;        ///< DDR5 same-bank slice refreshes.
     std::uint64_t refPbHidden = 0;  ///< HiRA refreshes hidden under ACTs.
 };
 

@@ -39,14 +39,14 @@ cfgFor(const std::string &spec, Density d, int retention_ms = 32,
 
 } // namespace
 
-TEST(DramSpecRegistry, AllFiveSpecsRegistered)
+TEST(DramSpecRegistry, AllSixSpecsRegistered)
 {
     const auto &registry = DramSpecRegistry::instance();
     for (const char *name : {"DDR3-1066", "DDR3-1333", "DDR3-1600",
-                             "DDR4-2400", "LPDDR4-3200"}) {
+                             "DDR4-2400", "LPDDR4-3200", "DDR5-4800"}) {
         EXPECT_TRUE(registry.has(name)) << name;
     }
-    EXPECT_GE(registry.names().size(), 5u);
+    EXPECT_GE(registry.names().size(), 6u);
 }
 
 TEST(DramSpecRegistry, LookupIsCaseInsensitiveAndAliased)
@@ -56,6 +56,7 @@ TEST(DramSpecRegistry, LookupIsCaseInsensitiveAndAliased)
     EXPECT_EQ(registry.at("DDR3").name, "DDR3-1333");
     EXPECT_EQ(registry.at("ddr4").name, "DDR4-2400");
     EXPECT_EQ(registry.at("LPDDR4").name, "LPDDR4-3200");
+    EXPECT_EQ(registry.at("ddr5").name, "DDR5-4800");
     EXPECT_EQ(registry.find("no-such-spec"), nullptr);
 }
 
@@ -131,6 +132,69 @@ TEST_P(SpecInvariants, FgrRateScaling)
     // paper's complaint about FGR).
     EXPECT_GT(2 * f2.tRfcAb, base.tRfcAb);
     EXPECT_GT(4 * f4.tRfcAb, 2 * f2.tRfcAb);
+}
+
+TEST_P(SpecInvariants, SameBankGeometry)
+{
+    const auto [name, density] = GetParam();
+    const DramSpec &spec = DramSpecRegistry::instance().at(name);
+    const TimingParams t = spec.timingFor(cfgFor(name, density));
+
+    if (spec.banksPerGroup <= 0) {
+        // No same-bank refresh: every derived field must stay zeroed
+        // (the checker and the REFsb policy key off this).
+        EXPECT_EQ(t.banksPerGroup, 0);
+        EXPECT_EQ(t.tRefiSb, 0u);
+        EXPECT_EQ(t.tRfcSb, 0);
+        return;
+    }
+
+    // A slice command must fit inside its interval, cover banks the
+    // bank-group declaration promises, and cost no more than a full
+    // all-bank refresh while beating one per-bank command per bank.
+    EXPECT_GT(t.tRefiSb, static_cast<Tick>(t.tRfcSb));
+    EXPECT_EQ(t.banksPerGroup, spec.banksPerGroup);
+    EXPECT_EQ(8 % spec.banksPerGroup, 0)
+        << "groups must tile the default 8-bank rank";
+    EXPECT_EQ(t.tRefiSb, t.tRefiAb / (8 / spec.banksPerGroup));
+    EXPECT_GT(t.tRfcSb, 0);
+    EXPECT_LE(t.tRfcSb, t.tRfcAb);
+    EXPECT_GE(t.tRfcSb, t.tRfcPb);
+    EXPECT_LT(t.tRfcSb, spec.banksPerGroup * t.tRfcPb)
+        << "one slice must beat refreshing its banks one by one";
+}
+
+TEST_P(SpecInvariants, RefreshGeometryCoversAllBanksPerRetention)
+{
+    // All-specs coverage property: the burst must tile the row, and
+    // each refresh geometry -- all-bank, per-bank, same-bank -- must
+    // cover every row of every bank exactly once per retention window
+    // (tREFW): slots x rows-per-slot = rows-per-bank, and the
+    // per-unit command interval tiles tREFIab with no uncovered
+    // remainder larger than the unit count.
+    const auto [name, density] = GetParam();
+    const DramSpec &spec = DramSpecRegistry::instance().at(name);
+    const MemConfig cfg = cfgFor(name, density);
+    const TimingParams t = spec.timingFor(cfg);
+
+    EXPECT_EQ(cfg.org.rowBytes % spec.burstBytes(), 0) << name;
+    EXPECT_EQ(spec.burstBytes() % cfg.org.lineBytes, 0) << name;
+
+    EXPECT_EQ(t.rowsPerRefresh * spec.refreshesPerRetention,
+              cfg.org.rowsPerBank)
+        << "refresh slots must cover the bank exactly once per tREFW";
+
+    const int banks = cfg.org.banksPerRank;
+    EXPECT_LE(t.tRefiPb * banks, t.tRefiAb);
+    EXPECT_LT(t.tRefiAb - t.tRefiPb * banks, static_cast<Tick>(banks))
+        << "per-bank slots must tile the all-bank interval";
+    if (t.banksPerGroup > 0) {
+        const int groups = banks / t.banksPerGroup;
+        EXPECT_LE(t.tRefiSb * groups, t.tRefiAb);
+        EXPECT_LT(t.tRefiAb - t.tRefiSb * groups,
+                  static_cast<Tick>(groups))
+            << "same-bank slices must tile the all-bank interval";
+    }
 }
 
 TEST_P(SpecInvariants, RetentionScaling)
@@ -210,6 +274,36 @@ TEST(DramSpec, LpddrUsesNativePerBankTable)
     const double ratio =
         static_cast<double>(t.tRfcAb) / static_cast<double>(t.tRfcPb);
     EXPECT_NEAR(ratio, 2.0, 0.01);
+}
+
+TEST(DramSpec, Ddr5CarriesSameBankRefresh)
+{
+    const DramSpec &d5 = DramSpecRegistry::instance().at("DDR5-4800");
+    EXPECT_EQ(d5.banksPerGroup, 4);
+    // tRFCsb = 115/130/190 ns at 8/16/32 Gb, always below tRFC1.
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_GT(d5.tRfcSbNs[i], 0.0) << i;
+        EXPECT_LT(d5.tRfcSbNs[i], d5.tRfcAbNs[i]) << i;
+    }
+    // Native tRFC1/tRFC2 FGR divisor (195/130 ns at 8 Gb); the 4x
+    // divisor is a projection but must stay steeper than 2x.
+    EXPECT_NEAR(d5.fgrDivisor2x, 195.0 / 130.0, 1e-9);
+    EXPECT_GT(d5.fgrDivisor4x, d5.fgrDivisor2x);
+    // Same-bank slice energy is derived at the resolved geometry and
+    // density -- a full sweep of slices costs one REFab's charge
+    // (groups x tRFCsb / tRFCab) -- never a static spec constant that
+    // would misprice re-sliced or non-canonical bank counts.
+    const TimingParams t8 =
+        d5.timingFor(cfgFor("DDR5-4800", Density::k8Gb));
+    EXPECT_NEAR(t8.refSbEnergyDivisor, 2.0 * 115.0 / 195.0, 1e-9)
+        << "8 banks -> 2 groups";
+    MemConfig canonical = cfgFor("DDR5-4800", Density::k32Gb);
+    canonical.org.banksPerRank = 32;
+    EXPECT_NEAR(d5.timingFor(canonical).refSbEnergyDivisor,
+                8.0 * 190.0 / 410.0, 1e-9)
+        << "32 banks -> 8 groups at the 32 Gb ratio";
+    EXPECT_LT(d5.energy.idd6, d5.energy.idd2n)
+        << "self-refresh must undercut precharge standby";
 }
 
 TEST(DramSpec, Ddr4CarriesNativeFgrDivisors)

@@ -212,6 +212,50 @@ TEST(Energy, Lpddr4CheaperThanDdr3PerAccess)
     EXPECT_LT(lpddr4, ddr3);
 }
 
+TEST(Energy, Ddr5SameBankSweepCostsOneRefab)
+{
+    // A full sweep of same-bank slices (one command per bank group,
+    // tRFCsb cycles each) must cost one REFab's charge at whatever
+    // geometry the config resolved -- here the 8-bank default, i.e.
+    // two groups per rank. The divisor is derived by timingFor(), not
+    // static spec data.
+    const auto [t, p] = specParams("DDR5-4800");
+    const std::uint64_t groups = 8 / t.banksPerGroup;
+    ChannelStats ab;
+    ab.refAbCycles = static_cast<std::uint64_t>(t.tRfcAb);
+    ChannelStats sb;
+    sb.refSbCycles = groups * t.tRfcSb;
+    const double e_ab = channelEnergy(ab, t, p).refreshNj;
+    const double e_sb = channelEnergy(sb, t, p).refreshNj;
+    EXPECT_GT(e_sb, 0.0);
+    EXPECT_NEAR(e_sb, e_ab, e_ab * 0.01);  // Cycle rounding only.
+}
+
+TEST(Energy, SelfRefreshUndercutsPrechargeStandby)
+{
+    // The IDD6 state: the same idle window costs less once part of it
+    // is billed at the self-refresh current, and the saving is linear
+    // in the self-refresh tick count.
+    const auto [t, p] = specParams("DDR5-4800");
+    ChannelStats idle;
+    idle.rankTotalTicks = 10000;
+    ChannelStats sref = idle;
+    sref.rankSelfRefTicks = 6000;
+    const double e_idle = channelEnergy(idle, t, p).backgroundNj;
+    const double e_sref = channelEnergy(sref, t, p).backgroundNj;
+    EXPECT_LT(e_sref, e_idle);
+    EXPECT_NEAR(e_idle - e_sref,
+                p.vdd * (p.idd2n - p.idd6) * 6000 * t.tCkNs * 1e-3,
+                1e-9);
+    // Every spec must keep idd6 below idd2n for the state to make
+    // physical sense.
+    for (const std::string &name : DramSpecRegistry::instance().names()) {
+        const EnergyParams &e = DramSpecRegistry::instance().at(name).energy;
+        EXPECT_GT(e.idd6, 0.0) << name;
+        EXPECT_LT(e.idd6, e.idd2n) << name;
+    }
+}
+
 TEST(Energy, ActiveStandbyCostsMoreThanIdle)
 {
     const TimingParams t = timing();

@@ -114,6 +114,69 @@ TEST(Ledger, FractionalForceLimitScales)
     EXPECT_TRUE(ledger.mustForce(0, 0));
 }
 
+TEST(Ledger, DenominatorChangeRescalesExistingBalances)
+{
+    // Regression: setDenominator used to be legal only on a pristine
+    // ledger, and silently reinterpreted any existing balance against
+    // the new denominator while canPullInParts() compared it to the
+    // rescaled window. The REFsb + HiRA slice-pairing composition
+    // (fractional accounting armed after pull-ins already happened)
+    // exercises exactly this path.
+    RefreshLedger ledger(1, 1, 1000, 0, 0, 8);
+    ledger.onRefresh(0, 0);  // Two whole slots pulled in before the
+    ledger.onRefresh(0, 0);  // first accrual (idle-channel warmup).
+    EXPECT_EQ(ledger.owed(0, 0), -2);
+
+    ledger.setDenominator(4);
+    EXPECT_EQ(ledger.owed(0, 0), -8) << "balance rescaled to quarters";
+
+    // The JEDEC window keeps its whole-slot meaning across the
+    // change: 8 slots of pull-in total, 2 already spent -> exactly 6
+    // more full slots may be pulled in, not 7 (which the unrescaled
+    // balance would have allowed).
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_TRUE(ledger.canPullIn(0, 0)) << "slot " << i;
+        ledger.onRefresh(0, 0);
+    }
+    EXPECT_EQ(ledger.owed(0, 0), -32);
+    EXPECT_FALSE(ledger.canPullIn(0, 0));
+    EXPECT_FALSE(ledger.canPullInParts(0, 0, 1));
+}
+
+TEST(Ledger, DenominatorChangeMidWindow)
+{
+    RefreshLedger ledger(1, 2, 1000, 0, 0, 8);
+    ledger.advanceTo(3000);  // Three accruals per unit.
+    ledger.onRefresh(0, 0);
+    EXPECT_EQ(ledger.owed(0, 0), 2);
+    EXPECT_EQ(ledger.owed(0, 1), 3);
+
+    ledger.setDenominator(2);
+    EXPECT_EQ(ledger.owed(0, 0), 4) << "2 slots -> 4 halves";
+    EXPECT_EQ(ledger.owed(0, 1), 6);
+
+    // Accruals after the change add the new denominator per period.
+    ledger.advanceTo(4000);
+    EXPECT_EQ(ledger.owed(0, 0), 6);
+
+    // Fractional retirement and the force threshold both use the new
+    // denominator consistently (mustForce at 8 slots = 16 halves).
+    ledger.onPartialRefresh(0, 0, 3);
+    EXPECT_EQ(ledger.owed(0, 0), 3);
+    EXPECT_FALSE(ledger.mustForce(0, 0));
+    ledger.advanceTo(10000);
+    EXPECT_TRUE(ledger.mustForce(0, 1));
+}
+
+TEST(Ledger, DenominatorChangeRefusesToTruncate)
+{
+    RefreshLedger ledger(1, 1, 1000, 0, 0, 8);
+    ledger.setDenominator(4);
+    ledger.advanceTo(1000);
+    ledger.onPartialRefresh(0, 0, 1);  // Balance now 3 quarters.
+    EXPECT_DEATH(ledger.setDenominator(1), "truncate");
+}
+
 TEST(Ledger, MultiRankIndependence)
 {
     RefreshLedger ledger(2, 8, 1000, 500, 10);

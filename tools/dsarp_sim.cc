@@ -218,6 +218,10 @@ main(int argc, char **argv)
     std::printf("REFab / REFpb cmds : %llu / %llu\n",
                 static_cast<unsigned long long>(res.refAb),
                 static_cast<unsigned long long>(res.refPb));
+    if (res.refSb > 0) {
+        std::printf("REFsb slices       : %llu\n",
+                    static_cast<unsigned long long>(res.refSb));
+    }
     if (res.refPbHidden > 0) {
         std::printf("hidden (HiRA)      : %llu\n",
                     static_cast<unsigned long long>(res.refPbHidden));
