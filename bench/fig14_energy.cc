@@ -11,9 +11,16 @@
  * under any registered DRAM spec with that spec's own vdd/IDD energy
  * parameters -- the CI runs DDR4-2400 and LPDDR4-3200 legs so
  * spec-blind energy regressions fail loudly.
+ *
+ * Self-refresh axis: --sr-idle N arms the command-level SRE/SRX
+ * idle-entry policy (refresh.selfRefresh.idleEntry) at N cycles on
+ * every mechanism column, so the figure shows the IDD6 residency
+ * savings *and* their performance price in one run.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench_common.hh"
 
@@ -30,6 +37,21 @@ main(int argc, char **argv)
     if (!spec.empty())
         std::printf("[dram spec: %s]\n", spec.c_str());
 
+    // Self-refresh axis: --sr-idle N (0 = the protocol stays off).
+    int srIdle = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sr-idle") == 0 && i + 1 < argc)
+            srIdle = std::atoi(argv[i + 1]);
+    }
+    if (srIdle > 0) {
+        std::printf("[self-refresh idle entry: %d cycles]\n", srIdle);
+    }
+    auto mech = [&](const std::string &name, Density d) {
+        RunConfig cfg = mechNamed(name, d, spec);
+        cfg.srIdleEntryCycles = srIdle;
+        return cfg;
+    };
+
     Runner runner;
     const auto workloads =
         makeWorkloads(runner.workloadsPerCategory(), 8, 1);
@@ -39,14 +61,14 @@ main(int argc, char **argv)
                 "DSARP", "NoREF", "DSARPvAB");
     for (Density d : densities()) {
         const auto refab =
-            energyOf(sweep(runner, mechNamed("REFab", d, spec), workloads));
+            energyOf(sweep(runner, mech("REFab", d), workloads));
         std::printf("%-10s %7.2f", densityName(d), mean(refab));
         double dsarp_mean = 0.0;
-        for (const char *mech : {"REFpb", "Elastic", "DARP", "SARPab",
+        for (const char *name : {"REFpb", "Elastic", "DARP", "SARPab",
                                  "SARPpb", "DSARP", "NoREF"}) {
             const auto e =
-                energyOf(sweep(runner, mechNamed(mech, d, spec), workloads));
-            if (std::string(mech) == "DSARP")
+                energyOf(sweep(runner, mech(name, d), workloads));
+            if (std::string(name) == "DSARP")
                 dsarp_mean = mean(e);
             std::printf(" %7.2f", mean(e));
         }

@@ -195,6 +195,47 @@ MemConfig::validate() const
              "0 to disable the self-refresh energy state (got " +
              std::to_string(selfRefreshIdleCycles) + ")");
     }
+    if (srIdleEntryCycles < 0) {
+        fail("config key 'refresh.selfRefresh.idleEntry' must be >= 0 "
+             "cycles, 0 to disable command-level self-refresh (got " +
+             std::to_string(srIdleEntryCycles) + ")");
+    }
+    if (srIdleEntryCycles > 0 && selfRefreshIdleCycles > 0) {
+        fail("config keys 'refresh.selfRefresh.idleEntry' and "
+             "'energy.selfRefreshIdle' are mutually exclusive: the "
+             "command-level protocol already bills IDD6 from real "
+             "self-refresh residency");
+    }
+    if (selfRefreshIdleCycles > 0 && refresh != RefreshMode::kNoRefresh) {
+        // The legacy accounting-only state must not be configured past
+        // the point where its claim becomes one the device cannot
+        // honour: beyond one tREFIab the rank would sit in the IDD6
+        // state across the external refresh commands the schedule
+        // keeps issuing (and before the demand/refresh activity split
+        // such thresholds silently never fired at all). Long
+        // self-refresh residency belongs to the command-level
+        // protocol.
+        if (const DramSpec *spec =
+                DramSpecRegistry::instance().find(dramSpec)) {
+            const double trefi_cycles = retentionMs * 1e6 /
+                spec->refreshesPerRetention / spec->tCkNs;
+            if (selfRefreshIdleCycles > trefi_cycles) {
+                fail("config key 'energy.selfRefreshIdle' (" +
+                     std::to_string(selfRefreshIdleCycles) + ") exceeds "
+                     "tREFIab (~" +
+                     std::to_string(static_cast<long long>(trefi_cycles)) +
+                     " cycles) of DRAM spec '" + spec->name + "'; the "
+                     "energy-only state cannot outlast the external "
+                     "refresh schedule -- use "
+                     "'refresh.selfRefresh.idleEntry' for command-level "
+                     "self-refresh");
+            }
+        }
+    }
+    if (fgrRate != 0 && fgrRate != 1 && fgrRate != 2 && fgrRate != 4) {
+        fail("config key 'refresh.fgrRate' must be 0 (profile default), "
+             "1, 2 or 4 (got " + std::to_string(fgrRate) + ")");
+    }
     if (hiraCoverage > 1.0 || (hiraCoverage < 0.0 && hiraCoverage != -1.0)) {
         fail("config key 'refresh.hiraCoverage' must be within [0, 1], "
              "or -1 for the spec default (got " +

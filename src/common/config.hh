@@ -160,13 +160,46 @@ struct MemConfig
     bool sameBankPullIn = true;
 
     /**
+     * Command-level self-refresh idle-entry policy (config key
+     * "refresh.selfRefresh.idleEntry"): after this many consecutive
+     * DRAM cycles without demand activity on a rank, the controller
+     * issues SRE (self-refresh entry). The rank then refreshes itself
+     * -- its refresh ledger pauses and owed slots retire at the
+     * internal rate -- until a demand request arrives, at which point
+     * the controller issues SRX (no earlier than tCKESR after entry)
+     * and the first command is charged the full tXS exit latency.
+     * 0 disables the protocol entirely (bit-identical behaviour).
+     * This supersedes the accounting-only "energy.selfRefreshIdle"
+     * state below; the two are mutually exclusive.
+     */
+    int srIdleEntryCycles = 0;
+
+    /**
+     * Explicit fine-granularity-refresh rate (config key
+     * "refresh.fgrRate"): 0 keeps the rate implied by the refresh
+     * profile (FGR2x/FGR4x -> 2/4, everything else 1); 1/2/4 force
+     * the rate for *any* mechanism, letting per-bank schedulers
+     * (DARP, HiRA) run on FGR-scaled timing -- tREFI shrinks by the
+     * rate, tRFC by the spec's native divisor, and each command
+     * covers proportionally fewer rows.
+     */
+    int fgrRate = 0;
+
+    /**
      * Energy-model self-refresh state (config key
-     * "energy.selfRefreshIdle"): after this many consecutive idle DRAM
-     * cycles a rank is billed the spec's IDD6 self-refresh current
-     * instead of IDD2N precharge standby. 0 disables the state, which
-     * keeps every pre-existing energy number bit-identical. This is an
-     * energy accounting state only -- the command protocol (and the
-     * external refresh schedule) is not altered.
+     * "energy.selfRefreshIdle"): after this many consecutive
+     * demand-idle DRAM cycles a rank is billed the spec's IDD6
+     * self-refresh current instead of IDD2N precharge standby.
+     * 0 disables the state, which keeps every pre-existing energy
+     * number bit-identical. This is an energy accounting state only --
+     * the command protocol (and the external refresh schedule) is not
+     * altered.
+     *
+     * @deprecated Use the command-level protocol
+     * (refresh.selfRefresh.idleEntry) instead: this state grants IDD6
+     * savings with zero performance cost. Thresholds above tREFIab
+     * are rejected at validation (before the demand/refresh activity
+     * split they could silently never fire).
      */
     int selfRefreshIdleCycles = 0;
 

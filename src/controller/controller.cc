@@ -86,6 +86,19 @@ ChannelController::lastDemandActivity(RankId r) const
     return lastDemandActivity_[r];
 }
 
+bool
+ChannelController::srDemandPending(RankId r) const
+{
+    // Reads are latency-critical: any queued read wakes (or keeps
+    // awake) the rank. Writes sit in the queue until the drain
+    // watermark fires, so below it they neither block self-refresh
+    // entry nor wake a sleeping rank -- once writeback mode starts,
+    // the batch needs the DRAM and the rank must be up.
+    if (readQ_.rankCount(r) > 0)
+        return true;
+    return writeDrain_.active() && writeQ_.rankCount(r) > 0;
+}
+
 void
 ChannelController::resetStats()
 {
@@ -144,6 +157,25 @@ ChannelController::serveDemand(RequestQueue &queue, const CmdChoice &choice,
 void
 ChannelController::arbitrate(Tick now)
 {
+    // 0. Self-refresh exit: a rank in self-refresh with demand that
+    //    needs the DRAM must wake up. SRX is legal once the minimum
+    //    residency tCKESR has elapsed; the first command after it then
+    //    waits out tXS, so the latency cost of sleeping is paid by the
+    //    demand stream (no free lunch).
+    for (RankId r = 0; r < channel_.numRanks(); ++r) {
+        if (!channel_.rank(r).inSelfRefresh(now))
+            continue;
+        if (!srDemandPending(r))
+            continue;
+        Command srx;
+        srx.type = CommandType::kSrExit;
+        srx.rank = r;
+        if (tryIssue(srx, now)) {
+            refreshSched_->onSrExit(r, now);
+            return;
+        }
+    }
+
     urgentScratch_.clear();
     refreshSched_->urgent(now, urgentScratch_);
 
@@ -213,7 +245,37 @@ ChannelController::arbitrate(Tick now)
         }
     }
 
-    // 4. Opportunistic refresh (DARP's idle-bank pull-in).
+    // 4. Self-refresh entry: no urgent refresh or demand wanted the
+    //    bus this tick. A rank that has seen no demand for the
+    //    idle-entry threshold, has none queued, and is fully quiesced
+    //    enters self-refresh; its refresh ledger pauses (the device
+    //    retires owed slots at the internal rate) until demand wakes
+    //    it. Deliberately ahead of the opportunistic pull-in: for a
+    //    rank idle enough to sleep, the device's internal refresh
+    //    covers the same obligations a pull-in would, at IDD6 instead
+    //    of a command -- and a pull-in issued every idle tick would
+    //    otherwise starve entry forever.
+    if (cfg_->srIdleEntryCycles > 0) {
+        for (RankId r = 0; r < channel_.numRanks(); ++r) {
+            if (channel_.rank(r).inSelfRefresh(now))
+                continue;
+            if (srDemandPending(r))
+                continue;
+            if (now - lastDemandActivity_[r] <
+                static_cast<Tick>(cfg_->srIdleEntryCycles)) {
+                continue;
+            }
+            Command sre;
+            sre.type = CommandType::kSrEnter;
+            sre.rank = r;
+            if (tryIssue(sre, now)) {
+                refreshSched_->onSrEnter(r, now);
+                return;
+            }
+        }
+    }
+
+    // 5. Opportunistic refresh (DARP's idle-bank pull-in).
     RefreshRequest opp;
     if (refreshSched_->opportunistic(now, opp)) {
         if (tryIssue(toCommand(opp), now)) {

@@ -116,6 +116,10 @@ class ChannelController : public ControllerView
     bool tryIssue(const Command &cmd, Tick now);
     Command toCommand(const RefreshRequest &req) const;
 
+    /** Demand that needs the rank awake: queued reads, or queued
+     *  writes once a write drain is active. */
+    bool srDemandPending(RankId r) const;
+
     /** Issue the chosen demand command and retire its request if column. */
     void serveDemand(RequestQueue &queue, const CmdChoice &choice, Tick now);
 

@@ -13,7 +13,7 @@ Channel::Channel(const MemConfig *cfg, const TimingParams *timing)
     for (int r = 0; r < cfg->org.ranksPerChannel; ++r)
         ranks_.emplace_back(cfg, timing);
     wrDataEnd_.assign(cfg->org.ranksPerChannel, 0);
-    lastActiveAt_.assign(cfg->org.ranksPerChannel, 0);
+    lastDemandActiveAt_.assign(cfg->org.ranksPerChannel, 0);
 }
 
 bool
@@ -54,6 +54,12 @@ bool
 Channel::canIssue(const Command &cmd, Tick now) const
 {
     const Rank &rk = ranks_[cmd.rank];
+    // A rank in self-refresh accepts only SRX, and nothing at all
+    // inside the tXS exit window. The rank-level can* checks repeat
+    // this for refresh commands (schedulers query them directly); the
+    // bank-level paths are covered only here.
+    if (rk.selfRefreshLockout(now) && cmd.type != CommandType::kSrExit)
+        return false;
     switch (cmd.type) {
       case CommandType::kAct:
         return rk.bank(cmd.bank).canAct(now, cmd.row) &&
@@ -75,6 +81,10 @@ Channel::canIssue(const Command &cmd, Tick now) const
         return rk.canRefAb(now);
       case CommandType::kRefSb:
         return rk.canRefSb(now, cmd.bank);
+      case CommandType::kSrEnter:
+        return rk.canSrEnter(now);
+      case CommandType::kSrExit:
+        return rk.canSrExit(now);
     }
     return false;
 }
@@ -84,6 +94,8 @@ Channel::issue(const Command &cmd, Tick now)
 {
     DSARP_ASSERT(canIssue(cmd, now), "issuing illegal command");
     Rank &rk = ranks_[cmd.rank];
+    if (!isRefreshCmd(cmd.type) && !isSelfRefreshCmd(cmd.type))
+        lastDemandActiveAt_[cmd.rank] = now;
     switch (cmd.type) {
       case CommandType::kAct:
         rk.bank(cmd.bank).onAct(now, cmd.row, cmd.subarray);
@@ -143,6 +155,16 @@ Channel::issue(const Command &cmd, Tick now)
         stats_.refSbCycles +=
             cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcSb;
         return 0;
+
+      case CommandType::kSrEnter:
+        rk.onSrEnter(now);
+        ++stats_.srEnter;
+        return 0;
+
+      case CommandType::kSrExit:
+        rk.onSrExit(now);
+        ++stats_.srExit;
+        return 0;
     }
     return 0;
 }
@@ -151,18 +173,43 @@ void
 Channel::sampleActivity(Tick now)
 {
     for (RankId r = 0; r < static_cast<RankId>(ranks_.size()); ++r) {
+        const Rank &rk = ranks_[r];
         ++stats_.rankTotalTicks;
-        if (ranks_[r].isActive(now)) {
-            ++stats_.rankActiveTicks;
-            lastActiveAt_[r] = now;
-        } else if (cfg_->selfRefreshIdleCycles > 0 &&
-                   now - lastActiveAt_[r] >=
-                       static_cast<Tick>(cfg_->selfRefreshIdleCycles)) {
-            // Energy-model self-refresh state: a rank idle past the
-            // threshold is billed IDD6 instead of IDD2N. Accounting
-            // only -- commands and the refresh schedule are unchanged.
-            ++stats_.rankSelfRefTicks;
+
+        // Command-level self-refresh: real residency, billed IDD6.
+        if (rk.inSelfRefresh(now)) {
+            ++stats_.srTicks;
+            continue;
         }
+
+        // Legacy energy-model self-refresh state: a rank past the
+        // demand-idle threshold is billed IDD6 instead of IDD2N.
+        // The clock is *demand* activity only -- a refresh in flight
+        // must not reset it (under any enabled schedule a rank
+        // refreshes at least once per tREFI, so a refresh-reset clock
+        // could never cross a threshold above that). Accounting only:
+        // commands and the external refresh schedule are unchanged.
+        if (cfg_->selfRefreshIdleCycles > 0 &&
+            now - lastDemandActiveAt_[r] >=
+                static_cast<Tick>(cfg_->selfRefreshIdleCycles) &&
+            !rk.hasOpenRow()) {
+            ++stats_.rankSelfRefTicks;
+            // External refresh bursts landing inside the IDD6 window
+            // are what the state's current already prices: record
+            // their in-flight ticks so the energy model does not bill
+            // the burst premium on top (per kind -- the per-cycle
+            // currents differ).
+            if (rk.refAbInFlight(now))
+                ++stats_.refAbCyclesSrMasked;
+            stats_.refPbCyclesSrMasked +=
+                static_cast<std::uint64_t>(rk.refPbCount(now));
+            if (rk.refSbInFlight(now))
+                ++stats_.refSbCyclesSrMasked;
+            continue;
+        }
+
+        if (rk.isActive(now))
+            ++stats_.rankActiveTicks;
     }
 }
 

@@ -25,6 +25,8 @@ enum class CommandType {
     kRefAb,  ///< All-bank (rank-level) refresh.
     kRefPb,  ///< Per-bank refresh.
     kRefSb,  ///< Same-bank refresh (DDR5): one bank-group slice.
+    kSrEnter,///< Self-refresh entry (SRE): rank refreshes itself.
+    kSrExit, ///< Self-refresh exit (SRX): tXS before the next command.
 };
 
 /** True for RD/WR/RDA/WRA. */
@@ -55,6 +57,13 @@ isRefreshCmd(CommandType t)
 {
     return t == CommandType::kRefAb || t == CommandType::kRefPb ||
         t == CommandType::kRefSb;
+}
+
+/** True for the self-refresh protocol pair SRE/SRX. */
+inline bool
+isSelfRefreshCmd(CommandType t)
+{
+    return t == CommandType::kSrEnter || t == CommandType::kSrExit;
 }
 
 /** A decoded command as it appears on a channel's command bus. */
@@ -98,6 +107,8 @@ commandName(CommandType t)
       case CommandType::kRefAb: return "REFab";
       case CommandType::kRefPb: return "REFpb";
       case CommandType::kRefSb: return "REFsb";
+      case CommandType::kSrEnter: return "SRE";
+      case CommandType::kSrExit: return "SRX";
     }
     return "?";
 }

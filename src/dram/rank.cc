@@ -134,6 +134,8 @@ Rank::effTFaw(Tick now) const
 bool
 Rank::canActRankLevel(Tick now) const
 {
+    if (selfRefreshLockout(now))
+        return false;
     if (lastActAt_ != kTickNever &&
         now < lastActAt_ + static_cast<Tick>(effTRrd(now))) {
         return false;
@@ -155,13 +157,16 @@ Rank::refSbInFlight(Tick now) const
 bool
 Rank::canRefPbRankLevel(Tick now) const
 {
-    return refPbCount(now) < cfg_->maxOverlappedRefPb &&
+    return !selfRefreshLockout(now) &&
+        refPbCount(now) < cfg_->maxOverlappedRefPb &&
         !refAbInFlight(now) && !refSbInFlight(now);
 }
 
 bool
 Rank::canRefAb(Tick now) const
 {
+    if (selfRefreshLockout(now))
+        return false;
     if (refPbInFlight(now) || refAbInFlight(now) || refSbInFlight(now))
         return false;
     for (const Bank &b : banks_) {
@@ -174,6 +179,8 @@ Rank::canRefAb(Tick now) const
 bool
 Rank::canRefSb(Tick now, int group) const
 {
+    if (selfRefreshLockout(now))
+        return false;
     // Refreshes of any granularity never overlap within a rank; banks
     // outside the slice are unconstrained (they keep serving).
     if (refAbInFlight(now) || refPbInFlight(now) || refSbInFlight(now))
@@ -237,10 +244,67 @@ Rank::onRefAb(Tick now, int t_rfc_override, int rows_override)
 }
 
 bool
+Rank::canSrEnter(Tick now) const
+{
+    // SRE needs a fully quiesced rank: the device assumes control of
+    // refresh from a precharged, refresh-idle state (JEDEC: all banks
+    // precharged, tRFC of any refresh satisfied).
+    if (srActive_ || now < srExitLockoutUntil_)
+        return false;
+    if (refAbInFlight(now) || refPbInFlight(now) || refSbInFlight(now))
+        return false;
+    for (const Bank &b : banks_) {
+        if (!b.canRefresh(now))
+            return false;
+    }
+    return true;
+}
+
+bool
+Rank::canSrExit(Tick now) const
+{
+    return srActive_ && srEnteredAt_ != kTickNever &&
+        now >= srEnteredAt_ + static_cast<Tick>(timing_->tCkesr);
+}
+
+void
+Rank::onSrEnter(Tick now)
+{
+    DSARP_ASSERT(canSrEnter(now), "SRE on a non-idle rank");
+    srActive_ = true;
+    srEnteredAt_ = now;
+}
+
+void
+Rank::onSrExit(Tick now)
+{
+    DSARP_ASSERT(canSrExit(now), "SRX outside self-refresh or below "
+                                 "the tCKESR minimum residency");
+    srActive_ = false;
+    // The device finishes its in-progress internal refresh burst on
+    // exit: nothing is legal on the rank until tXS has elapsed.
+    srExitLockoutUntil_ = now + static_cast<Tick>(timing_->tXs);
+}
+
+bool
 Rank::isActive(Tick now) const
 {
+    // A self-refreshing rank draws IDD6, not active standby; its
+    // residency is billed separately (ChannelStats::srTicks).
+    if (srActive_)
+        return false;
     if (refAbInFlight(now) || refPbInFlight(now) || refSbInFlight(now))
         return true;
+    for (const Bank &b : banks_) {
+        if (b.isOpen())
+            return true;
+    }
+    return false;
+}
+
+bool
+Rank::hasOpenRow() const
+{
     for (const Bank &b : banks_) {
         if (b.isOpen())
             return true;

@@ -46,6 +46,18 @@ class Rank
      * parallelism.
      */
     bool canRefSb(Tick now, int group) const;
+
+    /**
+     * Self-refresh entry (SRE) may issue: not already in self-refresh,
+     * past any tXS lockout from a previous exit, no refresh of any
+     * kind in flight, and every bank precharged -- the device takes
+     * over its own refresh from a fully idle rank.
+     */
+    bool canSrEnter(Tick now) const;
+
+    /** Self-refresh exit (SRX) may issue: in self-refresh and the
+     *  minimum residency tCKESR has elapsed since entry. */
+    bool canSrExit(Tick now) const;
     /// @}
 
     /** @name State transitions. */
@@ -56,7 +68,30 @@ class Rank
     void onRefAb(Tick now, int tRfcOverride = 0, int rowsOverride = 0);
     void onRefSb(Tick now, int group, int tRfcOverride = 0,
                  int rowsOverride = 0);
+    void onSrEnter(Tick now);
+    void onSrExit(Tick now);
     /// @}
+
+    /** True while the rank is in self-refresh (SRE issued, no SRX). */
+    bool inSelfRefresh(Tick) const { return srActive_; }
+
+    /**
+     * True while the rank can accept no command: in self-refresh
+     * (only SRX is legal then) or inside the tXS exit window, during
+     * which the device completes the internal refresh burst it
+     * started on exit.
+     */
+    bool selfRefreshLockout(Tick now) const
+    {
+        return srActive_ || now < srExitLockoutUntil_;
+    }
+
+    /** Tick the current self-refresh residency began (kTickNever when
+     *  the rank has never entered). */
+    Tick srEnteredAt() const { return srEnteredAt_; }
+
+    /** First tick a command is legal after the last SRX (tXS). */
+    Tick srExitLockoutUntil() const { return srExitLockoutUntil_; }
 
     /** True while an all-bank refresh occupies the rank. */
     bool refAbInFlight(Tick now) const { return refAbUntil_ > now; }
@@ -92,6 +127,9 @@ class Rank
 
     /** Any bank active (open row) or refreshing; drives background power. */
     bool isActive(Tick now) const;
+
+    /** Any bank with an open row (demand activity, refresh excluded). */
+    bool hasOpenRow() const;
 
     /** End tick of the newest in-flight refresh (0 when none). */
     Tick refreshBusyUntil() const;
@@ -129,6 +167,13 @@ class Rank
     /** End ticks of in-flight same-bank refresh slices. */
     mutable std::vector<Tick> refSbEnds_;
     Tick refAbUntil_ = 0;
+
+    /** @name Self-refresh protocol state. */
+    /// @{
+    bool srActive_ = false;
+    Tick srEnteredAt_ = kTickNever;
+    Tick srExitLockoutUntil_ = 0;  ///< SRX tick + tXS.
+    /// @}
 
     /** Precomputed inflated values for the common cases (no fp math on
      *  the hot path); counts above one in-flight REFpb fall back to the

@@ -74,12 +74,16 @@ DramSpec::timingFor(const MemConfig &cfg) const
 
     // Fine granularity refresh: the command rate rises by 2x/4x while
     // tRFC shrinks only by the spec's divisors (Section 6.5; native
-    // tRFC2/tRFC4 ratios on DDR4).
+    // tRFC2/tRFC4 ratios on DDR4). The explicit refresh.fgrRate key
+    // generalizes the rate axis beyond the FGR2x/FGR4x profiles, so
+    // per-bank mechanisms (HiRA, DARP) can run on FGR-scaled timing.
     int rate = 1;
     if (cfg.refresh == RefreshMode::kFgr2x)
         rate = 2;
     else if (cfg.refresh == RefreshMode::kFgr4x)
         rate = 4;
+    if (cfg.fgrRate > 0)
+        rate = cfg.fgrRate;
     if (rate > 1) {
         const double divisor = t.rfcDivisorFor(rate);
         tRefiAbNs /= rate;
@@ -93,6 +97,18 @@ DramSpec::timingFor(const MemConfig &cfg) const
 
     t.tRefiAb = static_cast<Tick>(tRefiAbNs / t.tCkNs);
     t.tRfcAb = TimingParams::nsToCycles(tRfcAbNs, t.tCkNs);
+
+    // Self-refresh protocol: the exit latency tracks the *active*
+    // all-bank refresh latency (tRfcAbNs is already FGR-scaled here,
+    // so FGR modes get their shorter exit -- DDR5's tXS_FGR
+    // semantics); tXsFgr reports the data-sheet figure at the native
+    // 2x granularity regardless of the selected rate. tCKESR is the
+    // minimum residency, never below one cycle.
+    t.tXs = TimingParams::nsToCycles(tRfcAbNs + tXsDeltaNs, t.tCkNs);
+    t.tXsFgr = TimingParams::nsToCycles(
+        tRfcAbNsFor(cfg.density) / fgrDivisor2x + tXsDeltaNs, t.tCkNs);
+    t.tCkesr =
+        std::max(1, TimingParams::nsToCycles(tCkesrNs, t.tCkNs));
 
     // Per-bank refresh: tREFIpb = tREFIab / banks; tRFCpb from the
     // native LPDDR table when the device has first-class REFpb,
@@ -145,8 +161,16 @@ DramSpec::timingFor(const MemConfig &cfg) const
     // used.
     if (cfg.refresh == RefreshMode::kPerBank ||
         cfg.refresh == RefreshMode::kDarp) {
-        DSARP_ASSERT(t.tRefiPb > static_cast<Tick>(t.tRfcPb),
-                     "tREFIpb must exceed tRFCpb");
+        if (t.tRefiPb <= static_cast<Tick>(t.tRfcPb)) {
+            DSARP_FATALF(
+                "config key 'refresh.fgrRate'/'densityGb': per-bank "
+                "refresh does not fit its command interval on spec "
+                "'%s' (tREFIpb %llu <= tRFCpb %d cycles at %s, FGR "
+                "rate %dx); lower the rate or the density",
+                name.c_str(),
+                static_cast<unsigned long long>(t.tRefiPb), t.tRfcPb,
+                densityName(cfg.density), rate);
+        }
     }
     if (cfg.refresh == RefreshMode::kSameBank) {
         DSARP_ASSERT(t.banksPerGroup > 0,

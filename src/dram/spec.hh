@@ -137,6 +137,18 @@ struct DramSpec
     /** Same-bank refresh latency in ns per density (8/16/32 Gb). */
     std::array<double, 3> tRfcSbNs = {0.0, 0.0, 0.0};
 
+    /**
+     * Self-refresh protocol data. tXS (exit to the first valid
+     * command) is tRFCab plus this settle delta (JEDEC keeps the two
+     * coupled: the device finishes an internal refresh burst on
+     * exit), so timingFor() derives it from the *active* tRFC --
+     * under FGR rates the exit shortens with the refresh commands,
+     * which on DDR5 is exactly the data-sheet tXS_FGR. tCKESR is the
+     * minimum self-refresh residency (the CKE-low pulse width).
+     */
+    double tXsDeltaNs = 10.0;
+    double tCkesrNs = 7.5;
+
     /** REFab slots per retention period (JEDEC: 8192). */
     int refreshesPerRetention = 8192;
 

@@ -34,6 +34,10 @@ DSARP_REGISTER_DRAM_SPEC(ddr3_1333, []() {
     s.tFaw = 20;
     s.tRtrs = 2;
     s.tRfcAbNs = {350.0, 530.0, 890.0};
+    // Self-refresh: tXS = tRFCab + 10 ns; tCKESR = tCKE(min) + 1 tCK
+    // (5.625 ns + 1.5 ns, rounded into the 7.5 ns family figure).
+    s.tXsDeltaNs = 10.0;
+    s.tCkesrNs = 7.5;
     s.pbRfcDivisor = 2.3;
     s.fgrDivisor2x = 1.35;
     s.fgrDivisor4x = 1.63;

@@ -31,6 +31,9 @@ DSARP_REGISTER_DRAM_SPEC(ddr3_1600, []() {
     s.tFaw = 24;   // 30 ns.
     s.tRtrs = 2;
     s.tRfcAbNs = {350.0, 530.0, 890.0};  // Density property, not bin.
+    // Self-refresh: tXS = tRFCab + 10 ns; DDR3 family tCKESR.
+    s.tXsDeltaNs = 10.0;
+    s.tCkesrNs = 7.5;
     s.pbRfcDivisor = 2.3;
     s.fgrDivisor2x = 1.35;
     s.fgrDivisor4x = 1.63;

@@ -32,6 +32,9 @@ DSARP_REGISTER_DRAM_SPEC(ddr4_2400, []() {
     s.tFaw = 26;   // 21 ns (x8).
     s.tRtrs = 2;
     s.tRfcAbNs = {350.0, 550.0, 890.0};  // tRFC1; 16 Gb is the real part.
+    // Self-refresh: tXS = tRFC1 + 10 ns; tCKESR = tCKE (5 ns) + 1 tCK.
+    s.tXsDeltaNs = 10.0;
+    s.tCkesrNs = 5.833;
     s.pbRfcDivisor = 2.3;  // DDR4 has no REFpb; same Section 3.1 model.
     // Native FGR: tRFC2 = 260 ns, tRFC4 = 160 ns at 8 Gb.
     s.fgrDivisor2x = 350.0 / 260.0;

@@ -40,6 +40,11 @@ DSARP_REGISTER_DRAM_SPEC(ddr5_4800, []() {
     s.tFaw = 32;   // 13.33 ns.
     s.tRtrs = 2;
     s.tRfcAbNs = {195.0, 295.0, 410.0};  // tRFC1; 32 Gb projected.
+    // Self-refresh: tXS = tRFC1 + 10 ns; with FGR active the exit
+    // tracks tRFC2 instead (the data-sheet tXS_FGR -- timingFor()
+    // derives both). tCKESR approximates DDR5's tCKSRE/tCKSRX pair.
+    s.tXsDeltaNs = 10.0;
+    s.tCkesrNs = 10.0;
     s.pbRfcDivisor = 2.3;  // No native REFpb; Section 3.1 ratio model.
     // Native FGR at 2x: tRFC2 = 130/160/220 ns. No native 4x mode --
     // the 4x divisor projects the tRFC2 trend one step further.

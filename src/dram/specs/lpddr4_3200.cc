@@ -32,6 +32,9 @@ DSARP_REGISTER_DRAM_SPEC(lpddr4_3200, []() {
     s.tFaw = 64;   // 40 ns.
     s.tRtrs = 2;
     s.tRfcAbNs = {280.0, 380.0, 560.0};
+    // Self-refresh: LPDDR4's tXSR = tRFCab + 7.5 ns; tSR(min) = 15 ns.
+    s.tXsDeltaNs = 7.5;
+    s.tCkesrNs = 15.0;
     // First-class per-bank refresh: tRFCpb = tRFCab / 2 per data sheet.
     s.nativePerBankRefresh = true;
     s.tRfcPbNs = {140.0, 190.0, 280.0};

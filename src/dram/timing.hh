@@ -81,6 +81,20 @@ struct TimingParams
      */
     double refSbEnergyDivisor = 1.0;
 
+    /**
+     * Self-refresh protocol timings, derived from the spec's data by
+     * timingFor(): tXS is the exit-to-first-valid-command latency
+     * (JEDEC: the active tRFCab plus a settle delta, so FGR modes get
+     * their shorter exit automatically), tXsFgr is the data-sheet
+     * exit latency at the spec's native 2x fine granularity (DDR5's
+     * tXS_FGR; reported for all specs from the same derivation), and
+     * tCkesr is the minimum self-refresh residency (CKE-low pulse
+     * width). The defaults reproduce DDR3-1333 at 8 Gb.
+     */
+    int tXs = 240;
+    int tXsFgr = 180;
+    int tCkesr = 5;
+
     /** Rows refreshed in each bank by one refresh command. */
     int rowsPerRefresh = 8;
 

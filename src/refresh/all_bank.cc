@@ -49,8 +49,9 @@ AllBankScheduler::tick(Tick now)
 void
 AllBankScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
 {
-    (void)now;
     for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        if (rankInSelfRefresh(r, now))
+            continue;  // The device refreshes itself; ledger paused.
         if (ledger_.due(r)) {
             RefreshRequest req;
             req.allBank = true;
@@ -66,6 +67,18 @@ AllBankScheduler::onIssued(const RefreshRequest &req, Tick)
 {
     ledger_.onRefresh(req.rank);
     ++stats_.issued;
+}
+
+void
+AllBankScheduler::onSrEnter(RankId rank, Tick now)
+{
+    ledger_.pauseRank(rank, now);
+}
+
+void
+AllBankScheduler::onSrExit(RankId rank, Tick now)
+{
+    ledger_.resumeRank(rank, now);
 }
 
 } // namespace dsarp

@@ -54,6 +54,8 @@ DarpScheduler::tick(Tick now)
     // pending demand requests and the postpone window has room; otherwise
     // the bank is marked for an on-time refresh.
     for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        if (rankInSelfRefresh(r, now))
+            continue;  // Ledger paused; the device refreshes itself.
         for (BankId b = 0; b < banks_; ++b) {
             if (!ledger_.accruedBetween(r, b, lastTick_, now))
                 continue;
@@ -76,6 +78,8 @@ DarpScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
 {
     // Forced and on-time refreshes first (blocking so the bank drains).
     for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        if (rankInSelfRefresh(r, now))
+            continue;
         for (BankId b = 0; b < banks_; ++b) {
             if (ledger_.mustForce(r, b) || dueNow_[index(r, b)]) {
                 RefreshRequest req;
@@ -94,8 +98,10 @@ DarpScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
         return;
     for (RankId r = 0; r < ledger_.numRanks(); ++r) {
         const Rank &rk = view_->dram().rank(r);
-        if (rk.refPbInFlight(now) || rk.refAbInFlight(now))
+        if (rk.selfRefreshLockout(now) || rk.refPbInFlight(now) ||
+            rk.refAbInFlight(now)) {
             continue;
+        }
         BankId best = kNone;
         int best_count = 0;
         for (BankId b = 0; b < banks_; ++b) {
@@ -153,6 +159,23 @@ DarpScheduler::onIssued(const RefreshRequest &req, Tick)
     ledger_.onRefresh(req.rank, req.bank);
     dueNow_[index(req.rank, req.bank)] = 0;
     ++stats_.issued;
+}
+
+void
+DarpScheduler::onSrEnter(RankId rank, Tick now)
+{
+    ledger_.pauseRank(rank, now);
+    // Anything marked due is covered by the device's internal refresh;
+    // the flags would otherwise survive the residency and fire stale
+    // blocking requests at exit.
+    for (BankId b = 0; b < banks_; ++b)
+        dueNow_[index(rank, b)] = 0;
+}
+
+void
+DarpScheduler::onSrExit(RankId rank, Tick now)
+{
+    ledger_.resumeRank(rank, now);
 }
 
 } // namespace dsarp

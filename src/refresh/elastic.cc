@@ -52,6 +52,8 @@ void
 ElasticScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
 {
     for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        if (rankInSelfRefresh(r, now))
+            continue;  // The device refreshes itself; ledger paused.
         if (!ledger_.due(r))
             continue;
         if (ledger_.mustForce(r)) {
@@ -93,6 +95,18 @@ ElasticScheduler::onIssued(const RefreshRequest &req, Tick)
         ++stats_.postponed;
     ledger_.onRefresh(req.rank);
     ++stats_.issued;
+}
+
+void
+ElasticScheduler::onSrEnter(RankId rank, Tick now)
+{
+    ledger_.pauseRank(rank, now);
+}
+
+void
+ElasticScheduler::onSrExit(RankId rank, Tick now)
+{
+    ledger_.resumeRank(rank, now);
 }
 
 } // namespace dsarp

@@ -87,8 +87,9 @@ AdaptiveScheduler::tick(Tick now)
 void
 AdaptiveScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
 {
-    (void)now;
     for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        if (rankInSelfRefresh(r, now))
+            continue;  // The device refreshes itself; ledger paused.
         // A slot already being executed fine-grained finishes in 4x
         // mode regardless of the current writeback state.
         bool use_fast = pending4x_[r] > 0;
@@ -133,6 +134,21 @@ AdaptiveScheduler::onIssued(const RefreshRequest &req, Tick)
     if (req.ledgerParts == 1 && pending4x_[req.rank] > 0)
         --pending4x_[req.rank];
     ++stats_.issued;
+}
+
+void
+AdaptiveScheduler::onSrEnter(RankId rank, Tick now)
+{
+    ledger_.pauseRank(rank, now);
+    // A partially-executed 4x slot is finished by the device's own
+    // refresh; restart granularity selection cleanly at exit.
+    pending4x_[rank] = 0;
+}
+
+void
+AdaptiveScheduler::onSrExit(RankId rank, Tick now)
+{
+    ledger_.resumeRank(rank, now);
 }
 
 } // namespace dsarp

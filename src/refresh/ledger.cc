@@ -1,5 +1,7 @@
 #include "refresh/ledger.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace dsarp {
@@ -13,6 +15,7 @@ RefreshLedger::RefreshLedger(int ranks, int banks, Tick period,
     owed_.assign(ranks * banks, 0);
     nextAccrual_.resize(ranks * banks);
     firstAccrual_.resize(ranks * banks);
+    pausedAt_.assign(ranks, kTickNever);
     for (int r = 0; r < ranks; ++r) {
         for (int b = 0; b < banks; ++b) {
             // Stagger banks within a rank (the REFpb round-robin origin)
@@ -56,12 +59,57 @@ void
 RefreshLedger::advanceTo(Tick now)
 {
     for (int i = 0; i < static_cast<int>(owed_.size()); ++i) {
+        if (pausedAt_[i / banks_] != kTickNever)
+            continue;  // Rank in self-refresh: the device accrues.
         while (nextAccrual_[i] <= now) {
             owed_[i] += denom_;
             nextAccrual_[i] += period_;
             ++totalAccrued_;
         }
     }
+}
+
+void
+RefreshLedger::pauseRank(RankId r, Tick now)
+{
+    DSARP_ASSERT(r >= 0 && r < ranks_, "pauseRank: bad rank");
+    DSARP_ASSERT(pausedAt_[r] == kTickNever, "rank already paused");
+    pausedAt_[r] = now;
+}
+
+void
+RefreshLedger::resumeRank(RankId r, Tick now)
+{
+    DSARP_ASSERT(r >= 0 && r < ranks_, "resumeRank: bad rank");
+    DSARP_ASSERT(pausedAt_[r] != kTickNever, "rank not paused");
+    const Tick paused = now - pausedAt_[r];
+    pausedAt_[r] = kTickNever;
+
+    // Internal retirement: the device refreshed one slot's worth of
+    // rows per period of residency, first paying down anything owed at
+    // entry. It never banks pull-in credit -- a device emerging from a
+    // long sleep owes nothing, it is not ahead.
+    const int internally_retired =
+        static_cast<int>(std::min<Tick>(paused / period_,
+                                        static_cast<Tick>(maxSlack_))) *
+        denom_;
+    for (int b = 0; b < banks_; ++b) {
+        const int i = index(r, b);
+        if (owed_[i] > 0)
+            owed_[i] = std::max(0, owed_[i] - internally_retired);
+        // Re-anchor every accrual instant by the paused duration so
+        // the postpone/pull-in window restarts from the exit tick;
+        // firstAccrual_ shifts with it so accruedBetween() never
+        // reports phantom accruals from inside the residency.
+        nextAccrual_[i] += paused;
+        firstAccrual_[i] += paused;
+    }
+}
+
+bool
+RefreshLedger::rankPaused(RankId r) const
+{
+    return pausedAt_[r] != kTickNever;
 }
 
 bool

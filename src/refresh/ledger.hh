@@ -85,6 +85,25 @@ class RefreshLedger
      */
     bool accruedBetween(RankId r, BankId b, Tick prev, Tick now) const;
 
+    /**
+     * @name Self-refresh pause.
+     *
+     * While a rank is in self-refresh the device refreshes itself:
+     * the controller-side ledger stops accruing for that rank's units
+     * (pauseRank), and on exit (resumeRank) any owed balance is
+     * retired at the internal rate -- one slot per period of
+     * residency, floored at zero (the device catches up, it never
+     * banks pull-in credit) -- while every accrual instant is shifted
+     * by the paused duration so the postpone/pull-in window re-anchors
+     * on the exit tick instead of instantly accusing the rank of
+     * missing slots the device already covered.
+     */
+    /// @{
+    void pauseRank(RankId r, Tick now);
+    void resumeRank(RankId r, Tick now);
+    bool rankPaused(RankId r) const;
+    /// @}
+
   private:
     int index(RankId r, BankId b) const { return r * banks_ + b; }
 
@@ -95,6 +114,7 @@ class RefreshLedger
     std::vector<int> owed_;         ///< In denom_ sub-units.
     std::vector<Tick> nextAccrual_;
     std::vector<Tick> firstAccrual_;
+    std::vector<Tick> pausedAt_;    ///< Per rank; kTickNever = running.
     int denom_ = 1;
     std::uint64_t totalAccrued_ = 0;
     std::uint64_t totalRetired_ = 0;

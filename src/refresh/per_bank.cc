@@ -47,8 +47,9 @@ PerBankScheduler::tick(Tick now)
 void
 PerBankScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
 {
-    (void)now;
     for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        if (rankInSelfRefresh(r, now))
+            continue;  // The device refreshes itself; ledger paused.
         // Strict sequential order: only the round-robin bank may refresh.
         const BankId b = rrIndex_[r];
         if (ledger_.due(r, b)) {
@@ -67,6 +68,18 @@ PerBankScheduler::onIssued(const RefreshRequest &req, Tick)
     ledger_.onRefresh(req.rank, req.bank);
     rrIndex_[req.rank] = (req.bank + 1) % ledger_.banksPerRank();
     ++stats_.issued;
+}
+
+void
+PerBankScheduler::onSrEnter(RankId rank, Tick now)
+{
+    ledger_.pauseRank(rank, now);
+}
+
+void
+PerBankScheduler::onSrExit(RankId rank, Tick now)
+{
+    ledger_.resumeRank(rank, now);
 }
 
 } // namespace dsarp

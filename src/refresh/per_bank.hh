@@ -27,6 +27,8 @@ class PerBankScheduler : public RefreshScheduler
     void urgent(Tick now, std::vector<RefreshRequest> &out) override;
     bool opportunistic(Tick, RefreshRequest &) override { return false; }
     void onIssued(const RefreshRequest &req, Tick now) override;
+    void onSrEnter(RankId rank, Tick now) override;
+    void onSrExit(RankId rank, Tick now) override;
 
     const RefreshLedger &ledger() const { return ledger_; }
 

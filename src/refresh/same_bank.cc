@@ -75,6 +75,8 @@ SameBankScheduler::tick(Tick now)
     // window has room; otherwise mark the slice for an on-time
     // refresh.
     for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        if (rankInSelfRefresh(r, now))
+            continue;  // Ledger paused; the device refreshes itself.
         for (int g = 0; g < groups_; ++g) {
             if (!ledger_.accruedBetween(r, g, lastTick_, now))
                 continue;
@@ -99,8 +101,9 @@ SameBankScheduler::tick(Tick now)
 void
 SameBankScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
 {
-    (void)now;
     for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        if (rankInSelfRefresh(r, now))
+            continue;
         for (int g = 0; g < groups_; ++g) {
             if (!ledger_.mustForce(r, g) && !dueNow_[index(r, g)])
                 continue;
@@ -183,6 +186,24 @@ SameBankScheduler::onIssued(const RefreshRequest &req, Tick)
     dueNow_[index(req.rank, g)] = 0;
     pairDraw_[index(req.rank, g)] = -1;
     ++stats_.issued;
+}
+
+void
+SameBankScheduler::onSrEnter(RankId rank, Tick now)
+{
+    ledger_.pauseRank(rank, now);
+    // Due slices and pairing draws are covered by the device's own
+    // refresh during the residency.
+    for (int g = 0; g < groups_; ++g) {
+        dueNow_[index(rank, g)] = 0;
+        pairDraw_[index(rank, g)] = -1;
+    }
+}
+
+void
+SameBankScheduler::onSrExit(RankId rank, Tick now)
+{
+    ledger_.resumeRank(rank, now);
 }
 
 } // namespace dsarp

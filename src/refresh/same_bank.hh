@@ -48,6 +48,8 @@ class SameBankScheduler : public RefreshScheduler
     void urgent(Tick now, std::vector<RefreshRequest> &out) override;
     bool opportunistic(Tick now, RefreshRequest &out) override;
     void onIssued(const RefreshRequest &req, Tick now) override;
+    void onSrEnter(RankId rank, Tick now) override;
+    void onSrExit(RankId rank, Tick now) override;
 
     const RefreshLedger &ledger() const { return ledger_; }
 

@@ -109,12 +109,41 @@ class RefreshScheduler
         (void)now;
     }
 
+    /**
+     * Self-refresh entry/exit notifications (SRE/SRX issued by the
+     * controller's idle-entry policy). Ledger-driven policies pause
+     * the rank's obligation tracking across the residency -- the
+     * device refreshes itself internally -- and re-anchor on exit.
+     * Default no-op (NoREF has nothing to pause).
+     */
+    virtual void
+    onSrEnter(RankId rank, Tick now)
+    {
+        (void)rank;
+        (void)now;
+    }
+
+    virtual void
+    onSrExit(RankId rank, Tick now)
+    {
+        (void)rank;
+        (void)now;
+    }
+
     const RefreshSchedStats &stats() const { return stats_; }
 
     /** Zero the counters (obligation state is preserved). */
     void resetStats() { stats_ = RefreshSchedStats{}; }
 
   protected:
+    /** A rank in self-refresh (or its tXS exit window) accepts no
+     *  refresh commands; policies skip it when emitting requests. */
+    bool
+    rankInSelfRefresh(RankId r, Tick now) const
+    {
+        return view_->dram().rank(r).selfRefreshLockout(now);
+    }
+
     const MemConfig *cfg_;
     const TimingParams *timing_;
     ControllerView *view_;

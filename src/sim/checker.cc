@@ -33,6 +33,13 @@ struct RankModel
     std::vector<Tick> hiddenPbEnds;  ///< HiRA-hidden subset.
     std::vector<Tick> refSbEnds; ///< In-flight same-bank slice ends.
 
+    /** @name Self-refresh protocol state. */
+    /// @{
+    bool sr = false;             ///< SRE seen, no SRX yet.
+    Tick srSince = 0;            ///< Entry tick of the residency.
+    Tick srLockoutUntil = 0;     ///< SRX tick + tXS.
+    /// @}
+
     int
     pbInFlight(Tick now)
     {
@@ -293,6 +300,56 @@ class Verifier
         }
     }
 
+    void
+    checkSrEnter(Tick now, const Command &cmd)
+    {
+        RankModel &rank = ranks_[cmd.rank];
+        if (rank.sr) {
+            fail(now, cmd, "SRE while already in self-refresh");
+            return;
+        }
+        if (now < rank.srLockoutUntil)
+            fail(now, cmd, "SRE inside the tXS exit window");
+        if (rank.refAbUntil > now || rank.pbInFlight(now) > 0 ||
+            rank.sbInFlight(now) > 0) {
+            fail(now, cmd, "SRE while a refresh is in flight");
+        }
+        for (const BankModel &bank : rank.banks) {
+            if (bank.open) {
+                fail(now, cmd, "SRE while a bank has an open row");
+                break;
+            }
+        }
+        rank.sr = true;
+        rank.srSince = now;
+    }
+
+    /** Credit the device's internal refresh for a residency window:
+     *  one nominal slot's worth of rows per tREFIab, every bank. */
+    void
+    creditSelfRefresh(RankModel &rank, Tick from, Tick to)
+    {
+        const double slots =
+            static_cast<double>(to - from) / t_.tRefiAb;
+        for (BankModel &bank : rank.banks)
+            bank.slotsCovered += slots;
+    }
+
+    void
+    checkSrExit(Tick now, const Command &cmd)
+    {
+        RankModel &rank = ranks_[cmd.rank];
+        if (!rank.sr) {
+            fail(now, cmd, "SRX outside self-refresh");
+            return;
+        }
+        if (now < rank.srSince + static_cast<Tick>(t_.tCkesr))
+            fail(now, cmd, "SRX below the tCKESR minimum residency");
+        rank.sr = false;
+        rank.srLockoutUntil = now + t_.tXs;
+        creditSelfRefresh(rank, rank.srSince, now);
+    }
+
     CheckerReport
     run(const std::vector<TimedCommand> &log, Tick end_tick)
     {
@@ -304,6 +361,18 @@ class Verifier
             }
             prev = tc.tick;
             ++report_.commandsChecked;
+            // Self-refresh gating: a rank in self-refresh accepts only
+            // SRX, and nothing at all before tXS has elapsed after it.
+            if (!isSelfRefreshCmd(tc.cmd.type)) {
+                RankModel &rank = ranks_[tc.cmd.rank];
+                if (rank.sr) {
+                    fail(tc.tick, tc.cmd,
+                         "command to a rank in self-refresh");
+                } else if (tc.tick < rank.srLockoutUntil) {
+                    fail(tc.tick, tc.cmd,
+                         "command violates tXS after self-refresh exit");
+                }
+            }
             switch (tc.cmd.type) {
               case CommandType::kAct:
                 checkAct(tc.tick, tc.cmd);
@@ -322,9 +391,24 @@ class Verifier
               case CommandType::kRefSb:
                 checkRefresh(tc.tick, tc.cmd);
                 break;
+              case CommandType::kSrEnter:
+                checkSrEnter(tc.tick, tc.cmd);
+                break;
+              case CommandType::kSrExit:
+                checkSrExit(tc.tick, tc.cmd);
+                break;
             }
             if (report_.violations.size() > 50)
                 break;  // Enough evidence.
+        }
+
+        // A residency still open at the end of the log covers rows up
+        // to endTick.
+        if (end_tick > 0) {
+            for (auto &rank : ranks_) {
+                if (rank.sr && end_tick > rank.srSince)
+                    creditSelfRefresh(rank, rank.srSince, end_tick);
+            }
         }
 
         // Refresh-completeness: over [0, endTick] every bank must have

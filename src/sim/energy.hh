@@ -11,10 +11,15 @@
  * an all-bank refresh's current given by the spec's refresh geometry
  * (EnergyParams::refPbCurrentDivisor, Section 4.3.3) -- native-REFpb
  * parts derive it from their per-bank tRFC table -- and a same-bank
- * slice (DDR5 REFsb) likewise via refSbCurrentDivisor. Ranks idle past
- * the MemConfig::selfRefreshIdleCycles threshold are billed the
- * spec's IDD6 self-refresh current instead of IDD2N (disabled by
- * default; purely an accounting state).
+ * slice (DDR5 REFsb) likewise via refSbCurrentDivisor.
+ *
+ * Self-refresh: real SRE/SRX residency (ChannelStats::srTicks, the
+ * refresh.selfRefresh.idleEntry protocol) is billed at the spec's
+ * IDD6, as is the legacy demand-idle accounting state
+ * (rankSelfRefTicks, key energy.selfRefreshIdle; disabled by
+ * default). Refresh cycles that elapsed inside the legacy IDD6 window
+ * are excluded from the burst billing -- IDD6 already prices refresh,
+ * so the same ticks are never charged twice.
  */
 
 #ifndef DSARP_SIM_ENERGY_HH

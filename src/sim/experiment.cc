@@ -155,6 +155,9 @@ keyTable()
                &ExperimentConfig::sameBankGroupSize),
         boolKey("refresh.samebank.pullIn",
                 &ExperimentConfig::sameBankPullIn),
+        intKey("refresh.selfRefresh.idleEntry",
+               &ExperimentConfig::srIdleEntry),
+        intKey("refresh.fgrRate", &ExperimentConfig::fgrRate),
         intKey("energy.selfRefreshIdle",
                &ExperimentConfig::selfRefreshIdle),
         intKey("numCores", &ExperimentConfig::numCores),
@@ -368,6 +371,8 @@ ExperimentConfig::toSystemConfig() const
     sys.mem.hiraDelayCycles = hiraDelay;
     sys.mem.sameBankGroupSize = sameBankGroupSize;
     sys.mem.sameBankPullIn = sameBankPullIn;
+    sys.mem.srIdleEntryCycles = srIdleEntry;
+    sys.mem.fgrRate = fgrRate;
     sys.mem.selfRefreshIdleCycles = selfRefreshIdle;
     sys.numCores = numCores;
     sys.seed = seed;

@@ -77,8 +77,18 @@ struct ExperimentConfig
      *  channels (key "refresh.samebank.pullIn"). */
     bool sameBankPullIn = true;
 
-    /** Self-refresh energy-state entry threshold in idle cycles (key
-     *  "energy.selfRefreshIdle"); 0 disables the state. */
+    /** Command-level self-refresh idle-entry threshold in demand-idle
+     *  cycles (key "refresh.selfRefresh.idleEntry"); 0 disables the
+     *  SRE/SRX protocol. */
+    int srIdleEntry = 0;
+
+    /** Explicit FGR rate for any mechanism (key "refresh.fgrRate");
+     *  0 keeps the profile default, else 1/2/4. */
+    int fgrRate = 0;
+
+    /** Legacy accounting-only self-refresh energy state (key
+     *  "energy.selfRefreshIdle"); 0 disables. Deprecated in favour of
+     *  refresh.selfRefresh.idleEntry. */
     int selfRefreshIdle = 0;
 
     // --- System ------------------------------------------------------

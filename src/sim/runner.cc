@@ -128,6 +128,8 @@ Runner::makeSystemConfig(const RunConfig &cfg)
         sys.mem.refabStaggerDivisor = cfg.refabStaggerDivisor;
     if (cfg.maxOverlappedRefPb > 0)
         sys.mem.maxOverlappedRefPb = cfg.maxOverlappedRefPb;
+    sys.mem.srIdleEntryCycles = cfg.srIdleEntryCycles;
+    sys.mem.fgrRate = cfg.fgrRate;
     sys.numCores = cfg.numCores;
     sys.seed = cfg.seed;
     return sys;
@@ -168,6 +170,9 @@ collectChannelStats(System &system, const SystemConfig &sys,
         res.refPb += cs.refPb;
         res.refSb += cs.refSb;
         res.refPbHidden += cs.refPbHidden;
+        res.srEnters += cs.srEnter;
+        res.srExits += cs.srExit;
+        res.srTicks += cs.srTicks;
         res.readsCompleted += system.controller(ch).stats().readsCompleted;
         res.writesIssued += system.controller(ch).stats().writesIssued;
     }
@@ -211,11 +216,17 @@ Runner::aloneIpc(int bench_idx, const SystemConfig &sys)
         return it->second;
 
     // Alone baseline: the benchmark alone on one core with refresh
-    // eliminated, same DRAM geometry.
+    // eliminated, same DRAM geometry. Self-refresh is disabled too --
+    // the baseline is the *ideal* memory system, and an idle-entry
+    // policy would otherwise charge the mostly-idle alone run its tXS
+    // exits (and, being absent from the cache key, poison the shared
+    // baselines).
     SystemConfig alone = sys;
     alone.mem.policy = "NoREF";
     alone.mem.refresh = RefreshMode::kNoRefresh;
     alone.mem.sarp = false;
+    alone.mem.srIdleEntryCycles = 0;
+    alone.mem.selfRefreshIdleCycles = 0;
     alone.numCores = 1;
     alone.enableChecker = false;
     System system(alone, std::vector<int>{bench_idx});

@@ -64,6 +64,15 @@ struct RunConfig
     int writeLowWatermark = 0;
     int refabStaggerDivisor = 0;
     int maxOverlappedRefPb = 0;  ///< Footnote-5 extension (>1 overlaps).
+
+    /** Command-level self-refresh idle-entry threshold in cycles
+     *  (= refresh.selfRefresh.idleEntry); 0 disables SRE/SRX. */
+    int srIdleEntryCycles = 0;
+
+    /** Explicit FGR rate for any mechanism (= refresh.fgrRate);
+     *  0 keeps the profile default, else 1/2/4. */
+    int fgrRate = 0;
+
     std::uint64_t seed = 1;
 
     /** The paper's mechanism names (REFab, REFpb, DARP, SARPab, ...). */
@@ -94,6 +103,9 @@ struct RunResult
     std::uint64_t refPb = 0;
     std::uint64_t refSb = 0;        ///< DDR5 same-bank slice refreshes.
     std::uint64_t refPbHidden = 0;  ///< HiRA refreshes hidden under ACTs.
+    std::uint64_t srEnters = 0;     ///< Self-refresh entries (SRE).
+    std::uint64_t srExits = 0;      ///< Self-refresh exits (SRX).
+    std::uint64_t srTicks = 0;      ///< Rank-ticks spent in self-refresh.
 };
 
 class Runner

@@ -51,12 +51,15 @@ sameBankMech(const std::string &mech)
     return mech == "REFsb" || mech == "HiRAsb";
 }
 
-/** One randomized end-to-end case; all choices derive from @p seed. */
+/** One randomized end-to-end case; all choices derive from @p seed.
+ *  With @p self_refresh the command-level SRE/SRX idle-entry policy
+ *  is armed at a random threshold (and fewer cores, so ranks really
+ *  do idle into it). */
 void
 fuzzOne(const std::string &spec, const std::string &mech,
-        std::uint64_t seed)
+        std::uint64_t seed, bool self_refresh = false)
 {
-    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + (self_refresh ? 2 : 1));
 
     SystemConfig cfg;
     cfg.mem.dramSpec = spec;
@@ -72,6 +75,11 @@ fuzzOne(const std::string &spec, const std::string &mech,
     if (sameBankMech(mech) && rng.chance(0.5))
         cfg.mem.org.banksPerRank = 32;
     cfg.numCores = 2 + static_cast<int>(rng.below(3));
+    if (self_refresh) {
+        cfg.mem.srIdleEntryCycles =
+            200 + static_cast<int>(rng.below(1200));
+        cfg.numCores = 1 + static_cast<int>(rng.below(2));
+    }
     cfg.seed = seed;
     cfg.enableChecker = true;
 
@@ -87,9 +95,11 @@ fuzzOne(const std::string &spec, const std::string &mech,
         << " cores=" << cfg.numCores
         << " banks=" << cfg.mem.org.banksPerRank
         << " subarrays=" << cfg.mem.org.subarraysPerBank
+        << " srIdleEntry=" << cfg.mem.srIdleEntryCycles
         << " workload=" << w.index;
 
     std::uint64_t refreshes = 0;
+    std::uint64_t sr_enters = 0;
     for (int ch = 0; ch < sys.numChannels(); ++ch) {
         const CheckerReport report = verifyCommandLog(
             sys.commandLog(ch), sys.config().mem, sys.timing(),
@@ -104,12 +114,14 @@ fuzzOne(const std::string &spec, const std::string &mech,
         EXPECT_GT(report.commandsChecked, 0u) << ctx.str();
         const ChannelStats &cs = sys.controller(ch).channel().stats();
         refreshes += cs.refAb + cs.refPb + cs.refSb;
+        sr_enters += cs.srEnter;
     }
     // The run spans eight tREFIab windows: every mechanism must have
-    // issued refreshes, and (via the checker's completeness pass
+    // issued refreshes (a self-refresh residency counts -- the device
+    // refreshed internally), and (via the checker's completeness pass
     // above) every bank's ledger must have retired within the
     // postpone bound.
-    EXPECT_GT(refreshes, 0u) << ctx.str();
+    EXPECT_GT(refreshes + sr_enters, 0u) << ctx.str();
 }
 
 } // namespace
@@ -130,6 +142,12 @@ TEST_P(CheckerFuzz, RandomWorkloadsProduceLegalCommandStreams)
             continue;  // REFsb needs bank-group support (DDR5).
         for (std::uint64_t s = 1; s <= seeds; ++s)
             fuzzOne(spec, mech, s);
+        // The same matrix with command-level self-refresh armed:
+        // SRE/SRX must stay legal (tCKESR/tXS/no-command-in-SR) and
+        // the ledgers must still retire -- residency credits internal
+        // refresh.
+        for (std::uint64_t s = 1; s <= seeds; ++s)
+            fuzzOne(spec, mech, s, /*self_refresh=*/true);
     }
 }
 

@@ -256,6 +256,58 @@ TEST(Energy, SelfRefreshUndercutsPrechargeStandby)
     }
 }
 
+TEST(Energy, SrMaskedRefreshCyclesNotDoubleBilled)
+{
+    // Double-billing regression: refresh cycles that elapsed while
+    // their rank sat in the (legacy) IDD6 self-refresh state must not
+    // also be charged the burst premium -- IDD6 already prices the
+    // refresh work. Golden numbers pinned on DDR3-1333.
+    const auto [t, p] = specParams("DDR3-1333");
+    ChannelStats stats;
+    stats.refAbCycles = 1000;
+    stats.refPbCycles = 500;
+    // ref_cur = 1.5 V * (215 - 45) mA * 1.5 ns = 0.3825 nJ/cycle.
+    const double full = channelEnergy(stats, t, p).refreshNj;
+    EXPECT_NEAR(full, 382.5 + 23.90625, 1e-9);
+
+    ChannelStats masked = stats;
+    masked.refAbCyclesSrMasked = 400;
+    masked.refPbCyclesSrMasked = 100;
+    const double partial = channelEnergy(masked, t, p).refreshNj;
+    EXPECT_NEAR(partial, 382.5 * 0.6 + 23.90625 * 0.8, 1e-9);
+
+    // Fully masked refresh costs nothing extra; over-masking (a burst
+    // straddling a stats reset) clamps at zero instead of going
+    // negative.
+    ChannelStats over = stats;
+    over.refAbCyclesSrMasked = 1500;
+    over.refPbCyclesSrMasked = 600;
+    EXPECT_DOUBLE_EQ(channelEnergy(over, t, p).refreshNj, 0.0);
+}
+
+TEST(Energy, RealSelfRefreshResidencyBilledAtIdd6)
+{
+    // Command-level residency (srTicks) bills IDD6 exactly like the
+    // legacy accounting state, and the two pools add.
+    const auto [t, p] = specParams("DDR3-1333");
+    ChannelStats idle;
+    idle.rankTotalTicks = 10000;
+    ChannelStats sr = idle;
+    sr.srTicks = 4000;
+    const double e_idle = channelEnergy(idle, t, p).backgroundNj;
+    const double e_sr = channelEnergy(sr, t, p).backgroundNj;
+    EXPECT_NEAR(e_idle - e_sr,
+                p.vdd * (p.idd2n - p.idd6) * 4000 * t.tCkNs * 1e-3,
+                1e-9);
+
+    ChannelStats both = sr;
+    both.rankSelfRefTicks = 2000;
+    const double e_both = channelEnergy(both, t, p).backgroundNj;
+    EXPECT_NEAR(e_sr - e_both,
+                p.vdd * (p.idd2n - p.idd6) * 2000 * t.tCkNs * 1e-3,
+                1e-9);
+}
+
 TEST(Energy, ActiveStandbyCostsMoreThanIdle)
 {
     const TimingParams t = timing();

@@ -421,3 +421,84 @@ TEST(Hira, RunsOnEveryRegisteredSpec)
         EXPECT_GT(refPb, 0u) << name;
     }
 }
+
+TEST(HiraFgr, RateKeyScalesPerBankTimingWithNativeDivisors)
+{
+    // The PR-3 open item "HiRA under FGR rates": refresh.fgrRate
+    // runs HiRA's DARP timing profile on FGR-scaled parameters. The
+    // command interval shrinks by the rate, tRFC by DDR4's *native*
+    // tRFC1/tRFC2/tRFC4 ratios, each command covers proportionally
+    // fewer rows -- and the device characterization (tHiRA, the
+    // coverage fractions) is rate-invariant.
+    MemConfig base;
+    base.dramSpec = "DDR4-2400";
+    base.density = Density::k8Gb;
+    base.refresh = RefreshMode::kDarp;
+    base.hira = true;
+    base.finalize();
+    const TimingParams t1 = TimingParams::forConfig(base);
+
+    MemConfig fgr2 = base;
+    fgr2.fgrRate = 2;
+    const TimingParams t2 = TimingParams::forConfig(fgr2);
+    MemConfig fgr4 = base;
+    fgr4.fgrRate = 4;
+    const TimingParams t4 = TimingParams::forConfig(fgr4);
+
+    EXPECT_EQ(t2.tRefiAb, t1.tRefiAb / 2);
+    EXPECT_EQ(t4.tRefiAb, t1.tRefiAb / 4);
+    EXPECT_EQ(t2.tRefiPb, t1.tRefiPb / 2);
+    // Native divisors: tRFC shrinks by LESS than the rate (the FGR
+    // tax), per-bank via the same Section 3.1 ratio.
+    EXPECT_LT(t2.tRfcPb, t1.tRfcPb);
+    EXPECT_GT(t2.tRfcPb, t1.tRfcPb / 2);
+    EXPECT_LT(t4.tRfcPb, t2.tRfcPb);
+    EXPECT_EQ(t2.rowsPerRefresh, t1.rowsPerRefresh / 2);
+    // Device characterization does not scale with the command rate.
+    EXPECT_EQ(t2.tHiRA, t1.tHiRA);
+    EXPECT_DOUBLE_EQ(t2.hiraActCoverage, t1.hiraActCoverage);
+    EXPECT_DOUBLE_EQ(t4.hiraRefCoverage, t1.hiraRefCoverage);
+}
+
+TEST(HiraFgr, RunsLegallyAtFgrRatesOnDdr4)
+{
+    // End-to-end at 2x and 4x on DDR4-2400 8 Gb (the density where
+    // per-bank refresh fits its interval at 4x): hidden refreshes
+    // still issue, the checker finds no violations, and the rate
+    // multiplies the per-bank command count.
+    std::uint64_t refPbAtRate[3] = {0, 0, 0};
+    int i = 0;
+    for (int rate : {1, 2, 4}) {
+        SystemConfig cfg = smallConfig("HiRA");
+        cfg.mem.dramSpec = "DDR4-2400";
+        cfg.mem.density = Density::k8Gb;
+        cfg.mem.fgrRate = rate;
+        cfg.enableChecker = true;
+        System sys(cfg, intensivePair());
+        sys.run(60000);
+        const CheckerReport report = verifyCommandLog(
+            sys.commandLog(0), sys.config().mem, sys.timing(),
+            sys.now());
+        EXPECT_TRUE(report.ok())
+            << "rate " << rate << ": "
+            << (report.violations.empty() ? ""
+                                          : report.violations.front());
+        refPbAtRate[i++] =
+            sys.controller(0).channel().stats().refPb;
+    }
+    EXPECT_GT(refPbAtRate[1], refPbAtRate[0]);
+    EXPECT_GT(refPbAtRate[2], refPbAtRate[1]);
+}
+
+TEST(HiraFgr, UnfittablePerBankScheduleDiesWithNamedKeys)
+{
+    // DDR4-2400 at 32 Gb + 4x: tRFCpb no longer fits tREFIpb; the
+    // derivation must die naming the knobs, never run silently wrong.
+    MemConfig cfg;
+    cfg.dramSpec = "DDR4-2400";
+    cfg.density = Density::k32Gb;
+    cfg.refresh = RefreshMode::kDarp;
+    cfg.fgrRate = 4;
+    cfg.org.rowsPerBank = rowsPerBankFor(cfg.density);
+    EXPECT_DEATH(TimingParams::forConfig(cfg), "refresh.fgrRate");
+}

@@ -226,6 +226,16 @@ main(int argc, char **argv)
         std::printf("hidden (HiRA)      : %llu\n",
                     static_cast<unsigned long long>(res.refPbHidden));
     }
+    // Gate on residency, not entries: a residency straddling the
+    // warmup stats reset has ticks (billed at IDD6) in the measured
+    // window but its SRE behind it, and must still be reported.
+    if (res.srEnters > 0 || res.srTicks > 0) {
+        std::printf("self-refresh       : %llu SRE / %llu SRX, "
+                    "%llu rank-ticks\n",
+                    static_cast<unsigned long long>(res.srEnters),
+                    static_cast<unsigned long long>(res.srExits),
+                    static_cast<unsigned long long>(res.srTicks));
+    }
     std::printf("energy per access  : %.2f nJ\n", res.energyPerAccessNj);
     return 0;
 }
