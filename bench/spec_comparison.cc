@@ -48,19 +48,24 @@ main()
             mem.org.rowsPerBank = rowsPerBankFor(d);
             const TimingParams t = spec.timingFor(mem);
             const double lockoutPct =
-                100.0 * t.tRfcAb / static_cast<double>(t.tRefiAb);
+                100.0 * static_cast<double>(t.tRfcAb.count()) /
+                static_cast<double>(t.tRefiAb.count());
             std::printf("%-12s %8.3f %10s %12.0f %12d %11.1f%%\n",
-                        name.c_str(), spec.tCkNs, densityName(d),
-                        spec.tRfcAbNsFor(d), t.tRfcAb, lockoutPct);
+                        name.c_str(), spec.tCkNs.ns(), densityName(d),
+                        spec.tRfcAbNsFor(d).ns(),
+                        static_cast<int>(t.tRfcAb.count()), lockoutPct);
             std::printf("JSON {\"bench\":\"spec_comparison\","
                         "\"row\":\"trfc\",\"spec\":\"%s\","
                         "\"density\":\"%s\",\"tck_ns\":%.4f,"
                         "\"trfc_ab_ns\":%.1f,\"trfc_ab_cycles\":%d,"
                         "\"trfc_pb_cycles\":%d,\"trefi_ab_cycles\":%llu,"
                         "\"lockout_pct\":%.2f}\n",
-                        name.c_str(), densityName(d), spec.tCkNs,
-                        spec.tRfcAbNsFor(d), t.tRfcAb, t.tRfcPb,
-                        static_cast<unsigned long long>(t.tRefiAb),
+                        name.c_str(), densityName(d), spec.tCkNs.ns(),
+                        spec.tRfcAbNsFor(d).ns(),
+                        static_cast<int>(t.tRfcAb.count()),
+                        static_cast<int>(t.tRfcPb.count()),
+                        static_cast<unsigned long long>(
+                            t.tRefiAb.count()),
                         lockoutPct);
         }
     }

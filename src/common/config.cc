@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "dram/spec.hh"
+#include "sim/config_keys.hh"
 
 namespace dsarp {
 
@@ -74,10 +75,10 @@ MemConfig::validate() const
         }
     };
 
-    atLeastOne("channels", org.channels);
-    atLeastOne("ranksPerChannel", org.ranksPerChannel);
-    atLeastOne("banksPerRank", org.banksPerRank);
-    atLeastOne("subarraysPerBank", org.subarraysPerBank);
+    atLeastOne(keys::kChannels, org.channels);
+    atLeastOne(keys::kRanksPerChannel, org.ranksPerChannel);
+    atLeastOne(keys::kBanksPerRank, org.banksPerRank);
+    atLeastOne(keys::kSubarraysPerBank, org.subarraysPerBank);
 
     // SARP's subarray grouping and the address map both require a
     // power-of-two subarray count that tiles the bank's rows evenly.
@@ -116,8 +117,8 @@ MemConfig::validate() const
         }
     }
 
-    atLeastOne("readQueueSize", readQueueSize);
-    atLeastOne("writeQueueSize", writeQueueSize);
+    atLeastOne(keys::kReadQueueSize, readQueueSize);
+    atLeastOne(keys::kWriteQueueSize, writeQueueSize);
     if (writeLowWatermark >= writeHighWatermark) {
         fail("config key 'writeLowWatermark' (" +
              std::to_string(writeLowWatermark) + "): low watermark must "
@@ -140,8 +141,8 @@ MemConfig::validate() const
              std::to_string(retentionMs) + "); retention is modeled "
              "only at the paper's two settings");
     }
-    atLeastOne("refabStaggerDivisor", refabStaggerDivisor);
-    atLeastOne("maxOverlappedRefPb", maxOverlappedRefPb);
+    atLeastOne(keys::kRefabStaggerDivisor, refabStaggerDivisor);
+    atLeastOne(keys::kMaxOverlappedRefPb, maxOverlappedRefPb);
     if (tFawOverride < 0 || tRrdOverride < 0) {
         fail("config keys 'tFawOverride'/'tRrdOverride' must be >= 0 "
              "(got " + std::to_string(tFawOverride) + "/" +
@@ -217,13 +218,15 @@ MemConfig::validate() const
         // protocol.
         if (const DramSpec *spec =
                 DramSpecRegistry::instance().find(dramSpec)) {
-            const double trefi_cycles = retentionMs * 1e6 /
-                spec->refreshesPerRetention / spec->tCkNs;
-            if (selfRefreshIdleCycles > trefi_cycles) {
+            const Cycles trefi_cycles = TimingParams::nsToCyclesFloor(
+                Nanoseconds(retentionMs * 1e6 /
+                            spec->refreshesPerRetention),
+                spec->tCkNs);
+            if (selfRefreshIdleCycles > trefi_cycles.count()) {
                 fail("config key 'energy.selfRefreshIdle' (" +
                      std::to_string(selfRefreshIdleCycles) + ") exceeds "
                      "tREFIab (~" +
-                     std::to_string(static_cast<long long>(trefi_cycles)) +
+                     std::to_string(trefi_cycles.count()) +
                      " cycles) of DRAM spec '" + spec->name + "'; the "
                      "energy-only state cannot outlast the external "
                      "refresh schedule -- use "

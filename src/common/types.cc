@@ -1,0 +1,27 @@
+#include "common/types.hh"
+
+#include <cmath>
+#include <ostream>
+
+namespace dsarp {
+
+Cycles
+Cycles::ceilScaled(double mult) const
+{
+    return Cycles(static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(n_) * mult - 1e-9)));
+}
+
+std::ostream &
+operator<<(std::ostream &os, Cycles c)
+{
+    return os << c.count() << " cycles";
+}
+
+std::ostream &
+operator<<(std::ostream &os, Nanoseconds ns)
+{
+    return os << ns.ns() << " ns";
+}
+
+} // namespace dsarp

@@ -56,10 +56,8 @@ Bank::canHiddenRefresh(Tick now) const
 {
     if (openRow_ == kNone || refreshing(now))
         return false;
-    if (lastActAt_ == kTickNever ||
-        now < lastActAt_ + static_cast<Tick>(timing_->tHiRA)) {
+    if (lastActAt_ == kTickNever || now < lastActAt_ + timing_->tHiRA)
         return false;
-    }
     return subarrayOf(refRowCounter_) != openSubarray_;
 }
 
@@ -82,7 +80,7 @@ Bank::onRead(Tick now, bool auto_precharge)
     colAllowedAt_ = std::max(colAllowedAt_, now + timing_->tCcd);
     // Read-to-precharge constraint.
     const Tick pre_ready =
-        std::max(preAllowedAt_, now + static_cast<Tick>(timing_->tRtp));
+        std::max(preAllowedAt_, now + timing_->tRtp);
     preAllowedAt_ = pre_ready;
     if (auto_precharge) {
         openRow_ = kNone;
@@ -99,7 +97,7 @@ Bank::onWrite(Tick now, bool auto_precharge)
     // Write recovery: precharge may start tWR after the write data ends.
     const Tick data_end = now + timing_->tCwl + timing_->tBl;
     const Tick pre_ready =
-        std::max(preAllowedAt_, data_end + static_cast<Tick>(timing_->tWr));
+        std::max(preAllowedAt_, data_end + timing_->tWr);
     preAllowedAt_ = pre_ready;
     if (auto_precharge) {
         openRow_ = kNone;
@@ -118,7 +116,7 @@ Bank::onPre(Tick now)
 }
 
 void
-Bank::onRefresh(Tick now, int t_rfc, int rows, bool hidden)
+Bank::onRefresh(Tick now, Cycles t_rfc, int rows, bool hidden)
 {
     DSARP_ASSERT(hidden ? canHiddenRefresh(now) : canRefresh(now),
                  "illegal refresh");

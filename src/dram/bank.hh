@@ -62,7 +62,8 @@ class Bank
      * beneath the open row (HiRA); the caller must have checked
      * canHiddenRefresh() instead of canRefresh().
      */
-    void onRefresh(Tick now, int tRfc, int rows = 0, bool hidden = false);
+    void onRefresh(Tick now, Cycles tRfc, int rows = 0,
+                   bool hidden = false);
     /// @}
 
     /** @name Observers. */

@@ -28,7 +28,7 @@ Channel::busOkForRead(RankId r, Tick now) const
         return false;
     // Write-to-read turnaround within the same rank (tWTR counts from the
     // end of write data to the read command).
-    if (now < wrDataEnd_[r] + static_cast<Tick>(timing_->tWtr))
+    if (now < wrDataEnd_[r] + timing_->tWtr)
         return false;
     return true;
 }
@@ -44,7 +44,7 @@ Channel::busOkForWrite(RankId r, Tick now) const
         return false;
     // Read-to-write command turnaround on the shared bus.
     if (lastRdCmdAt_ != kTickNever &&
-        now < lastRdCmdAt_ + static_cast<Tick>(timing_->tRtw)) {
+        now < lastRdCmdAt_ + timing_->tRtw) {
         return false;
     }
     return true;
@@ -138,22 +138,25 @@ Channel::issue(const Command &cmd, Tick now)
         ++stats_.refPb;
         if (cmd.hidden)
             ++stats_.refPbHidden;
-        stats_.refPbCycles +=
-            cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcPb;
+        stats_.refPbCycles += static_cast<std::uint64_t>(
+            (cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcPb)
+                .count());
         return 0;
 
       case CommandType::kRefAb:
         rk.onRefAb(now, cmd.tRfcOverride, cmd.rowsOverride);
         ++stats_.refAb;
-        stats_.refAbCycles +=
-            cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcAb;
+        stats_.refAbCycles += static_cast<std::uint64_t>(
+            (cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcAb)
+                .count());
         return 0;
 
       case CommandType::kRefSb:
         rk.onRefSb(now, cmd.bank, cmd.tRfcOverride, cmd.rowsOverride);
         ++stats_.refSb;
-        stats_.refSbCycles +=
-            cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcSb;
+        stats_.refSbCycles += static_cast<std::uint64_t>(
+            (cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcSb)
+                .count());
         return 0;
 
       case CommandType::kSrEnter:

@@ -81,7 +81,7 @@ struct Command
      * whose commands have a different latency and cover fewer rows than
      * the datasheet default. Zero selects the TimingParams values.
      */
-    int tRfcOverride = 0;
+    Cycles tRfcOverride{};
     int rowsOverride = 0;
 
     /**

@@ -15,17 +15,14 @@ Rank::Rank(const MemConfig *cfg, const TimingParams *timing)
         banks_.emplace_back(timing, cfg->org.rowsPerSubarray(),
                             cfg->org.rowsPerBank, cfg->sarp);
     }
-    const auto inflate = [](int base, double mult) {
-        return static_cast<int>(std::ceil(base * mult - 1e-9));
-    };
-    tRrdInflAb_ = inflate(timing->tRrd,
-                          refreshInflationMult(*cfg, true, 0));
-    tRrdInflPb_ = inflate(timing->tRrd,
-                          refreshInflationMult(*cfg, false, 1));
-    tFawInflAb_ = inflate(timing->tFaw,
-                          refreshInflationMult(*cfg, true, 0));
-    tFawInflPb_ = inflate(timing->tFaw,
-                          refreshInflationMult(*cfg, false, 1));
+    tRrdInflAb_ =
+        timing->tRrd.ceilScaled(refreshInflationMult(*cfg, true, 0));
+    tRrdInflPb_ =
+        timing->tRrd.ceilScaled(refreshInflationMult(*cfg, false, 1));
+    tFawInflAb_ =
+        timing->tFaw.ceilScaled(refreshInflationMult(*cfg, true, 0));
+    tFawInflPb_ =
+        timing->tFaw.ceilScaled(refreshInflationMult(*cfg, false, 1));
     refPbEnds_.reserve(cfg->maxOverlappedRefPb);
 }
 
@@ -93,7 +90,7 @@ Rank::inflationRefPbCount(Tick now) const
                             hiddenRefPbCount(now));
 }
 
-int
+Cycles
 Rank::effTRrd(Tick now) const
 {
     if (cfg_->sarp || cfg_->hira || cfg_->maxOverlappedRefPb > 1) {
@@ -103,16 +100,14 @@ Rank::effTRrd(Tick now) const
         if (pb == 1)
             return tRrdInflPb_;
         if (pb > 1) {
-            return static_cast<int>(std::ceil(
-                timing_->tRrd *
-                    refreshInflationMult(*cfg_, false, pb) -
-                1e-9));
+            return timing_->tRrd.ceilScaled(
+                refreshInflationMult(*cfg_, false, pb));
         }
     }
     return timing_->tRrd;
 }
 
-int
+Cycles
 Rank::effTFaw(Tick now) const
 {
     if (cfg_->sarp || cfg_->hira || cfg_->maxOverlappedRefPb > 1) {
@@ -122,10 +117,8 @@ Rank::effTFaw(Tick now) const
         if (pb == 1)
             return tFawInflPb_;
         if (pb > 1) {
-            return static_cast<int>(std::ceil(
-                timing_->tFaw *
-                    refreshInflationMult(*cfg_, false, pb) -
-                1e-9));
+            return timing_->tFaw.ceilScaled(
+                refreshInflationMult(*cfg_, false, pb));
         }
     }
     return timing_->tFaw;
@@ -136,13 +129,11 @@ Rank::canActRankLevel(Tick now) const
 {
     if (selfRefreshLockout(now))
         return false;
-    if (lastActAt_ != kTickNever &&
-        now < lastActAt_ + static_cast<Tick>(effTRrd(now))) {
+    if (lastActAt_ != kTickNever && now < lastActAt_ + effTRrd(now))
         return false;
-    }
     if (actsSeen_ >= 4) {
         // Oldest of the last four ACTs bounds the four-activate window.
-        if (now < actWindow_[0] + static_cast<Tick>(effTFaw(now)))
+        if (now < actWindow_[0] + effTFaw(now))
             return false;
     }
     return true;
@@ -211,11 +202,11 @@ Rank::onAct(Tick now)
 }
 
 void
-Rank::onRefPb(Tick now, BankId bank, int t_rfc_override, int rows_override,
-              bool hidden)
+Rank::onRefPb(Tick now, BankId bank, Cycles t_rfc_override,
+              int rows_override, bool hidden)
 {
     DSARP_ASSERT(canRefPbRankLevel(now), "REFpb exceeds the overlap limit");
-    const int t_rfc = t_rfc_override ? t_rfc_override : timing_->tRfcPb;
+    const Cycles t_rfc = t_rfc_override ? t_rfc_override : timing_->tRfcPb;
     banks_[bank].onRefresh(now, t_rfc, rows_override, hidden);
     refPbEnds_.push_back(now + t_rfc);
     if (hidden)
@@ -223,10 +214,11 @@ Rank::onRefPb(Tick now, BankId bank, int t_rfc_override, int rows_override,
 }
 
 void
-Rank::onRefSb(Tick now, int group, int t_rfc_override, int rows_override)
+Rank::onRefSb(Tick now, int group, Cycles t_rfc_override,
+              int rows_override)
 {
     DSARP_ASSERT(canRefSb(now, group), "illegal same-bank refresh");
-    const int t_rfc = t_rfc_override ? t_rfc_override : timing_->tRfcSb;
+    const Cycles t_rfc = t_rfc_override ? t_rfc_override : timing_->tRfcSb;
     const int slice = timing_->banksPerGroup;
     for (int b = group * slice; b < (group + 1) * slice; ++b)
         banks_[b].onRefresh(now, t_rfc, rows_override);
@@ -234,10 +226,10 @@ Rank::onRefSb(Tick now, int group, int t_rfc_override, int rows_override)
 }
 
 void
-Rank::onRefAb(Tick now, int t_rfc_override, int rows_override)
+Rank::onRefAb(Tick now, Cycles t_rfc_override, int rows_override)
 {
     DSARP_ASSERT(canRefAb(now), "REFab while rank not idle");
-    const int t_rfc = t_rfc_override ? t_rfc_override : timing_->tRfcAb;
+    const Cycles t_rfc = t_rfc_override ? t_rfc_override : timing_->tRfcAb;
     for (Bank &b : banks_)
         b.onRefresh(now, t_rfc, rows_override);
     refAbUntil_ = now + t_rfc;
@@ -264,7 +256,7 @@ bool
 Rank::canSrExit(Tick now) const
 {
     return srActive_ && srEnteredAt_ != kTickNever &&
-        now >= srEnteredAt_ + static_cast<Tick>(timing_->tCkesr);
+        now >= srEnteredAt_ + timing_->tCkesr;
 }
 
 void
@@ -283,7 +275,7 @@ Rank::onSrExit(Tick now)
     srActive_ = false;
     // The device finishes its in-progress internal refresh burst on
     // exit: nothing is legal on the rank until tXS has elapsed.
-    srExitLockoutUntil_ = now + static_cast<Tick>(timing_->tXs);
+    srExitLockoutUntil_ = now + timing_->tXs;
 }
 
 bool

@@ -63,10 +63,11 @@ class Rank
     /** @name State transitions. */
     /// @{
     void onAct(Tick now);
-    void onRefPb(Tick now, BankId bank, int tRfcOverride = 0,
+    void onRefPb(Tick now, BankId bank, Cycles tRfcOverride = Cycles(),
                  int rowsOverride = 0, bool hidden = false);
-    void onRefAb(Tick now, int tRfcOverride = 0, int rowsOverride = 0);
-    void onRefSb(Tick now, int group, int tRfcOverride = 0,
+    void onRefAb(Tick now, Cycles tRfcOverride = Cycles(),
+                 int rowsOverride = 0);
+    void onRefSb(Tick now, int group, Cycles tRfcOverride = Cycles(),
                  int rowsOverride = 0);
     void onSrEnter(Tick now);
     void onSrExit(Tick now);
@@ -138,8 +139,8 @@ class Rank
      * Effective tRRD/tFAW at @p now: the datasheet value, multiplied by
      * the SARP power-integrity factor while a refresh is in flight.
      */
-    int effTRrd(Tick now) const;
-    int effTFaw(Tick now) const;
+    Cycles effTRrd(Tick now) const;
+    Cycles effTFaw(Tick now) const;
 
   private:
     /** Prune ended entries from an in-flight list; return the count. */
@@ -178,10 +179,10 @@ class Rank
     /** Precomputed inflated values for the common cases (no fp math on
      *  the hot path); counts above one in-flight REFpb fall back to the
      *  shared formula. */
-    int tRrdInflAb_;
-    int tRrdInflPb_;
-    int tFawInflAb_;
-    int tFawInflPb_;
+    Cycles tRrdInflAb_;
+    Cycles tRrdInflPb_;
+    Cycles tFawInflAb_;
+    Cycles tFawInflPb_;
 };
 
 } // namespace dsarp

@@ -45,7 +45,7 @@ DramSpec::timingFor(const MemConfig &cfg) const
 
     // Derived, never stored per spec: the read-to-write gap covers the
     // read burst plus the bus turnaround before the write preamble.
-    t.tRtw = tCl + tBl + 2 - tCwl;
+    t.tRtw = tCl + tBl + Cycles(2) - tCwl;
     DSARP_ASSERT(t.tRtw > 0, "derived tRtw must be positive");
 
     t.refreshesPerRetention = refreshesPerRetention;
@@ -55,22 +55,23 @@ DramSpec::timingFor(const MemConfig &cfg) const
     // HiRA: the spec's characterized delay/coverage figures, with the
     // layered refresh.hiraDelay / refresh.hiraCoverage overrides on top.
     t.tHiRA = cfg.hiraDelayCycles > 0
-        ? cfg.hiraDelayCycles
+        ? Cycles(cfg.hiraDelayCycles)
         : TimingParams::nsToCycles(tHiRANs, t.tCkNs);
     t.hiraActCoverage =
         cfg.hiraCoverage >= 0.0 ? cfg.hiraCoverage : hiraActCoverage;
     t.hiraRefCoverage = hiraRefCoverage;
 
     // Retention: refreshesPerRetention slots spread over the period.
-    const double retentionNs = cfg.retentionMs * 1e6;
-    double tRefiAbNs = retentionNs / refreshesPerRetention;
+    const Nanoseconds retentionNs{cfg.retentionMs * 1e6};
+    Nanoseconds tRefiAbNs = retentionNs / refreshesPerRetention;
 
-    double tRfcAbNs = tRfcAbNsFor(cfg.density);
-    double tRfcPbNative = nativePerBankRefresh
+    Nanoseconds tRfcAbNs = tRfcAbNsFor(cfg.density);
+    Nanoseconds tRfcPbNative = nativePerBankRefresh
         ? tRfcPbNs[densityIndex(cfg.density)]
-        : 0.0;
-    double tRfcSbNsVal =
-        banksPerGroup > 0 ? tRfcSbNs[densityIndex(cfg.density)] : 0.0;
+        : Nanoseconds{};
+    Nanoseconds tRfcSbNsVal = banksPerGroup > 0
+        ? tRfcSbNs[densityIndex(cfg.density)]
+        : Nanoseconds{};
 
     // Fine granularity refresh: the command rate rises by 2x/4x while
     // tRFC shrinks only by the spec's divisors (Section 6.5; native
@@ -86,16 +87,16 @@ DramSpec::timingFor(const MemConfig &cfg) const
         rate = cfg.fgrRate;
     if (rate > 1) {
         const double divisor = t.rfcDivisorFor(rate);
-        tRefiAbNs /= rate;
-        tRfcAbNs /= divisor;
-        tRfcPbNative /= divisor;
-        tRfcSbNsVal /= divisor;
+        tRefiAbNs = tRefiAbNs / rate;
+        tRfcAbNs = tRfcAbNs / divisor;
+        tRfcPbNative = tRfcPbNative / divisor;
+        tRfcSbNsVal = tRfcSbNsVal / divisor;
     }
-    const double tRfcPbNsVal = nativePerBankRefresh
+    const Nanoseconds tRfcPbNsVal = nativePerBankRefresh
         ? tRfcPbNative
         : tRfcAbNs / pbRfcDivisor;
 
-    t.tRefiAb = static_cast<Tick>(tRefiAbNs / t.tCkNs);
+    t.tRefiAb = TimingParams::nsToCyclesFloor(tRefiAbNs, t.tCkNs);
     t.tRfcAb = TimingParams::nsToCycles(tRfcAbNs, t.tCkNs);
 
     // Self-refresh protocol: the exit latency tracks the *active*
@@ -107,8 +108,8 @@ DramSpec::timingFor(const MemConfig &cfg) const
     t.tXs = TimingParams::nsToCycles(tRfcAbNs + tXsDeltaNs, t.tCkNs);
     t.tXsFgr = TimingParams::nsToCycles(
         tRfcAbNsFor(cfg.density) / fgrDivisor2x + tXsDeltaNs, t.tCkNs);
-    t.tCkesr =
-        std::max(1, TimingParams::nsToCycles(tCkesrNs, t.tCkNs));
+    t.tCkesr = std::max(Cycles(1),
+                        TimingParams::nsToCycles(tCkesrNs, t.tCkNs));
 
     // Per-bank refresh: tREFIpb = tREFIab / banks; tRFCpb from the
     // native LPDDR table when the device has first-class REFpb,
@@ -152,23 +153,24 @@ DramSpec::timingFor(const MemConfig &cfg) const
         t.rowsPerRefresh = 1;
 
     if (cfg.tFawOverride > 0)
-        t.tFaw = cfg.tFawOverride;
+        t.tFaw = Cycles(cfg.tFawOverride);
     if (cfg.tRrdOverride > 0)
-        t.tRrd = cfg.tRrdOverride;
+        t.tRrd = Cycles(cfg.tRrdOverride);
 
     // Per-bank refresh must fit inside its command interval; FGR modes
     // never issue REFpb, so the constraint only binds when REFpb is
     // used.
     if (cfg.refresh == RefreshMode::kPerBank ||
         cfg.refresh == RefreshMode::kDarp) {
-        if (t.tRefiPb <= static_cast<Tick>(t.tRfcPb)) {
+        if (t.tRefiPb <= t.tRfcPb) {
             DSARP_FATALF(
                 "config key 'refresh.fgrRate'/'densityGb': per-bank "
                 "refresh does not fit its command interval on spec "
-                "'%s' (tREFIpb %llu <= tRFCpb %d cycles at %s, FGR "
+                "'%s' (tREFIpb %lld <= tRFCpb %lld cycles at %s, FGR "
                 "rate %dx); lower the rate or the density",
                 name.c_str(),
-                static_cast<unsigned long long>(t.tRefiPb), t.tRfcPb,
+                static_cast<long long>(t.tRefiPb.count()),
+                static_cast<long long>(t.tRfcPb.count()),
                 densityName(cfg.density), rate);
         }
     }
@@ -176,8 +178,7 @@ DramSpec::timingFor(const MemConfig &cfg) const
         DSARP_ASSERT(t.banksPerGroup > 0,
                      "same-bank refresh needs a spec with bank-group "
                      "support (and a slice that divides banksPerRank)");
-        DSARP_ASSERT(t.tRefiSb > static_cast<Tick>(t.tRfcSb),
-                     "tREFIsb must exceed tRFCsb");
+        DSARP_ASSERT(t.tRefiSb > t.tRfcSb, "tREFIsb must exceed tRFCsb");
     }
     return t;
 }
@@ -193,8 +194,10 @@ bool
 DramSpecRegistry::add(DramSpec spec, std::vector<std::string> aliases)
 {
     DSARP_ASSERT(!spec.name.empty(), "DRAM spec needs a name");
-    DSARP_ASSERT(spec.tCkNs > 0.0, "DRAM spec needs a positive tCK");
+    DSARP_ASSERT(spec.tCkNs > Nanoseconds(0.0),
+                 "DRAM spec needs a positive tCK");
 
+    const std::lock_guard<std::mutex> lock(mutex_);
     aliases.push_back(spec.name);
     const std::size_t slot = entries_.size();
     entries_.push_back(std::move(spec));
@@ -210,40 +213,60 @@ DramSpecRegistry::add(DramSpec spec, std::vector<std::string> aliases)
     return true;
 }
 
-bool
-DramSpecRegistry::has(const std::string &name) const
-{
-    return index_.count(lowered(name)) > 0;
-}
-
 const DramSpec *
-DramSpecRegistry::find(const std::string &name) const
+DramSpecRegistry::findLocked(const std::string &name) const
 {
     const auto it = index_.find(lowered(name));
     return it == index_.end() ? nullptr : &entries_[it->second];
 }
 
+bool
+DramSpecRegistry::has(const std::string &name) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return findLocked(name) != nullptr;
+}
+
+const DramSpec *
+DramSpecRegistry::find(const std::string &name) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return findLocked(name);
+}
+
 const DramSpec &
 DramSpecRegistry::at(const std::string &name) const
 {
-    if (const DramSpec *spec = find(name))
-        return *spec;
-    DSARP_FATAL(unknownSpecMessage(name).c_str());
+    std::string unknown;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (const DramSpec *spec = findLocked(name))
+            return *spec;
+        unknown = unknownSpecMessageLocked(name);
+    }
+    DSARP_FATAL(unknown.c_str());
+}
+
+std::string
+DramSpecRegistry::unknownSpecMessageLocked(const std::string &name) const
+{
+    std::ostringstream msg;
+    msg << "config key 'dram.spec': unknown DRAM spec '" << name
+        << "'; known:";
+    for (const std::string &known : namesLocked())
+        msg << ' ' << known;
+    return msg.str();
 }
 
 std::string
 DramSpecRegistry::unknownSpecMessage(const std::string &name) const
 {
-    std::ostringstream msg;
-    msg << "config key 'dram.spec': unknown DRAM spec '" << name
-        << "'; known:";
-    for (const std::string &known : names())
-        msg << ' ' << known;
-    return msg.str();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return unknownSpecMessageLocked(name);
 }
 
 std::vector<std::string>
-DramSpecRegistry::names() const
+DramSpecRegistry::namesLocked() const
 {
     std::vector<std::string> out;
     out.reserve(entries_.size());
@@ -251,6 +274,13 @@ DramSpecRegistry::names() const
         out.push_back(spec.name);
     std::sort(out.begin(), out.end());
     return out;
+}
+
+std::vector<std::string>
+DramSpecRegistry::names() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return namesLocked();
 }
 
 } // namespace dsarp

@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -87,26 +88,27 @@ struct DramSpec
     std::string name;     ///< Canonical spelling, e.g. "DDR4-2400".
     std::string summary;  ///< One-liner for --list and docs.
 
-    double tCkNs = 1.5;   ///< Bus clock period in nanoseconds.
+    Nanoseconds tCkNs{1.5};  ///< Bus clock period.
 
     // Core timings in bus cycles (same meanings as TimingParams).
-    int tCl = 9;
-    int tCwl = 7;
-    int tRcd = 9;
-    int tRp = 9;
-    int tRas = 24;
-    int tRc = 33;
-    int tBl = 4;
-    int tCcd = 4;
-    int tRtp = 5;
-    int tWr = 10;
-    int tWtr = 5;
-    int tRrd = 4;
-    int tFaw = 20;
-    int tRtrs = 2;
+    Cycles tCl{9};
+    Cycles tCwl{7};
+    Cycles tRcd{9};
+    Cycles tRp{9};
+    Cycles tRas{24};
+    Cycles tRc{33};
+    Cycles tBl{4};
+    Cycles tCcd{4};
+    Cycles tRtp{5};
+    Cycles tWr{10};
+    Cycles tWtr{5};
+    Cycles tRrd{4};
+    Cycles tFaw{20};
+    Cycles tRtrs{2};
 
-    /** All-bank refresh latency in ns per density (8/16/32 Gb). */
-    std::array<double, 3> tRfcAbNs = {350.0, 530.0, 890.0};
+    /** All-bank refresh latency per density (8/16/32 Gb). */
+    std::array<Nanoseconds, 3> tRfcAbNs = {
+        Nanoseconds(350.0), Nanoseconds(530.0), Nanoseconds(890.0)};
 
     /**
      * Per-bank refresh latency. Specs without a native REFpb command
@@ -116,7 +118,7 @@ struct DramSpec
      * native ns table instead, which then takes precedence.
      */
     double pbRfcDivisor = 2.3;
-    std::array<double, 3> tRfcPbNs = {0.0, 0.0, 0.0};
+    std::array<Nanoseconds, 3> tRfcPbNs = {};
 
     /** True when REFpb/SARPpb run on a native per-bank latency table. */
     bool nativePerBankRefresh = false;
@@ -134,8 +136,8 @@ struct DramSpec
      */
     int banksPerGroup = 0;
 
-    /** Same-bank refresh latency in ns per density (8/16/32 Gb). */
-    std::array<double, 3> tRfcSbNs = {0.0, 0.0, 0.0};
+    /** Same-bank refresh latency per density (8/16/32 Gb). */
+    std::array<Nanoseconds, 3> tRfcSbNs = {};
 
     /**
      * Self-refresh protocol data. tXS (exit to the first valid
@@ -146,8 +148,8 @@ struct DramSpec
      * which on DDR5 is exactly the data-sheet tXS_FGR. tCKESR is the
      * minimum self-refresh residency (the CKE-low pulse width).
      */
-    double tXsDeltaNs = 10.0;
-    double tCkesrNs = 7.5;
+    Nanoseconds tXsDeltaNs{10.0};
+    Nanoseconds tCkesrNs{7.5};
 
     /** REFab slots per retention period (JEDEC: 8192). */
     int refreshesPerRetention = 8192;
@@ -173,7 +175,7 @@ struct DramSpec
      * beneath an access, ~78% for refresh parallelized with another
      * refresh of the same bank.
      */
-    double tHiRANs = 7.5;
+    Nanoseconds tHiRANs{7.5};
     double hiraActCoverage = 0.32;
     double hiraRefCoverage = 0.78;
 
@@ -181,10 +183,16 @@ struct DramSpec
     EnergyParams energy;
 
     /** Bytes one burst transfers: 2 x tBl transfers x bus width. */
-    int burstBytes() const { return 2 * tBl * (busWidthBits / 8); }
+    int burstBytes() const
+    {
+        return static_cast<int>(2 * tBl.count()) * (busWidthBits / 8);
+    }
 
-    /** tRFCab in ns for a density (before FGR scaling). */
-    double tRfcAbNsFor(Density d) const { return tRfcAbNs[densityIndex(d)]; }
+    /** tRFCab for a density (before FGR scaling). */
+    Nanoseconds tRfcAbNsFor(Density d) const
+    {
+        return tRfcAbNs[densityIndex(d)];
+    }
 
     /**
      * Derive the full TimingParams for @p cfg: copies the core
@@ -200,7 +208,16 @@ struct DramSpec
 class DramSpecRegistry
 {
   public:
-    /** The process-wide registry (initialized on first use). */
+    /**
+     * The process-wide registry. A function-local static, so the
+     * first registrar to run -- in whatever translation-unit order
+     * the linker chose -- constructs it before using it (no
+     * static-init-order hazard), and C++11 magic-static semantics
+     * make that construction race-free. All member functions are
+     * additionally mutex-guarded, so runtime registration (tests,
+     * plugins) is safe against concurrent lookups from the parallel
+     * sweep harness.
+     */
     static DramSpecRegistry &instance();
 
     /**
@@ -226,6 +243,13 @@ class DramSpecRegistry
     std::vector<std::string> names() const;
 
   private:
+    const DramSpec *findLocked(const std::string &name) const;
+    std::string unknownSpecMessageLocked(const std::string &name) const;
+    std::vector<std::string> namesLocked() const;
+
+    /** Guards index_/entries_; never held while calling out. */
+    mutable std::mutex mutex_;
+
     std::map<std::string, std::size_t> index_;  ///< lowercase name -> slot.
 
     /** A deque so references returned by find()/at() stay valid when

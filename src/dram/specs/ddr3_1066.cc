@@ -16,25 +16,26 @@ DSARP_REGISTER_DRAM_SPEC(ddr3_1066, []() {
     DramSpec s;
     s.name = "DDR3-1066";
     s.summary = "slow DDR3 bin: 7-7-7, tCK 1.875 ns";
-    s.tCkNs = 1.875;
-    s.tCl = 7;
-    s.tCwl = 6;
-    s.tRcd = 7;
-    s.tRp = 7;
-    s.tRas = 20;   // 37.5 ns.
-    s.tRc = 27;
-    s.tBl = 4;
-    s.tCcd = 4;
-    s.tRtp = 4;    // 7.5 ns.
-    s.tWr = 8;     // 15 ns.
-    s.tWtr = 4;
-    s.tRrd = 4;    // 7.5 ns.
-    s.tFaw = 20;   // 37.5 ns.
-    s.tRtrs = 2;
-    s.tRfcAbNs = {350.0, 530.0, 890.0};  // Density property, not bin.
+    s.tCkNs = Nanoseconds(1.875);
+    s.tCl = Cycles(7);
+    s.tCwl = Cycles(6);
+    s.tRcd = Cycles(7);
+    s.tRp = Cycles(7);
+    s.tRas = Cycles(20);   // 37.5 ns.
+    s.tRc = Cycles(27);
+    s.tBl = Cycles(4);
+    s.tCcd = Cycles(4);
+    s.tRtp = Cycles(4);    // 7.5 ns.
+    s.tWr = Cycles(8);     // 15 ns.
+    s.tWtr = Cycles(4);
+    s.tRrd = Cycles(4);    // 7.5 ns.
+    s.tFaw = Cycles(20);   // 37.5 ns.
+    s.tRtrs = Cycles(2);
+    s.tRfcAbNs = {Nanoseconds(350.0), Nanoseconds(530.0),
+                  Nanoseconds(890.0)};  // Density property, not bin.
     // Self-refresh: tXS = tRFCab + 10 ns; DDR3 family tCKESR.
-    s.tXsDeltaNs = 10.0;
-    s.tCkesrNs = 7.5;
+    s.tXsDeltaNs = Nanoseconds(10.0);
+    s.tCkesrNs = Nanoseconds(7.5);
     s.pbRfcDivisor = 2.3;
     s.fgrDivisor2x = 1.35;
     s.fgrDivisor4x = 1.63;

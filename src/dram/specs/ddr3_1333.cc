@@ -18,31 +18,32 @@ DSARP_REGISTER_DRAM_SPEC(ddr3_1333, []() {
     DramSpec s;
     s.name = "DDR3-1333";
     s.summary = "paper baseline (Table 1): 9-9-9, tCK 1.5 ns";
-    s.tCkNs = 1.5;
-    s.tCl = 9;
-    s.tCwl = 7;
-    s.tRcd = 9;
-    s.tRp = 9;
-    s.tRas = 24;
-    s.tRc = 33;
-    s.tBl = 4;
-    s.tCcd = 4;
-    s.tRtp = 5;
-    s.tWr = 10;
-    s.tWtr = 5;
-    s.tRrd = 4;
-    s.tFaw = 20;
-    s.tRtrs = 2;
-    s.tRfcAbNs = {350.0, 530.0, 890.0};
+    s.tCkNs = Nanoseconds(1.5);
+    s.tCl = Cycles(9);
+    s.tCwl = Cycles(7);
+    s.tRcd = Cycles(9);
+    s.tRp = Cycles(9);
+    s.tRas = Cycles(24);
+    s.tRc = Cycles(33);
+    s.tBl = Cycles(4);
+    s.tCcd = Cycles(4);
+    s.tRtp = Cycles(5);
+    s.tWr = Cycles(10);
+    s.tWtr = Cycles(5);
+    s.tRrd = Cycles(4);
+    s.tFaw = Cycles(20);
+    s.tRtrs = Cycles(2);
+    s.tRfcAbNs = {Nanoseconds(350.0), Nanoseconds(530.0), Nanoseconds(890.0)};
     // Self-refresh: tXS = tRFCab + 10 ns; tCKESR = tCKE(min) + 1 tCK
     // (5.625 ns + 1.5 ns, rounded into the 7.5 ns family figure).
-    s.tXsDeltaNs = 10.0;
-    s.tCkesrNs = 7.5;
+    s.tXsDeltaNs = Nanoseconds(10.0);
+    s.tCkesrNs = Nanoseconds(7.5);
     s.pbRfcDivisor = 2.3;
     s.fgrDivisor2x = 1.35;
     s.fgrDivisor4x = 1.63;
     s.busWidthBits = 64;   // BL8 x 64-bit channel: 64 B bursts.
-    s.tHiRANs = 7.5;       // Hidden ACT follows the demand ACT by 5 tCK.
+    // Hidden ACT follows the demand ACT by 5 tCK.
+    s.tHiRANs = Nanoseconds(7.5);
     s.hiraActCoverage = 0.32;
     s.hiraRefCoverage = 0.78;
     // The paper's Section 5 energy set: Micron 8 Gb TwinDie DDR3 at

@@ -15,25 +15,26 @@ DSARP_REGISTER_DRAM_SPEC(ddr3_1600, []() {
     DramSpec s;
     s.name = "DDR3-1600";
     s.summary = "fast DDR3 bin: 11-11-11, tCK 1.25 ns";
-    s.tCkNs = 1.25;
-    s.tCl = 11;
-    s.tCwl = 8;
-    s.tRcd = 11;
-    s.tRp = 11;
-    s.tRas = 28;   // 35 ns.
-    s.tRc = 39;
-    s.tBl = 4;
-    s.tCcd = 4;
-    s.tRtp = 6;    // 7.5 ns.
-    s.tWr = 12;    // 15 ns.
-    s.tWtr = 6;
-    s.tRrd = 5;    // 6 ns (1 KB pages).
-    s.tFaw = 24;   // 30 ns.
-    s.tRtrs = 2;
-    s.tRfcAbNs = {350.0, 530.0, 890.0};  // Density property, not bin.
+    s.tCkNs = Nanoseconds(1.25);
+    s.tCl = Cycles(11);
+    s.tCwl = Cycles(8);
+    s.tRcd = Cycles(11);
+    s.tRp = Cycles(11);
+    s.tRas = Cycles(28);   // 35 ns.
+    s.tRc = Cycles(39);
+    s.tBl = Cycles(4);
+    s.tCcd = Cycles(4);
+    s.tRtp = Cycles(6);    // 7.5 ns.
+    s.tWr = Cycles(12);    // 15 ns.
+    s.tWtr = Cycles(6);
+    s.tRrd = Cycles(5);    // 6 ns (1 KB pages).
+    s.tFaw = Cycles(24);   // 30 ns.
+    s.tRtrs = Cycles(2);
+    s.tRfcAbNs = {Nanoseconds(350.0), Nanoseconds(530.0),
+                  Nanoseconds(890.0)};  // Density property, not bin.
     // Self-refresh: tXS = tRFCab + 10 ns; DDR3 family tCKESR.
-    s.tXsDeltaNs = 10.0;
-    s.tCkesrNs = 7.5;
+    s.tXsDeltaNs = Nanoseconds(10.0);
+    s.tCkesrNs = Nanoseconds(7.5);
     s.pbRfcDivisor = 2.3;
     s.fgrDivisor2x = 1.35;
     s.fgrDivisor4x = 1.63;

@@ -16,31 +16,32 @@ DSARP_REGISTER_DRAM_SPEC(ddr4_2400, []() {
     DramSpec s;
     s.name = "DDR4-2400";
     s.summary = "DDR4 with native FGR: 16-16-16, tCK 0.833 ns";
-    s.tCkNs = 0.833;
-    s.tCl = 16;
-    s.tCwl = 12;
-    s.tRcd = 16;
-    s.tRp = 16;
-    s.tRas = 39;   // 32 ns.
-    s.tRc = 55;
-    s.tBl = 4;
-    s.tCcd = 6;    // tCCD_L.
-    s.tRtp = 9;    // 7.5 ns.
-    s.tWr = 18;    // 15 ns.
-    s.tWtr = 9;    // tWTR_L.
-    s.tRrd = 7;    // tRRD_L, 5.3 ns.
-    s.tFaw = 26;   // 21 ns (x8).
-    s.tRtrs = 2;
-    s.tRfcAbNs = {350.0, 550.0, 890.0};  // tRFC1; 16 Gb is the real part.
+    s.tCkNs = Nanoseconds(0.833);
+    s.tCl = Cycles(16);
+    s.tCwl = Cycles(12);
+    s.tRcd = Cycles(16);
+    s.tRp = Cycles(16);
+    s.tRas = Cycles(39);   // 32 ns.
+    s.tRc = Cycles(55);
+    s.tBl = Cycles(4);
+    s.tCcd = Cycles(6);    // tCCD_L.
+    s.tRtp = Cycles(9);    // 7.5 ns.
+    s.tWr = Cycles(18);    // 15 ns.
+    s.tWtr = Cycles(9);    // tWTR_L.
+    s.tRrd = Cycles(7);    // tRRD_L, 5.3 ns.
+    s.tFaw = Cycles(26);   // 21 ns (x8).
+    s.tRtrs = Cycles(2);
+    s.tRfcAbNs = {Nanoseconds(350.0), Nanoseconds(550.0),
+                  Nanoseconds(890.0)};  // tRFC1; 16 Gb is the real part.
     // Self-refresh: tXS = tRFC1 + 10 ns; tCKESR = tCKE (5 ns) + 1 tCK.
-    s.tXsDeltaNs = 10.0;
-    s.tCkesrNs = 5.833;
+    s.tXsDeltaNs = Nanoseconds(10.0);
+    s.tCkesrNs = Nanoseconds(5.833);
     s.pbRfcDivisor = 2.3;  // DDR4 has no REFpb; same Section 3.1 model.
     // Native FGR: tRFC2 = 260 ns, tRFC4 = 160 ns at 8 Gb.
     s.fgrDivisor2x = 350.0 / 260.0;
     s.fgrDivisor4x = 350.0 / 160.0;
     s.busWidthBits = 64;   // BL8 x 64-bit channel: 64 B bursts.
-    s.tHiRANs = 7.5;
+    s.tHiRANs = Nanoseconds(7.5);
     s.hiraActCoverage = 0.32;
     s.hiraRefCoverage = 0.78;
     // Micron 8 Gb DDR4-2400 x8 approximation at 1.2 V: lower currents

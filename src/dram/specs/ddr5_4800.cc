@@ -24,27 +24,28 @@ DSARP_REGISTER_DRAM_SPEC(ddr5_4800, []() {
     DramSpec s;
     s.name = "DDR5-4800";
     s.summary = "DDR5 with same-bank refresh: 40-40-40, tCK 0.417 ns";
-    s.tCkNs = 0.417;
-    s.tCl = 40;
-    s.tCwl = 38;
-    s.tRcd = 40;   // 16.67 ns.
-    s.tRp = 40;
-    s.tRas = 77;   // 32 ns.
-    s.tRc = 117;
-    s.tBl = 8;     // BL16.
-    s.tCcd = 8;    // tCCD_L.
-    s.tRtp = 18;   // 7.5 ns.
-    s.tWr = 72;    // 30 ns.
-    s.tWtr = 24;   // tWTR_L, 10 ns.
-    s.tRrd = 12;   // tRRD_L, 5 ns.
-    s.tFaw = 32;   // 13.33 ns.
-    s.tRtrs = 2;
-    s.tRfcAbNs = {195.0, 295.0, 410.0};  // tRFC1; 32 Gb projected.
+    s.tCkNs = Nanoseconds(0.417);
+    s.tCl = Cycles(40);
+    s.tCwl = Cycles(38);
+    s.tRcd = Cycles(40);   // 16.67 ns.
+    s.tRp = Cycles(40);
+    s.tRas = Cycles(77);   // 32 ns.
+    s.tRc = Cycles(117);
+    s.tBl = Cycles(8);     // BL16.
+    s.tCcd = Cycles(8);    // tCCD_L.
+    s.tRtp = Cycles(18);   // 7.5 ns.
+    s.tWr = Cycles(72);    // 30 ns.
+    s.tWtr = Cycles(24);   // tWTR_L, 10 ns.
+    s.tRrd = Cycles(12);   // tRRD_L, 5 ns.
+    s.tFaw = Cycles(32);   // 13.33 ns.
+    s.tRtrs = Cycles(2);
+    s.tRfcAbNs = {Nanoseconds(195.0), Nanoseconds(295.0),
+                  Nanoseconds(410.0)};  // tRFC1; 32 Gb projected.
     // Self-refresh: tXS = tRFC1 + 10 ns; with FGR active the exit
     // tracks tRFC2 instead (the data-sheet tXS_FGR -- timingFor()
     // derives both). tCKESR approximates DDR5's tCKSRE/tCKSRX pair.
-    s.tXsDeltaNs = 10.0;
-    s.tCkesrNs = 10.0;
+    s.tXsDeltaNs = Nanoseconds(10.0);
+    s.tCkesrNs = Nanoseconds(10.0);
     s.pbRfcDivisor = 2.3;  // No native REFpb; Section 3.1 ratio model.
     // Native FGR at 2x: tRFC2 = 130/160/220 ns. No native 4x mode --
     // the 4x divisor projects the tRFC2 trend one step further.
@@ -54,11 +55,11 @@ DSARP_REGISTER_DRAM_SPEC(ddr5_4800, []() {
     // refreshes one group slice in tRFCsb = 115/130/190 ns while the
     // other bank groups stay available.
     s.banksPerGroup = 4;
-    s.tRfcSbNs = {115.0, 130.0, 190.0};
+    s.tRfcSbNs = {Nanoseconds(115.0), Nanoseconds(130.0), Nanoseconds(190.0)};
     // One 32-bit subchannel at BL16: 64 B bursts, DDR3-equivalent
     // column granularity.
     s.busWidthBits = 32;
-    s.tHiRANs = 7.5;
+    s.tHiRANs = Nanoseconds(7.5);
     s.hiraActCoverage = 0.32;
     s.hiraRefCoverage = 0.78;
     // DDR5 x8 approximation at 1.1 V: DDR4-class currents on the

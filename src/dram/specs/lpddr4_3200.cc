@@ -16,35 +16,35 @@ DSARP_REGISTER_DRAM_SPEC(lpddr4_3200, []() {
     DramSpec s;
     s.name = "LPDDR4-3200";
     s.summary = "LPDDR4 with native REFpb: RL28, tCK 0.625 ns";
-    s.tCkNs = 0.625;
-    s.tCl = 28;    // RL at 3200 MT/s.
-    s.tCwl = 14;   // WL set A.
-    s.tRcd = 29;   // 18 ns.
-    s.tRp = 29;    // tRPpb, 18 ns.
-    s.tRas = 68;   // 42 ns.
-    s.tRc = 97;
-    s.tBl = 8;     // BL16 on the half-width bus.
-    s.tCcd = 8;
-    s.tRtp = 12;   // 7.5 ns.
-    s.tWr = 29;    // 18 ns.
-    s.tWtr = 16;   // 10 ns.
-    s.tRrd = 16;   // 10 ns.
-    s.tFaw = 64;   // 40 ns.
-    s.tRtrs = 2;
-    s.tRfcAbNs = {280.0, 380.0, 560.0};
+    s.tCkNs = Nanoseconds(0.625);
+    s.tCl = Cycles(28);    // RL at 3200 MT/s.
+    s.tCwl = Cycles(14);   // WL set A.
+    s.tRcd = Cycles(29);   // 18 ns.
+    s.tRp = Cycles(29);    // tRPpb, 18 ns.
+    s.tRas = Cycles(68);   // 42 ns.
+    s.tRc = Cycles(97);
+    s.tBl = Cycles(8);     // BL16 on the half-width bus.
+    s.tCcd = Cycles(8);
+    s.tRtp = Cycles(12);   // 7.5 ns.
+    s.tWr = Cycles(29);    // 18 ns.
+    s.tWtr = Cycles(16);   // 10 ns.
+    s.tRrd = Cycles(16);   // 10 ns.
+    s.tFaw = Cycles(64);   // 40 ns.
+    s.tRtrs = Cycles(2);
+    s.tRfcAbNs = {Nanoseconds(280.0), Nanoseconds(380.0), Nanoseconds(560.0)};
     // Self-refresh: LPDDR4's tXSR = tRFCab + 7.5 ns; tSR(min) = 15 ns.
-    s.tXsDeltaNs = 7.5;
-    s.tCkesrNs = 15.0;
+    s.tXsDeltaNs = Nanoseconds(7.5);
+    s.tCkesrNs = Nanoseconds(15.0);
     // First-class per-bank refresh: tRFCpb = tRFCab / 2 per data sheet.
     s.nativePerBankRefresh = true;
-    s.tRfcPbNs = {140.0, 190.0, 280.0};
+    s.tRfcPbNs = {Nanoseconds(140.0), Nanoseconds(190.0), Nanoseconds(280.0)};
     s.pbRfcDivisor = 2.0;  // Matches the native table; kept coherent.
     s.fgrDivisor2x = 1.35;  // No native FGR; Section 6.5 projections.
     s.fgrDivisor4x = 1.63;
     // BL16 on the 64-bit (4 x x16) channel: one burst moves 128 B,
     // halving the column count of an 8 KB row versus DDR3/DDR4.
     s.busWidthBits = 64;
-    s.tHiRANs = 7.5;
+    s.tHiRANs = Nanoseconds(7.5);
     s.hiraActCoverage = 0.32;
     s.hiraRefCoverage = 0.78;
     // LPDDR4 x16 approximation at 1.1 V: mobile-class currents; the

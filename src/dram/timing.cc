@@ -7,10 +7,16 @@
 
 namespace dsarp {
 
-int
-TimingParams::nsToCycles(double ns, double tCkNs)
+Cycles
+TimingParams::nsToCycles(Nanoseconds ns, Nanoseconds tCk)
 {
-    return static_cast<int>(std::ceil(ns / tCkNs - 1e-9));
+    return Cycles(static_cast<std::int64_t>(std::ceil(ns / tCk - 1e-9)));
+}
+
+Cycles
+TimingParams::nsToCyclesFloor(Nanoseconds ns, Nanoseconds tCk)
+{
+    return Cycles(static_cast<std::int64_t>(ns / tCk));
 }
 
 double

@@ -31,30 +31,30 @@ struct TimingParams
 {
     std::string spec = "DDR3-1333";  ///< Registry name this set came from.
 
-    double tCkNs = 1.5;  ///< Bus clock period in nanoseconds.
+    Nanoseconds tCkNs{1.5};  ///< Bus clock period.
 
     // Core DDR3-1333 parameters (cycles).
-    int tCl = 9;    ///< CAS latency.
-    int tCwl = 7;   ///< CAS write latency.
-    int tRcd = 9;   ///< ACT to column command.
-    int tRp = 9;    ///< Precharge period.
-    int tRas = 24;  ///< ACT to PRE.
-    int tRc = 33;   ///< ACT to ACT, same bank.
-    int tBl = 4;    ///< Burst length on the data bus (BL8).
-    int tCcd = 4;   ///< Column command to column command.
-    int tRtp = 5;   ///< Read to precharge.
-    int tWr = 10;   ///< Write recovery (end of write data to precharge).
-    int tWtr = 5;   ///< End of write data to read command, same rank.
-    int tRtw = 8;   ///< Read to write gap, derived: tCL + tBL + 2 - tCWL.
-    int tRrd = 4;   ///< ACT to ACT, different banks, same rank.
-    int tFaw = 20;  ///< Four-activate window.
-    int tRtrs = 2;  ///< Rank-to-rank data-bus switch.
+    Cycles tCl{9};    ///< CAS latency.
+    Cycles tCwl{7};   ///< CAS write latency.
+    Cycles tRcd{9};   ///< ACT to column command.
+    Cycles tRp{9};    ///< Precharge period.
+    Cycles tRas{24};  ///< ACT to PRE.
+    Cycles tRc{33};   ///< ACT to ACT, same bank.
+    Cycles tBl{4};    ///< Burst length on the data bus (BL8).
+    Cycles tCcd{4};   ///< Column command to column command.
+    Cycles tRtp{5};   ///< Read to precharge.
+    Cycles tWr{10};   ///< Write recovery (end of write data to precharge).
+    Cycles tWtr{5};   ///< End of write data to read command, same rank.
+    Cycles tRtw{8};   ///< Read to write gap, derived: tCL + tBL + 2 - tCWL.
+    Cycles tRrd{4};   ///< ACT to ACT, different banks, same rank.
+    Cycles tFaw{20};  ///< Four-activate window.
+    Cycles tRtrs{2};  ///< Rank-to-rank data-bus switch.
 
     // Refresh parameters (cycles).
-    Tick tRefiAb = 2600;  ///< All-bank refresh command interval.
-    Tick tRefiPb = 325;   ///< Per-bank interval, derived: tREFIab/banks.
-    int tRfcAb = 234;     ///< All-bank refresh latency.
-    int tRfcPb = 102;     ///< Per-bank refresh latency.
+    Cycles tRefiAb{2600};  ///< All-bank refresh command interval.
+    Cycles tRefiPb{325};   ///< Per-bank interval, derived: tREFIab/banks.
+    Cycles tRfcAb{234};    ///< All-bank refresh latency.
+    Cycles tRfcPb{102};    ///< Per-bank refresh latency.
 
     /**
      * Same-bank refresh (DDR5 REFsb) geometry, derived from the spec's
@@ -65,8 +65,8 @@ struct TimingParams
      * refresh (DDR3/DDR4/LPDDR4), which is what the checker and the
      * REFsb policy key off.
      */
-    Tick tRefiSb = 0;     ///< Same-bank refresh command interval.
-    int tRfcSb = 0;       ///< Same-bank refresh latency.
+    Cycles tRefiSb{0};    ///< Same-bank refresh command interval.
+    Cycles tRfcSb{0};     ///< Same-bank refresh latency.
     int banksPerGroup = 0;///< Banks one REFsb command covers (0 = none).
 
     /**
@@ -91,9 +91,9 @@ struct TimingParams
      * tCkesr is the minimum self-refresh residency (CKE-low pulse
      * width). The defaults reproduce DDR3-1333 at 8 Gb.
      */
-    int tXs = 240;
-    int tXsFgr = 180;
-    int tCkesr = 5;
+    Cycles tXs{240};
+    Cycles tXsFgr{180};
+    Cycles tCkesr{5};
 
     /** Rows refreshed in each bank by one refresh command. */
     int rowsPerRefresh = 8;
@@ -116,7 +116,7 @@ struct TimingParams
      * between a demand ACT and the hidden refresh activation beneath
      * it, and the fraction of row pairs hiding is reliable for.
      */
-    int tHiRA = 5;
+    Cycles tHiRA{5};
     double hiraActCoverage = 0.32;
     double hiraRefCoverage = 0.78;
 
@@ -139,8 +139,17 @@ struct TimingParams
      */
     static TimingParams ddr3_1333(const MemConfig &cfg);
 
-    /** Convert nanoseconds to (rounded-up) bus cycles. */
-    static int nsToCycles(double ns, double tCkNs);
+    /**
+     * Convert nanoseconds to (rounded-up) bus cycles. The single
+     * blessed ns -> cycles conversion point: all other arithmetic
+     * between Nanoseconds and Cycles is a compile error, and the repo
+     * lint (tools/lint) rejects raw arithmetic against tCkNs outside
+     * this translation unit and spec.cc.
+     */
+    static Cycles nsToCycles(Nanoseconds ns, Nanoseconds tCk);
+
+    /** nsToCycles, but truncating (tREFI intervals round down). */
+    static Cycles nsToCyclesFloor(Nanoseconds ns, Nanoseconds tCk);
 
     /**
      * The paper's Section 6.5 DDR3 FGR projections (1.35x/1.63x),

@@ -23,11 +23,11 @@ ElasticScheduler::ElasticScheduler(const MemConfig *cfg,
       ledger_(cfg->org.ranksPerChannel, 1, timing->tRefiAb,
               timing->tRefiAb /
                   (cfg->refabStaggerDivisor * cfg->org.ranksPerChannel),
-              0)
+              Cycles())
 {
     // The most patient threshold: wait for an idle gap about as long as
     // the average rank idle period that would hide a refresh.
-    maxIdleDelay_ = static_cast<Tick>(timing->tRfcAb) / 2;
+    maxIdleDelay_ = static_cast<Tick>((timing->tRfcAb / 2).count());
 }
 
 Tick

@@ -50,16 +50,19 @@ AdaptiveScheduler::AdaptiveScheduler(const MemConfig *cfg,
       // Quarter-slot accrual: one quarter per tREFIab/4, forcing at
       // 8 full commands' worth (32 quarters) of postponement.
       ledger_(cfg->org.ranksPerChannel, 1, timing->tRefiAb / 4,
-              timing->tRefiAb / (8 * cfg->org.ranksPerChannel), 0,
+              timing->tRefiAb / (8 * cfg->org.ranksPerChannel), Cycles(),
               8 * 4)
 {
     // The spec's own 4x divisor: DDR4 parts use their native tRFC4
     // ratio rather than the Section 6.5 DDR3 projection.
-    tRfc4x_ = static_cast<int>(std::ceil(
-        timing->tRfcAb / timing->rfcDivisorFor(4) - 1e-9));
+    tRfc4x_ = Cycles(static_cast<std::int64_t>(std::ceil(
+        static_cast<double>(timing->tRfcAb.count()) /
+            timing->rfcDivisorFor(4) -
+        1e-9)));
     rows4x_ = std::max(1, timing->rowsPerRefresh / 4);
     // Start with a full budget: a fresh system has banked no overrun.
-    budget_.assign(cfg->org.ranksPerChannel, 4.0 * timing->tRfcAb);
+    budget_.assign(cfg->org.ranksPerChannel,
+                   4.0 * static_cast<double>(timing->tRfcAb.count()));
     pending4x_.assign(cfg->org.ranksPerChannel, 0);
 }
 
@@ -72,11 +75,13 @@ AdaptiveScheduler::tick(Tick now)
     // long idle stretch from banking an unbounded 4x burst.
     const std::uint64_t accrued = ledger_.totalAccrued();
     if (accrued > lastAccrued_) {
+        const double t_rfc_ab =
+            static_cast<double>(timing_->tRfcAb.count());
         const double grant = (accrued - lastAccrued_) *
-            (timing_->tRfcAb * arBudgetSlack / 4.0) /
+            (t_rfc_ab * arBudgetSlack / 4.0) /
             ledger_.numRanks();
         for (double &b : budget_)
-            b = std::min(b + grant, 4.0 * timing_->tRfcAb);
+            b = std::min(b + grant, 4.0 * t_rfc_ab);
         lastAccrued_ = accrued;
     }
     // 4x is attractive while the channel drains writes: the short
@@ -104,7 +109,7 @@ AdaptiveScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
             if (ledger_.mustForce(r))
                 ++stats_.forced;
             use_fast = fastMode_ && !ledger_.mustForce(r) &&
-                budget_[r] >= 4.0 * tRfc4x_;
+                budget_[r] >= 4.0 * static_cast<double>(tRfc4x_.count());
             if (use_fast)
                 pending4x_[r] = 4;
         }
@@ -129,8 +134,8 @@ AdaptiveScheduler::onIssued(const RefreshRequest &req, Tick)
 {
     const int parts = req.ledgerParts ? req.ledgerParts : 4;
     ledger_.onPartialRefresh(req.rank, 0, parts);
-    budget_[req.rank] -=
-        req.tRfcOverride ? req.tRfcOverride : timing_->tRfcAb;
+    budget_[req.rank] -= static_cast<double>(
+        (req.tRfcOverride ? req.tRfcOverride : timing_->tRfcAb).count());
     if (req.ledgerParts == 1 && pending4x_[req.rank] > 0)
         --pending4x_[req.rank];
     ++stats_.issued;

@@ -47,14 +47,14 @@ class AdaptiveScheduler : public RefreshScheduler
     /** True when the policy would currently prefer 4x commands. */
     bool inFastMode() const { return fastMode_; }
 
-    int tRfc4x() const { return tRfc4x_; }
+    Cycles tRfc4x() const { return tRfc4x_; }
 
     /** Remaining busy-time budget for 4x commands on a rank (cycles). */
     double busyBudget(RankId r) const { return budget_[r]; }
 
   private:
     RefreshLedger ledger_;  ///< Quarter-slot obligations per rank.
-    int tRfc4x_;
+    Cycles tRfc4x_;
     int rows4x_;
     bool fastMode_ = false;
 

@@ -6,12 +6,14 @@
 
 namespace dsarp {
 
-RefreshLedger::RefreshLedger(int ranks, int banks, Tick period,
-                             Tick rank_stagger, Tick unit_stagger,
+RefreshLedger::RefreshLedger(int ranks, int banks, Cycles period,
+                             Cycles rank_stagger, Cycles unit_stagger,
                              int max_slack)
-    : ranks_(ranks), banks_(banks), period_(period), maxSlack_(max_slack)
+    : ranks_(ranks), banks_(banks),
+      period_(static_cast<Tick>(period.count())), maxSlack_(max_slack)
 {
-    DSARP_ASSERT(ranks > 0 && banks > 0 && period > 0, "bad ledger shape");
+    DSARP_ASSERT(ranks > 0 && banks > 0 && period > Cycles(0),
+                 "bad ledger shape");
     owed_.assign(ranks * banks, 0);
     nextAccrual_.resize(ranks * banks);
     firstAccrual_.resize(ranks * banks);
@@ -23,7 +25,7 @@ RefreshLedger::RefreshLedger(int ranks, int banks, Tick period,
             // obligation lands one full period in, so a fresh system is
             // not instantly behind.
             const Tick offset =
-                period + rank_stagger * r + unit_stagger * b;
+                Tick(0) + (period + rank_stagger * r + unit_stagger * b);
             firstAccrual_[index(r, b)] = offset;
             nextAccrual_[index(r, b)] = offset;
         }

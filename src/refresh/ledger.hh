@@ -38,8 +38,8 @@ class RefreshLedger
      * @param unitStagger phase offset between banks within a rank
      * @param maxSlack    postpone/pull-in window (JEDEC: 8)
      */
-    RefreshLedger(int ranks, int banks, Tick period, Tick rankStagger,
-                  Tick unitStagger, int maxSlack = 8);
+    RefreshLedger(int ranks, int banks, Cycles period, Cycles rankStagger,
+                  Cycles unitStagger, int maxSlack = 8);
 
     /** Accrue any obligations whose nominal instant has passed. */
     void advanceTo(Tick now);

@@ -22,6 +22,7 @@ RefreshPolicyRegistry::add(Entry entry, std::vector<std::string> aliases)
     DSARP_ASSERT(static_cast<bool>(entry.make),
                  "refresh policy needs a factory");
 
+    const std::lock_guard<std::mutex> lock(mutex_);
     aliases.push_back(entry.name);
     const std::size_t slot = entries_.size();
     entries_.push_back(std::move(entry));
@@ -37,40 +38,63 @@ RefreshPolicyRegistry::add(Entry entry, std::vector<std::string> aliases)
     return true;
 }
 
-bool
-RefreshPolicyRegistry::has(const std::string &name) const
-{
-    return index_.count(lowered(name)) > 0;
-}
-
 const RefreshPolicyRegistry::Entry *
-RefreshPolicyRegistry::find(const std::string &name) const
+RefreshPolicyRegistry::findLocked(const std::string &name) const
 {
     const auto it = index_.find(lowered(name));
     return it == index_.end() ? nullptr : &entries_[it->second];
 }
 
 const RefreshPolicyRegistry::Entry &
+RefreshPolicyRegistry::atLocked(const std::string &name) const
+{
+    if (const Entry *entry = findLocked(name))
+        return *entry;
+    DSARP_FATAL(unknownPolicyMessageLocked(name).c_str());
+}
+
+bool
+RefreshPolicyRegistry::has(const std::string &name) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return findLocked(name) != nullptr;
+}
+
+const RefreshPolicyRegistry::Entry *
+RefreshPolicyRegistry::find(const std::string &name) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return findLocked(name);
+}
+
+const RefreshPolicyRegistry::Entry &
 RefreshPolicyRegistry::at(const std::string &name) const
 {
-    if (const Entry *entry = find(name))
-        return *entry;
-    DSARP_FATAL(unknownPolicyMessage(name).c_str());
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return atLocked(name);
+}
+
+std::string
+RefreshPolicyRegistry::unknownPolicyMessageLocked(
+    const std::string &name) const
+{
+    std::ostringstream msg;
+    msg << "config key 'policy': unknown refresh policy '" << name
+        << "'; known:";
+    for (const std::string &known : namesLocked())
+        msg << ' ' << known;
+    return msg.str();
 }
 
 std::string
 RefreshPolicyRegistry::unknownPolicyMessage(const std::string &name) const
 {
-    std::ostringstream msg;
-    msg << "config key 'policy': unknown refresh policy '" << name
-        << "'; known:";
-    for (const std::string &known : names())
-        msg << ' ' << known;
-    return msg.str();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return unknownPolicyMessageLocked(name);
 }
 
 std::vector<std::string>
-RefreshPolicyRegistry::names() const
+RefreshPolicyRegistry::namesLocked() const
 {
     std::vector<std::string> out;
     out.reserve(entries_.size());
@@ -80,9 +104,19 @@ RefreshPolicyRegistry::names() const
     return out;
 }
 
+std::vector<std::string>
+RefreshPolicyRegistry::names() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return namesLocked();
+}
+
 const RefreshPolicyRegistry::Entry &
 RefreshPolicyRegistry::resolve(MemConfig &cfg) const
 {
+    // Entry references are stable (deque), so the lock protects only
+    // the lookup -- config bundles run unlocked and may re-enter the
+    // registry.
     if (cfg.policy.empty()) {
         // Deprecated enum-pair path: never touch the config -- unnamed
         // combinations (e.g. Elastic+SARP) are legal there and must

@@ -25,9 +25,11 @@
 #ifndef DSARP_REFRESH_REGISTRY_HH
 #define DSARP_REFRESH_REGISTRY_HH
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,7 +60,16 @@ class RefreshPolicyRegistry
         Factory make;
     };
 
-    /** The process-wide registry (initialized on first use). */
+    /**
+     * The process-wide registry. A function-local static, so the
+     * first registrar to run -- in whatever translation-unit order
+     * the linker chose -- constructs it before using it (no
+     * static-init-order hazard), and C++11 magic-static semantics
+     * make that construction race-free. All member functions are
+     * additionally mutex-guarded, so runtime registration (tests,
+     * custom policies) is safe against concurrent lookups from the
+     * parallel sweep harness.
+     */
     static RefreshPolicyRegistry &instance();
 
     /**
@@ -103,8 +114,20 @@ class RefreshPolicyRegistry
                                            ControllerView &view) const;
 
   private:
+    const Entry *findLocked(const std::string &name) const;
+    const Entry &atLocked(const std::string &name) const;
+    std::string unknownPolicyMessageLocked(const std::string &name) const;
+    std::vector<std::string> namesLocked() const;
+
+    /** Guards index_/entries_; never held while running a factory or
+     *  config bundle (those may re-enter the registry). */
+    mutable std::mutex mutex_;
+
     std::map<std::string, std::size_t> index_;  ///< lowercase name → slot.
-    std::vector<Entry> entries_;
+
+    /** A deque so Entry pointers returned by find()/at() stay valid
+     *  when later (runtime) registrations grow the registry. */
+    std::deque<Entry> entries_;
 };
 
 /**

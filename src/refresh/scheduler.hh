@@ -57,7 +57,8 @@ struct RefreshRequest
     RankId rank = 0;
     BankId bank = 0;        ///< Ignored for all-bank requests.
     bool blocking = false;  ///< Stop new ACTs to the target until issued.
-    int tRfcOverride = 0;   ///< Nonzero: refresh latency in cycles (FGR/AR).
+    /** Nonzero: refresh latency in cycles (FGR/AR). */
+    Cycles tRfcOverride{};
     int rowsOverride = 0;   ///< Nonzero: rows advanced by this refresh.
     int ledgerParts = 0;    ///< Ledger sub-units retired (0 = full slot).
     bool hidden = false;    ///< HiRA: refresh beneath the bank's open row.

@@ -106,7 +106,7 @@ class Verifier
         if (bank.open)
             fail(now, cmd, "ACT to an open bank");
         if (bank.lastAct != kTickNever &&
-            now < bank.lastAct + static_cast<Tick>(t_.tRc)) {
+            now < bank.lastAct + t_.tRc) {
             fail(now, cmd, "tRC violated");
         }
         if (now < bank.actLegalAt)
@@ -121,13 +121,11 @@ class Verifier
         }
 
         const double mult = inflation(rank, now);
-        const Tick trrd =
-            static_cast<Tick>(std::ceil(t_.tRrd * mult - 1e-9));
+        const Cycles trrd = t_.tRrd.ceilScaled(mult);
         if (!rank.acts.empty() && now < rank.acts.back() + trrd)
             fail(now, cmd, "tRRD violated");
         if (rank.acts.size() >= 4) {
-            const Tick tfaw =
-                static_cast<Tick>(std::ceil(t_.tFaw * mult - 1e-9));
+            const Cycles tfaw = t_.tFaw.ceilScaled(mult);
             const Tick fourth_last = rank.acts[rank.acts.size() - 4];
             if (now < fourth_last + tfaw)
                 fail(now, cmd, "tFAW violated");
@@ -168,12 +166,11 @@ class Verifier
             bank.openRow = kNone;
             Tick pre_start;
             if (is_read) {
-                pre_start = std::max(now + static_cast<Tick>(t_.tRtp),
+                pre_start = std::max(now + t_.tRtp,
                                      bank.lastAct + t_.tRas);
             } else {
-                pre_start = std::max(
-                    now + t_.tCwl + t_.tBl + static_cast<Tick>(t_.tWr),
-                    bank.lastAct + t_.tRas);
+                pre_start = std::max(now + t_.tCwl + t_.tBl + t_.tWr,
+                                     bank.lastAct + t_.tRas);
             }
             bank.actLegalAt =
                 std::max(bank.actLegalAt, pre_start + t_.tRp);
@@ -187,7 +184,7 @@ class Verifier
         if (!bank.open)
             fail(now, cmd, "PRE to closed bank");
         if (bank.lastAct != kTickNever &&
-            now < bank.lastAct + static_cast<Tick>(t_.tRas)) {
+            now < bank.lastAct + t_.tRas) {
             fail(now, cmd, "tRAS violated by PRE");
         }
         bank.open = false;
@@ -196,8 +193,8 @@ class Verifier
     }
 
     void
-    refreshBank(Tick now, const Command &cmd, BankModel &bank, int t_rfc,
-                int rows, bool hidden)
+    refreshBank(Tick now, const Command &cmd, BankModel &bank,
+                Cycles t_rfc, int rows, bool hidden)
     {
         if (hidden) {
             // HiRA hidden refresh: beneath an open row, in a different
@@ -213,7 +210,7 @@ class Verifier
                      "subarray");
             }
             if (bank.lastAct == kTickNever ||
-                now < bank.lastAct + static_cast<Tick>(t_.tHiRA)) {
+                now < bank.lastAct + t_.tHiRA) {
                 fail(now, cmd, "hidden refresh violates tHiRA");
             }
         } else {
@@ -261,10 +258,10 @@ class Verifier
             // extension raises the limit.
             fail(now, cmd, "REFpb exceeds the rank overlap limit");
         }
-        const int t_rfc = cmd.tRfcOverride ? cmd.tRfcOverride
-            : all_bank                     ? t_.tRfcAb
-            : same_bank                    ? t_.tRfcSb
-                                           : t_.tRfcPb;
+        const Cycles t_rfc = cmd.tRfcOverride ? cmd.tRfcOverride
+            : all_bank                        ? t_.tRfcAb
+            : same_bank                       ? t_.tRfcSb
+                                              : t_.tRfcPb;
         const int rows =
             cmd.rowsOverride ? cmd.rowsOverride : t_.rowsPerRefresh;
         if (all_bank) {
@@ -329,8 +326,8 @@ class Verifier
     void
     creditSelfRefresh(RankModel &rank, Tick from, Tick to)
     {
-        const double slots =
-            static_cast<double>(to - from) / t_.tRefiAb;
+        const double slots = static_cast<double>(to - from) /
+            static_cast<double>(t_.tRefiAb.count());
         for (BankModel &bank : rank.banks)
             bank.slotsCovered += slots;
     }
@@ -343,7 +340,7 @@ class Verifier
             fail(now, cmd, "SRX outside self-refresh");
             return;
         }
-        if (now < rank.srSince + static_cast<Tick>(t_.tCkesr))
+        if (now < rank.srSince + t_.tCkesr)
             fail(now, cmd, "SRX below the tCKESR minimum residency");
         rank.sr = false;
         rank.srLockoutUntil = now + t_.tXs;
@@ -418,8 +415,8 @@ class Verifier
             // Slots are counted in rows: one nominal command's worth of
             // rows per tREFIab (FGR timing already scales both together;
             // AR's mixed 1x/4x commands contribute their row fraction).
-            const double slots =
-                static_cast<double>(end_tick) / t_.tRefiAb;
+            const double slots = static_cast<double>(end_tick) /
+                static_cast<double>(t_.tRefiAb.count());
             for (RankId r = 0; r < cfg_.org.ranksPerChannel; ++r) {
                 for (BankId b = 0; b < cfg_.org.banksPerRank; ++b) {
                     const double behind =

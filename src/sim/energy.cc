@@ -8,22 +8,26 @@ channelEnergy(const ChannelStats &stats, const TimingParams &timing,
 {
     EnergyBreakdown e;
     // mA * V * ns = pJ; divide by 1000 for nJ.
-    const double tck = timing.tCkNs;
+    const double tck = timing.tCkNs.ns();
     const double to_nj = 1e-3;
+
+    // Cycle counts as doubles for the current-time products.
+    const double t_rc = static_cast<double>(timing.tRc.count());
+    const double t_ras = static_cast<double>(timing.tRas.count());
+    const double t_bl = static_cast<double>(timing.tBl.count());
 
     // Activate/precharge energy: IDD0 covers a full tRC cycle including
     // the background component, which is subtracted to avoid double
     // counting (Micron TN-41-01 formulation).
     const double act_one = p.vdd *
-        (p.idd0 * timing.tRc -
-         (p.idd3n * timing.tRas + p.idd2n * (timing.tRc - timing.tRas))) *
+        (p.idd0 * t_rc - (p.idd3n * t_ras + p.idd2n * (t_rc - t_ras))) *
         tck * to_nj;
     e.activateNj = act_one * static_cast<double>(stats.acts);
 
     const double rd_one =
-        p.vdd * (p.idd4r - p.idd3n) * timing.tBl * tck * to_nj;
+        p.vdd * (p.idd4r - p.idd3n) * t_bl * tck * to_nj;
     const double wr_one =
-        p.vdd * (p.idd4w - p.idd3n) * timing.tBl * tck * to_nj;
+        p.vdd * (p.idd4w - p.idd3n) * t_bl * tck * to_nj;
     e.readNj = rd_one * static_cast<double>(stats.reads);
     e.writeNj = wr_one * static_cast<double>(stats.writes);
 

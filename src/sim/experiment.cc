@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "sim/config_keys.hh"
 #include "common/strings.hh"
 #include "dram/spec.hh"
 #include "refresh/registry.hh"
@@ -119,54 +120,54 @@ const std::vector<KeyDesc> &
 keyTable()
 {
     static const std::vector<KeyDesc> table = {
-        {"policy",
+        {keys::kPolicy,
          [](ExperimentConfig &cfg, const std::string &v) -> std::string {
              if (v.empty())
                  return "expected a refresh mechanism name";
              cfg.policy = v;
              return "";
          }},
-        {"dram.spec",
+        {keys::kDramSpec,
          [](ExperimentConfig &cfg, const std::string &v) -> std::string {
              if (v.empty())
                  return "expected a DRAM spec name";
              cfg.dramSpec = v;
              return "";
          }},
-        intKey("densityGb", &ExperimentConfig::densityGb),
-        intKey("retentionMs", &ExperimentConfig::retentionMs),
-        intKey("subarraysPerBank", &ExperimentConfig::subarraysPerBank),
-        intKey("channels", &ExperimentConfig::channels),
-        intKey("ranksPerChannel", &ExperimentConfig::ranksPerChannel),
-        intKey("banksPerRank", &ExperimentConfig::banksPerRank),
-        intKey("readQueueSize", &ExperimentConfig::readQueueSize),
-        intKey("writeQueueSize", &ExperimentConfig::writeQueueSize),
-        intKey("writeHighWatermark", &ExperimentConfig::writeHighWatermark),
-        intKey("writeLowWatermark", &ExperimentConfig::writeLowWatermark),
-        intKey("refabStaggerDivisor",
+        intKey(keys::kDensityGb, &ExperimentConfig::densityGb),
+        intKey(keys::kRetentionMs, &ExperimentConfig::retentionMs),
+        intKey(keys::kSubarraysPerBank, &ExperimentConfig::subarraysPerBank),
+        intKey(keys::kChannels, &ExperimentConfig::channels),
+        intKey(keys::kRanksPerChannel, &ExperimentConfig::ranksPerChannel),
+        intKey(keys::kBanksPerRank, &ExperimentConfig::banksPerRank),
+        intKey(keys::kReadQueueSize, &ExperimentConfig::readQueueSize),
+        intKey(keys::kWriteQueueSize, &ExperimentConfig::writeQueueSize),
+        intKey(keys::kWriteHighWatermark, &ExperimentConfig::writeHighWatermark),
+        intKey(keys::kWriteLowWatermark, &ExperimentConfig::writeLowWatermark),
+        intKey(keys::kRefabStaggerDivisor,
                &ExperimentConfig::refabStaggerDivisor),
-        intKey("maxOverlappedRefPb", &ExperimentConfig::maxOverlappedRefPb),
-        intKey("tFawOverride", &ExperimentConfig::tFawOverride),
-        intKey("tRrdOverride", &ExperimentConfig::tRrdOverride),
-        boolKey("darpWriteRefresh", &ExperimentConfig::darpWriteRefresh),
-        doubleKey("refresh.hiraCoverage", &ExperimentConfig::hiraCoverage),
-        intKey("refresh.hiraDelay", &ExperimentConfig::hiraDelay),
-        intKey("refresh.samebank.groupSize",
+        intKey(keys::kMaxOverlappedRefPb, &ExperimentConfig::maxOverlappedRefPb),
+        intKey(keys::kTFawOverride, &ExperimentConfig::tFawOverride),
+        intKey(keys::kTRrdOverride, &ExperimentConfig::tRrdOverride),
+        boolKey(keys::kDarpWriteRefresh, &ExperimentConfig::darpWriteRefresh),
+        doubleKey(keys::kHiraCoverage, &ExperimentConfig::hiraCoverage),
+        intKey(keys::kHiraDelay, &ExperimentConfig::hiraDelay),
+        intKey(keys::kSameBankGroupSize,
                &ExperimentConfig::sameBankGroupSize),
-        boolKey("refresh.samebank.pullIn",
+        boolKey(keys::kSameBankPullIn,
                 &ExperimentConfig::sameBankPullIn),
-        intKey("refresh.selfRefresh.idleEntry",
+        intKey(keys::kSrIdleEntry,
                &ExperimentConfig::srIdleEntry),
-        intKey("refresh.fgrRate", &ExperimentConfig::fgrRate),
-        intKey("energy.selfRefreshIdle",
+        intKey(keys::kFgrRate, &ExperimentConfig::fgrRate),
+        intKey(keys::kSelfRefreshIdle,
                &ExperimentConfig::selfRefreshIdle),
-        intKey("numCores", &ExperimentConfig::numCores),
-        u64Key("seed", &ExperimentConfig::seed),
-        boolKey("enableChecker", &ExperimentConfig::enableChecker),
-        u64Key("warmupCycles", &ExperimentConfig::warmupCycles),
-        u64Key("measureCycles", &ExperimentConfig::measureCycles),
-        u64Key("workloadSeed", &ExperimentConfig::workloadSeed),
-        intKey("intensityPct", &ExperimentConfig::intensityPct),
+        intKey(keys::kNumCores, &ExperimentConfig::numCores),
+        u64Key(keys::kSeed, &ExperimentConfig::seed),
+        boolKey(keys::kEnableChecker, &ExperimentConfig::enableChecker),
+        u64Key(keys::kWarmupCycles, &ExperimentConfig::warmupCycles),
+        u64Key(keys::kMeasureCycles, &ExperimentConfig::measureCycles),
+        u64Key(keys::kWorkloadSeed, &ExperimentConfig::workloadSeed),
+        intKey(keys::kIntensityPct, &ExperimentConfig::intensityPct),
     };
     return table;
 }
@@ -283,17 +284,19 @@ ExperimentConfig::validate() const
     if (!specs.has(dramSpec))
         fail(specs.unknownSpecMessage(dramSpec));
     if (densityGb != 8 && densityGb != 16 && densityGb != 32) {
-        fail("config key 'densityGb' must be 8, 16 or 32 (got " +
+        fail(std::string("config key '") + keys::kDensityGb +
+             "' must be 8, 16 or 32 (got " +
              std::to_string(densityGb) + ")");
     }
     if (intensityPct != 0 && intensityPct != 25 && intensityPct != 50 &&
         intensityPct != 75 && intensityPct != 100) {
-        fail("config key 'intensityPct' must be one of 0/25/50/75/100 "
-             "(got " + std::to_string(intensityPct) + ")");
+        fail(std::string("config key '") + keys::kIntensityPct +
+             "' must be one of 0/25/50/75/100 (got " +
+             std::to_string(intensityPct) + ")");
     }
     if (numCores < 1) {
-        fail("config key 'numCores' must be >= 1 (got " +
-             std::to_string(numCores) + ")");
+        fail(std::string("config key '") + keys::kNumCores +
+             "' must be >= 1 (got " + std::to_string(numCores) + ")");
     }
     // -1 means "keep the MemConfig default"; anything else must be an
     // explicit (non-negative) value so a bad override never silently
@@ -304,10 +307,10 @@ ExperimentConfig::validate() const
                  "or -1 for the default (got " + std::to_string(v) + ")");
         }
     };
-    explicitOrDefault("writeHighWatermark", writeHighWatermark);
-    explicitOrDefault("writeLowWatermark", writeLowWatermark);
-    explicitOrDefault("refabStaggerDivisor", refabStaggerDivisor);
-    explicitOrDefault("maxOverlappedRefPb", maxOverlappedRefPb);
+    explicitOrDefault(keys::kWriteHighWatermark, writeHighWatermark);
+    explicitOrDefault(keys::kWriteLowWatermark, writeLowWatermark);
+    explicitOrDefault(keys::kRefabStaggerDivisor, refabStaggerDivisor);
+    explicitOrDefault(keys::kMaxOverlappedRefPb, maxOverlappedRefPb);
     // refresh.hiraCoverage / refresh.hiraDelay are checked by the
     // delegated MemConfig::validate() below, like the other mem keys.
 

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "common/log.hh"
@@ -195,6 +196,13 @@ Runner::aloneIpc(int bench_idx, const SystemConfig &sys)
     // core model) plus this runner's run lengths. The simulator seed is
     // deliberately excluded -- the baseline is treated as a property of
     // the benchmark, matching the paper's alone-run methodology.
+    //
+    // Mutex-guarded for the parallel sweep harness: the lock covers
+    // only the lookup and the insert, never the alone-run simulation
+    // itself, so a miss does not serialize unrelated sweep points. Two
+    // threads racing on the same key both simulate (deterministically,
+    // to the same value) and the first insert wins.
+    static std::mutex cacheMutex;
     static std::map<std::string, double> cache;
     std::ostringstream key;
     // The canonical spec name (not the user's alias/case) so
@@ -211,9 +219,12 @@ Runner::aloneIpc(int bench_idx, const SystemConfig &sys)
         << sys.mem.writeHighWatermark << ':' << sys.mem.writeLowWatermark
         << ':' << sys.core.cpuCyclesPerTick << ':' << sys.core.windowSize
         << ':' << sys.core.retireWidth << ':' << sys.core.mshrs;
-    const auto it = cache.find(key.str());
-    if (it != cache.end())
-        return it->second;
+    {
+        const std::lock_guard<std::mutex> lock(cacheMutex);
+        const auto it = cache.find(key.str());
+        if (it != cache.end())
+            return it->second;
+    }
 
     // Alone baseline: the benchmark alone on one core with refresh
     // eliminated, same DRAM geometry. Self-refresh is disabled too --
@@ -235,8 +246,8 @@ Runner::aloneIpc(int bench_idx, const SystemConfig &sys)
     system.run(measure_);
     const double ipc = system.coreIpc()[0];
     DSARP_ASSERT(ipc > 0.0, "alone run produced zero IPC");
-    cache[key.str()] = ipc;
-    return ipc;
+    const std::lock_guard<std::mutex> lock(cacheMutex);
+    return cache.emplace(key.str(), ipc).first->second;
 }
 
 RunResult

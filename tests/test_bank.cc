@@ -12,6 +12,13 @@ using namespace dsarp;
 
 namespace {
 
+/** A duration read as an instant on a clock that started at tick 0. */
+Tick
+at(Cycles c)
+{
+    return Tick(0) + c;
+}
+
 class BankTest : public ::testing::Test
 {
   protected:
@@ -48,8 +55,8 @@ TEST_F(BankTest, ActOpensRowAfterTrcd)
     bank.onAct(0, 42, 0);
     EXPECT_TRUE(bank.isOpen());
     EXPECT_EQ(bank.openRow(), 42);
-    EXPECT_FALSE(bank.canRead(timing_.tRcd - 1));
-    EXPECT_TRUE(bank.canRead(timing_.tRcd));
+    EXPECT_FALSE(bank.canRead(at(timing_.tRcd) - 1));
+    EXPECT_TRUE(bank.canRead(at(timing_.tRcd)));
     EXPECT_FALSE(bank.canAct(0, 43));  // Already open.
     EXPECT_FALSE(bank.canRefresh(5));  // Not precharged.
 }
@@ -58,11 +65,11 @@ TEST_F(BankTest, ReadAutoPrechargeClosesAndTimesNextAct)
 {
     Bank bank = makeBank();
     bank.onAct(0, 42, 0);
-    const Tick rd = timing_.tRcd;
+    const Tick rd = at(timing_.tRcd);
     bank.onRead(rd, true);
     EXPECT_FALSE(bank.isOpen());
     // Precharge starts at max(rd + tRTP, act + tRAS) = tRAS here.
-    const Tick next_act = timing_.tRas + timing_.tRp;
+    const Tick next_act = at(timing_.tRas + timing_.tRp);
     EXPECT_FALSE(bank.canAct(next_act - 1, 7));
     EXPECT_TRUE(bank.canAct(next_act, 7));
 }
@@ -71,7 +78,7 @@ TEST_F(BankTest, WriteAutoPrechargeUsesWriteRecovery)
 {
     Bank bank = makeBank();
     bank.onAct(0, 42, 0);
-    const Tick wr = timing_.tRcd;
+    const Tick wr = at(timing_.tRcd);
     bank.onWrite(wr, true);
     EXPECT_FALSE(bank.isOpen());
     const Tick pre_start = wr + timing_.tCwl + timing_.tBl + timing_.tWr;
@@ -84,33 +91,33 @@ TEST_F(BankTest, PlainReadKeepsRowOpen)
 {
     Bank bank = makeBank();
     bank.onAct(0, 42, 0);
-    bank.onRead(timing_.tRcd, false);
+    bank.onRead(at(timing_.tRcd), false);
     EXPECT_TRUE(bank.isOpen());
     // tCCD between column commands.
-    EXPECT_FALSE(bank.canRead(timing_.tRcd + timing_.tCcd - 1));
-    EXPECT_TRUE(bank.canRead(timing_.tRcd + timing_.tCcd));
+    EXPECT_FALSE(bank.canRead(at(timing_.tRcd + timing_.tCcd) - 1));
+    EXPECT_TRUE(bank.canRead(at(timing_.tRcd + timing_.tCcd)));
 }
 
 TEST_F(BankTest, PrechargeRespectsTras)
 {
     Bank bank = makeBank();
     bank.onAct(0, 42, 0);
-    EXPECT_FALSE(bank.canPre(timing_.tRas - 1));
-    EXPECT_TRUE(bank.canPre(timing_.tRas));
-    bank.onPre(timing_.tRas);
+    EXPECT_FALSE(bank.canPre(at(timing_.tRas) - 1));
+    EXPECT_TRUE(bank.canPre(at(timing_.tRas)));
+    bank.onPre(at(timing_.tRas));
     EXPECT_FALSE(bank.isOpen());
-    EXPECT_FALSE(bank.canAct(timing_.tRas + timing_.tRp - 1, 1));
-    EXPECT_TRUE(bank.canAct(timing_.tRas + timing_.tRp, 1));
+    EXPECT_FALSE(bank.canAct(at(timing_.tRas + timing_.tRp) - 1, 1));
+    EXPECT_TRUE(bank.canAct(at(timing_.tRas + timing_.tRp), 1));
 }
 
 TEST_F(BankTest, TrcBetweenActs)
 {
     Bank bank = makeBank();
     bank.onAct(0, 1, 0);
-    bank.onRead(timing_.tRcd, true);
+    bank.onRead(at(timing_.tRcd), true);
     // Even if precharge completes earlier, tRC gates the next ACT.
-    const Tick earliest = std::max<Tick>(
-        timing_.tRc, timing_.tRas + timing_.tRp);
+    const Tick earliest = std::max(at(timing_.tRc),
+                                   at(timing_.tRas + timing_.tRp));
     EXPECT_FALSE(bank.canAct(earliest - 1, 2));
     EXPECT_TRUE(bank.canAct(earliest, 2));
 }
@@ -121,9 +128,9 @@ TEST_F(BankTest, RefreshLocksBankWithoutSarp)
     bank.onRefresh(0, timing_.tRfcPb);
     EXPECT_TRUE(bank.refreshing(10));
     EXPECT_FALSE(bank.canAct(10, 0));
-    EXPECT_FALSE(bank.canAct(timing_.tRfcPb - 1, 0));
-    EXPECT_TRUE(bank.canAct(timing_.tRfcPb, 0));
-    EXPECT_FALSE(bank.refreshing(timing_.tRfcPb));
+    EXPECT_FALSE(bank.canAct(at(timing_.tRfcPb) - 1, 0));
+    EXPECT_TRUE(bank.canAct(at(timing_.tRfcPb), 0));
+    EXPECT_FALSE(bank.refreshing(at(timing_.tRfcPb)));
 }
 
 TEST_F(BankTest, SarpAllowsOtherSubarrayDuringRefresh)
@@ -142,7 +149,7 @@ TEST_F(BankTest, SarpStillSerializesRefreshes)
     Bank bank = makeBank(true);
     bank.onRefresh(0, timing_.tRfcPb);
     EXPECT_FALSE(bank.canRefresh(1));
-    EXPECT_TRUE(bank.canRefresh(timing_.tRfcPb));
+    EXPECT_TRUE(bank.canRefresh(at(timing_.tRfcPb)));
 }
 
 TEST_F(BankTest, RefreshRowCounterAdvances)
@@ -151,7 +158,7 @@ TEST_F(BankTest, RefreshRowCounterAdvances)
     EXPECT_EQ(bank.refreshRowCounter(), 0);
     bank.onRefresh(0, timing_.tRfcPb);
     EXPECT_EQ(bank.refreshRowCounter(), timing_.rowsPerRefresh);
-    bank.onRefresh(timing_.tRfcPb, timing_.tRfcPb);
+    bank.onRefresh(at(timing_.tRfcPb), timing_.tRfcPb);
     EXPECT_EQ(bank.refreshRowCounter(), 2 * timing_.rowsPerRefresh);
 }
 
@@ -194,6 +201,6 @@ TEST_F(BankTest, SubarrayOf)
 TEST_F(BankTest, RowsOverrideAdvancesCounterByOverride)
 {
     Bank bank = makeBank();
-    bank.onRefresh(0, 50, 2);
+    bank.onRefresh(0, Cycles(50), 2);
     EXPECT_EQ(bank.refreshRowCounter(), 2);
 }

@@ -12,6 +12,13 @@ using namespace dsarp;
 
 namespace {
 
+/** A duration read as an instant on a clock that started at tick 0. */
+Tick
+at(Cycles c)
+{
+    return Tick(0) + c;
+}
+
 class ChannelTest : public ::testing::Test
 {
   protected:
@@ -63,7 +70,7 @@ TEST_F(ChannelTest, ReadReturnsDataTick)
 {
     Channel ch(&cfg_, &timing_);
     ch.issue(act(0, 0, 5), 0);
-    const Tick t = timing_.tRcd;
+    const Tick t = at(timing_.tRcd);
     const Tick done = ch.issue(col(CommandType::kRdA, 0, 0), t);
     EXPECT_EQ(done, t + timing_.tCl + timing_.tBl);
     EXPECT_EQ(ch.stats().acts, 1u);
@@ -74,7 +81,7 @@ TEST_F(ChannelTest, BackToBackReadsSameBankSpacedByTccd)
 {
     Channel ch(&cfg_, &timing_);
     ch.issue(act(0, 0, 5), 0);
-    const Tick t = timing_.tRcd;
+    const Tick t = at(timing_.tRcd);
     ch.issue(col(CommandType::kRd, 0, 0), t);
     EXPECT_FALSE(ch.canIssue(col(CommandType::kRd, 0, 0), t + 3));
     EXPECT_TRUE(ch.canIssue(col(CommandType::kRd, 0, 0), t + timing_.tCcd));
@@ -84,8 +91,8 @@ TEST_F(ChannelTest, ReadsAcrossBanksShareDataBus)
 {
     Channel ch(&cfg_, &timing_);
     ch.issue(act(0, 0, 5), 0);
-    ch.issue(act(0, 1, 6), timing_.tRrd);
-    const Tick t = timing_.tRrd + timing_.tRcd;
+    ch.issue(act(0, 1, 6), at(timing_.tRrd));
+    const Tick t = at(timing_.tRrd + timing_.tRcd);
     ch.issue(col(CommandType::kRd, 0, 0), t);
     // The second read's burst may not overlap the first: effectively
     // tBL spacing (tCCD = tBL here).
@@ -98,13 +105,13 @@ TEST_F(ChannelTest, WriteToReadTurnaround)
 {
     Channel ch(&cfg_, &timing_);
     ch.issue(act(0, 0, 5), 0);
-    ch.issue(act(0, 1, 6), timing_.tRrd);
-    const Tick tw = timing_.tRcd;
+    ch.issue(act(0, 1, 6), at(timing_.tRrd));
+    const Tick tw = at(timing_.tRcd);
     ch.issue(col(CommandType::kWr, 0, 0), tw);
     const Tick data_end = tw + timing_.tCwl + timing_.tBl;
     // tWTR counts from the end of write data to the read command.
     EXPECT_FALSE(ch.canIssue(col(CommandType::kRd, 0, 1),
-                             data_end + timing_.tWtr - 1));
+                             data_end + timing_.tWtr - Cycles(1)));
     EXPECT_TRUE(
         ch.canIssue(col(CommandType::kRd, 0, 1), data_end + timing_.tWtr));
 }
@@ -113,11 +120,11 @@ TEST_F(ChannelTest, ReadToWriteTurnaround)
 {
     Channel ch(&cfg_, &timing_);
     ch.issue(act(0, 0, 5), 0);
-    ch.issue(act(0, 1, 6), timing_.tRrd);
-    const Tick tr = timing_.tRcd;
+    ch.issue(act(0, 1, 6), at(timing_.tRrd));
+    const Tick tr = at(timing_.tRcd);
     ch.issue(col(CommandType::kRd, 0, 0), tr);
     EXPECT_FALSE(
-        ch.canIssue(col(CommandType::kWr, 0, 1), tr + timing_.tRtw - 1));
+        ch.canIssue(col(CommandType::kWr, 0, 1), tr + timing_.tRtw - Cycles(1)));
     EXPECT_TRUE(
         ch.canIssue(col(CommandType::kWr, 0, 1), tr + timing_.tRtw));
 }
@@ -127,7 +134,7 @@ TEST_F(ChannelTest, RankSwitchAddsTrtrs)
     Channel ch(&cfg_, &timing_);
     ch.issue(act(0, 0, 5), 0);
     ch.issue(act(1, 0, 6), 1);  // Different rank: no tRRD coupling.
-    const Tick t = 1 + timing_.tRcd;
+    const Tick t = Tick(1) + timing_.tRcd;
     ch.issue(col(CommandType::kRd, 0, 0), t);
     // Same-rank back-to-back would be legal at t + tBL; the rank switch
     // adds tRTRS.
@@ -142,18 +149,18 @@ TEST_F(ChannelTest, RefreshCommandsTracked)
     ch.issue(refresh(CommandType::kRefPb, 0, 2), 0);
     EXPECT_EQ(ch.stats().refPb, 1u);
     EXPECT_EQ(ch.stats().refPbCycles,
-              static_cast<std::uint64_t>(timing_.tRfcPb));
+              static_cast<std::uint64_t>(timing_.tRfcPb.count()));
     ch.issue(refresh(CommandType::kRefAb, 1), 5);
     EXPECT_EQ(ch.stats().refAb, 1u);
     EXPECT_EQ(ch.stats().refAbCycles,
-              static_cast<std::uint64_t>(timing_.tRfcAb));
+              static_cast<std::uint64_t>(timing_.tRfcAb.count()));
 }
 
 TEST_F(ChannelTest, RefreshOverrideChangesAccountedCycles)
 {
     Channel ch(&cfg_, &timing_);
     Command cmd = refresh(CommandType::kRefAb, 0);
-    cmd.tRfcOverride = 100;
+    cmd.tRfcOverride = Cycles(100);
     ch.issue(cmd, 0);
     EXPECT_EQ(ch.stats().refAbCycles, 100u);
 }

@@ -14,6 +14,13 @@ using namespace dsarp;
 
 namespace {
 
+/** A duration read as an instant on a clock that started at tick 0. */
+Tick
+at(Cycles c)
+{
+    return Tick(0) + c;
+}
+
 class CheckerTest : public ::testing::Test
 {
   protected:
@@ -71,7 +78,7 @@ TEST_F(CheckerTest, AcceptsLegalReadPair)
 {
     const std::vector<TimedCommand> log = {
         act(0, 0, 0, 5),
-        col(timing_.tRcd, CommandType::kRdA, 0, 0, 5),
+        col(at(timing_.tRcd), CommandType::kRdA, 0, 0, 5),
     };
     const CheckerReport report = verify(log);
     EXPECT_TRUE(report.ok());
@@ -82,7 +89,7 @@ TEST_F(CheckerTest, FlagsEarlyColumnCommand)
 {
     const std::vector<TimedCommand> log = {
         act(0, 0, 0, 5),
-        col(timing_.tRcd - 1, CommandType::kRdA, 0, 0, 5),
+        col(at(timing_.tRcd) - 1, CommandType::kRdA, 0, 0, 5),
     };
     EXPECT_FALSE(verify(log).ok());
 }
@@ -99,7 +106,7 @@ TEST_F(CheckerTest, FlagsWrongRow)
 {
     const std::vector<TimedCommand> log = {
         act(0, 0, 0, 5),
-        col(timing_.tRcd, CommandType::kRd, 0, 0, 6),
+        col(at(timing_.tRcd), CommandType::kRd, 0, 0, 6),
     };
     EXPECT_FALSE(verify(log).ok());
 }
@@ -108,8 +115,8 @@ TEST_F(CheckerTest, FlagsTrcViolation)
 {
     const std::vector<TimedCommand> log = {
         act(0, 0, 0, 5),
-        col(timing_.tRcd, CommandType::kRdA, 0, 0, 5),
-        act(timing_.tRc - 1, 0, 0, 6),
+        col(at(timing_.tRcd), CommandType::kRdA, 0, 0, 5),
+        act(at(timing_.tRc) - 1, 0, 0, 6),
     };
     EXPECT_FALSE(verify(log).ok());
 }
@@ -118,7 +125,7 @@ TEST_F(CheckerTest, FlagsTrrdViolation)
 {
     const std::vector<TimedCommand> log = {
         act(0, 0, 0, 5),
-        act(timing_.tRrd - 1, 0, 1, 5),
+        act(at(timing_.tRrd) - 1, 0, 1, 5),
     };
     EXPECT_FALSE(verify(log).ok());
 }
@@ -127,7 +134,7 @@ TEST_F(CheckerTest, AcceptsTrrdSpacedActs)
 {
     const std::vector<TimedCommand> log = {
         act(0, 0, 0, 5),
-        act(timing_.tRrd, 0, 1, 5),
+        act(at(timing_.tRrd), 0, 1, 5),
     };
     EXPECT_TRUE(verify(log).ok());
 }
@@ -140,7 +147,7 @@ TEST_F(CheckerTest, FlagsTfawViolation)
         log.push_back(act(t, 0, i, 5));
         t += timing_.tRrd;
     }
-    log.push_back(act(timing_.tFaw - 1, 0, 4, 5));
+    log.push_back(act(at(timing_.tFaw) - 1, 0, 4, 5));
     EXPECT_FALSE(verify(log).ok());
 }
 
@@ -176,12 +183,12 @@ TEST_F(CheckerTest, SarpFlagsSameSubarrayAct)
 TEST_F(CheckerTest, SarpEnforcesInflatedTrrd)
 {
     cfg_.sarp = true;
-    const int inflated =
-        static_cast<int>(std::ceil(timing_.tRrd * cfg_.sarpInflationPb));
+    const Cycles inflated =
+        timing_.tRrd.ceilScaled(cfg_.sarpInflationPb);
     const std::vector<TimedCommand> log = {
         ref(0, CommandType::kRefPb, 0, 0),
         act(1, 0, 1, 5),
-        act(1 + inflated - 1, 0, 2, 5),  // Legal at base tRRD only.
+        act(Tick(1) + inflated - Cycles(1), 0, 2, 5),  // Legal at base tRRD only.
     };
     EXPECT_FALSE(verify(log).ok());
 }
@@ -190,7 +197,7 @@ TEST_F(CheckerTest, FlagsOverlappingPerBankRefreshes)
 {
     const std::vector<TimedCommand> log = {
         ref(0, CommandType::kRefPb, 0, 0),
-        ref(timing_.tRfcPb - 1, CommandType::kRefPb, 0, 1),
+        ref(at(timing_.tRfcPb) - 1, CommandType::kRefPb, 0, 1),
     };
     EXPECT_FALSE(verify(log).ok());
 }
@@ -199,7 +206,7 @@ TEST_F(CheckerTest, AcceptsSerializedPerBankRefreshes)
 {
     const std::vector<TimedCommand> log = {
         ref(0, CommandType::kRefPb, 0, 0),
-        ref(timing_.tRfcPb, CommandType::kRefPb, 0, 1),
+        ref(at(timing_.tRfcPb), CommandType::kRefPb, 0, 1),
     };
     EXPECT_TRUE(verify(log).ok());
 }
@@ -217,10 +224,10 @@ TEST_F(CheckerTest, FlagsDataBusOverlap)
 {
     const std::vector<TimedCommand> log = {
         act(0, 0, 0, 5),
-        act(timing_.tRrd, 0, 1, 6),
-        col(timing_.tRcd, CommandType::kRd, 0, 0, 5),
+        act(at(timing_.tRrd), 0, 1, 6),
+        col(at(timing_.tRcd), CommandType::kRd, 0, 0, 5),
         // Second read one cycle later: bursts overlap on the bus.
-        col(timing_.tRcd + 1, CommandType::kRd, 0, 1, 6),
+        col(at(timing_.tRcd) + 1, CommandType::kRd, 0, 1, 6),
     };
     EXPECT_FALSE(verify(log).ok());
 }
@@ -230,14 +237,14 @@ TEST_F(CheckerTest, FlagsRefreshStarvation)
     // One refresh over a 20-interval window: hopelessly behind.
     std::vector<TimedCommand> log = {ref(0, CommandType::kRefAb, 0)};
     const CheckerReport report = verifyCommandLog(
-        log, cfg_, timing_, 20 * timing_.tRefiAb);
+        log, cfg_, timing_, at(20 * timing_.tRefiAb));
     EXPECT_FALSE(report.ok());
 }
 
 TEST_F(CheckerTest, RefreshKeepingPaceIsAccepted)
 {
     std::vector<TimedCommand> log;
-    const Tick horizon = 20 * timing_.tRefiAb;
+    const Tick horizon = at(20 * timing_.tRefiAb);
     for (Tick t = 0; t < horizon; t += timing_.tRefiAb) {
         log.push_back(ref(t, CommandType::kRefAb, 0));
         log.push_back(ref(t + timing_.tRfcAb, CommandType::kRefAb, 1));

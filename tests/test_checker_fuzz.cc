@@ -87,7 +87,7 @@ fuzzOne(const std::string &spec, const std::string &mech,
     const Workload &w = workloads[rng.below(workloads.size())];
 
     System sys(cfg, w.benchIdx);
-    sys.run(8 * sys.timing().tRefiAb);
+    sys.run(Tick(0) + 8 * sys.timing().tRefiAb);
 
     std::ostringstream ctx;
     ctx << "spec=" << spec << " mech=" << mech << " seed=" << seed

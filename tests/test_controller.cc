@@ -84,7 +84,8 @@ TEST_F(ControllerTest, ReadCompletesWithExpectedLatency)
     EXPECT_EQ(completions_[0].first, 1u);
     // ACT at t=0 (request visible at tick 0), RDA at tRCD, data at
     // +tCL+tBL; delivery happens on the controller tick at/after that.
-    const Tick expected = timing_.tRcd + timing_.tCl + timing_.tBl;
+    const Tick expected =
+        Tick(0) + (timing_.tRcd + timing_.tCl + timing_.tBl);
     EXPECT_GE(completions_[0].second, expected);
     EXPECT_LE(completions_[0].second, expected + 4);
 }
@@ -108,7 +109,8 @@ TEST_F(ControllerTest, ReadsToDistinctBanksOverlap)
     ASSERT_EQ(completions_.size(), 2u);
     // Bank-level parallelism: the second read finishes well before two
     // serialized accesses would.
-    const Tick serialized = 2 * (timing_.tRcd + timing_.tCl + timing_.tBl);
+    const Tick serialized =
+        Tick(0) + 2 * (timing_.tRcd + timing_.tCl + timing_.tBl);
     EXPECT_LT(completions_[1].second, serialized);
 }
 
@@ -188,7 +190,7 @@ TEST_F(ControllerTest, UrgentRefreshBlocksNewActsToTargetBank)
     // Keep bank 0 of rank 0 under continuous load; once its refresh is
     // forced (credit exhausted), a refresh must still get through.
     std::uint64_t id = 0;
-    for (Tick end = 12 * timing_.tRefiAb; now_ < end;) {
+    for (Tick end = Tick(0) + 12 * timing_.tRefiAb; now_ < end;) {
         if (ctl_->pendingReads(0, 0) < 4)
             ctl_->enqueueRead(req(id++, 0, 0, static_cast<RowId>(id % 64)),
                               now_);
@@ -203,7 +205,7 @@ TEST_F(ControllerTest, RefreshSchedulerStatsExposed)
 {
     cfg_.refresh = RefreshMode::kAllBank;
     rebuild();
-    runTicks(static_cast<int>(4 * timing_.tRefiAb));
+    runTicks(static_cast<int>((4 * timing_.tRefiAb).count()));
     EXPECT_GT(ctl_->refreshStats().issued, 0u);
     EXPECT_EQ(ctl_->refreshStats().issued,
               ctl_->channel().stats().refAb);

@@ -157,7 +157,7 @@ TEST_F(DarpTest, OpportunisticRespectsPullInBound)
         view_->channel().issue(cmd, t);
         sched_->onIssued(opp, t);
         ++issued;
-        t += timing_.tRfcPb + 1;
+        t += timing_.tRfcPb + Cycles(1);
     }
     for (RankId r = 0; r < 2; ++r)
         for (BankId b = 0; b < 8; ++b)

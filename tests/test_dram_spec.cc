@@ -90,7 +90,7 @@ TEST_P(SpecInvariants, TimingConsistency)
     // Refresh geometry: a per-bank refresh must fit inside its command
     // interval (otherwise REFpb schedules can never keep up), and the
     // per-bank interval must be the all-bank interval split over banks.
-    EXPECT_GT(t.tRefiPb, static_cast<Tick>(t.tRfcPb));
+    EXPECT_GT(t.tRefiPb, t.tRfcPb);
     EXPECT_EQ(t.tRefiPb, t.tRefiAb / 8);
     EXPECT_GT(t.tRfcAb, 0);
     EXPECT_GE(t.tRfcAb, t.tRfcPb);
@@ -99,7 +99,7 @@ TEST_P(SpecInvariants, TimingConsistency)
     EXPECT_GE(t.tRc, t.tRas + t.tRp);
 
     // Derived values must match their defining formulas.
-    EXPECT_EQ(t.tRtw, t.tCl + t.tBl + 2 - t.tCwl);
+    EXPECT_EQ(t.tRtw, t.tCl + t.tBl + Cycles(2) - t.tCwl);
     EXPECT_GT(t.tRtw, 0);
 
     // FGR divisors: monotonically increasing in rate, yet sub-linear
@@ -124,9 +124,11 @@ TEST_P(SpecInvariants, FgrRateScaling)
 
     EXPECT_EQ(f2.tRefiAb, base.tRefiAb / 2);
     EXPECT_EQ(f4.tRefiAb, base.tRefiAb / 4);
-    EXPECT_NEAR(static_cast<double>(base.tRfcAb) / f2.tRfcAb,
+    EXPECT_NEAR(static_cast<double>(base.tRfcAb.count()) /
+                    static_cast<double>(f2.tRfcAb.count()),
                 spec.fgrDivisor2x, 0.03);
-    EXPECT_NEAR(static_cast<double>(base.tRfcAb) / f4.tRfcAb,
+    EXPECT_NEAR(static_cast<double>(base.tRfcAb.count()) /
+                    static_cast<double>(f4.tRfcAb.count()),
                 spec.fgrDivisor4x, 0.03);
     // Worst-case lockout per retention period grows with the rate (the
     // paper's complaint about FGR).
@@ -152,7 +154,7 @@ TEST_P(SpecInvariants, SameBankGeometry)
     // A slice command must fit inside its interval, cover banks the
     // bank-group declaration promises, and cost no more than a full
     // all-bank refresh while beating one per-bank command per bank.
-    EXPECT_GT(t.tRefiSb, static_cast<Tick>(t.tRfcSb));
+    EXPECT_GT(t.tRefiSb, t.tRfcSb);
     EXPECT_EQ(t.banksPerGroup, spec.banksPerGroup);
     EXPECT_EQ(8 % spec.banksPerGroup, 0)
         << "groups must tile the default 8-bank rank";
@@ -206,8 +208,8 @@ TEST_P(SpecInvariants, RetentionScaling)
 
     // Doubling retention doubles the command spacing but never the
     // latency or the per-command row coverage.
-    EXPECT_NEAR(static_cast<double>(t64.tRefiAb),
-                2.0 * static_cast<double>(t32.tRefiAb), 2.0);
+    EXPECT_NEAR(static_cast<double>(t64.tRefiAb.count()),
+                2.0 * static_cast<double>(t32.tRefiAb.count()), 2.0);
     EXPECT_EQ(t64.tRfcAb, t32.tRfcAb);
     EXPECT_EQ(t64.rowsPerRefresh, t32.rowsPerRefresh);
 }
@@ -270,9 +272,11 @@ TEST(DramSpec, LpddrUsesNativePerBankTable)
                                                Density::k8Gb));
     // 140 ns at tCK = 0.625 ns -> 224 cycles, straight from the native
     // table rather than tRFCab / 2.3 (= 179 cycles).
-    EXPECT_EQ(t.tRfcPb, TimingParams::nsToCycles(140.0, 0.625));
-    const double ratio =
-        static_cast<double>(t.tRfcAb) / static_cast<double>(t.tRfcPb);
+    EXPECT_EQ(t.tRfcPb,
+              TimingParams::nsToCycles(Nanoseconds(140.0),
+                                       Nanoseconds(0.625)));
+    const double ratio = static_cast<double>(t.tRfcAb.count()) /
+        static_cast<double>(t.tRfcPb.count());
     EXPECT_NEAR(ratio, 2.0, 0.01);
 }
 
@@ -282,7 +286,7 @@ TEST(DramSpec, Ddr5CarriesSameBankRefresh)
     EXPECT_EQ(d5.banksPerGroup, 4);
     // tRFCsb = 115/130/190 ns at 8/16/32 Gb, always below tRFC1.
     for (int i = 0; i < 3; ++i) {
-        EXPECT_GT(d5.tRfcSbNs[i], 0.0) << i;
+        EXPECT_GT(d5.tRfcSbNs[i].ns(), 0.0) << i;
         EXPECT_LT(d5.tRfcSbNs[i], d5.tRfcAbNs[i]) << i;
     }
     // Native tRFC1/tRFC2 FGR divisor (195/130 ns at 8 Gb); the 4x
@@ -325,7 +329,7 @@ namespace {
 void
 expectIdenticalTimings(const TimingParams &a, const TimingParams &b)
 {
-    EXPECT_DOUBLE_EQ(a.tCkNs, b.tCkNs);
+    EXPECT_DOUBLE_EQ(a.tCkNs.ns(), b.tCkNs.ns());
     EXPECT_EQ(a.tCl, b.tCl);
     EXPECT_EQ(a.tCwl, b.tCwl);
     EXPECT_EQ(a.tRcd, b.tRcd);
@@ -482,7 +486,7 @@ TEST_P(SpecEndToEnd, SystemMakesProgressUnderDsarp)
     cfg.seed = 11;
     System sys(cfg, {benchmarkIndex("milc-like"),
                      benchmarkIndex("soplex-like")});
-    sys.run(4 * sys.timing().tRefiAb);
+    sys.run(Tick(0) + 4 * sys.timing().tRefiAb);
 
     EXPECT_EQ(sys.timing().spec, GetParam());
     std::uint64_t reads = 0, refreshes = 0;

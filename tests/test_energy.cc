@@ -44,9 +44,10 @@ goldenStats(const TimingParams &t)
     stats.reads = 800;
     stats.writes = 200;
     stats.refAb = 40;
-    stats.refAbCycles = 40ULL * t.tRfcAb;
+    stats.refAbCycles = 40ULL * static_cast<std::uint64_t>(t.tRfcAb.count());
     stats.refPb = 320;
-    stats.refPbCycles = 320ULL * t.tRfcPb;
+    stats.refPbCycles =
+        320ULL * static_cast<std::uint64_t>(t.tRfcPb.count());
     stats.rankActiveTicks = 500000;
     stats.rankTotalTicks = 2000000;
     return stats;
@@ -124,9 +125,9 @@ TEST(Energy, AllComponentsPositive)
     stats.reads = 80;
     stats.writes = 20;
     stats.refAb = 4;
-    stats.refAbCycles = 4ULL * t.tRfcAb;
+    stats.refAbCycles = 4ULL * static_cast<std::uint64_t>(t.tRfcAb.count());
     stats.refPb = 8;
-    stats.refPbCycles = 8ULL * t.tRfcPb;
+    stats.refPbCycles = 8ULL * static_cast<std::uint64_t>(t.tRfcPb.count());
     stats.rankActiveTicks = 5000;
     stats.rankTotalTicks = 20000;
     const EnergyBreakdown e =
@@ -165,9 +166,10 @@ TEST(Energy, Lpddr4NativeRefPbNotUnderstated)
     EXPECT_DOUBLE_EQ(p.refPbCurrentDivisor, 4.0);
 
     ChannelStats ab;
-    ab.refAbCycles = static_cast<std::uint64_t>(t.tRfcAb);
+    ab.refAbCycles = static_cast<std::uint64_t>(t.tRfcAb.count());
     ChannelStats pb;
-    pb.refPbCycles = 8ULL * t.tRfcPb;  // Full-rank sweep.
+    // Full-rank sweep.
+    pb.refPbCycles = 8ULL * static_cast<std::uint64_t>(t.tRfcPb.count());
     const double e_ab = channelEnergy(ab, t, p).refreshNj;
     const double e_pb = channelEnergy(pb, t, p).refreshNj;
     EXPECT_NEAR(e_pb, e_ab, e_ab * 0.01);  // Cycle rounding only.
@@ -222,9 +224,9 @@ TEST(Energy, Ddr5SameBankSweepCostsOneRefab)
     const auto [t, p] = specParams("DDR5-4800");
     const std::uint64_t groups = 8 / t.banksPerGroup;
     ChannelStats ab;
-    ab.refAbCycles = static_cast<std::uint64_t>(t.tRfcAb);
+    ab.refAbCycles = static_cast<std::uint64_t>(t.tRfcAb.count());
     ChannelStats sb;
-    sb.refSbCycles = groups * t.tRfcSb;
+    sb.refSbCycles = groups * static_cast<std::uint64_t>(t.tRfcSb.count());
     const double e_ab = channelEnergy(ab, t, p).refreshNj;
     const double e_sb = channelEnergy(sb, t, p).refreshNj;
     EXPECT_GT(e_sb, 0.0);
@@ -245,7 +247,7 @@ TEST(Energy, SelfRefreshUndercutsPrechargeStandby)
     const double e_sref = channelEnergy(sref, t, p).backgroundNj;
     EXPECT_LT(e_sref, e_idle);
     EXPECT_NEAR(e_idle - e_sref,
-                p.vdd * (p.idd2n - p.idd6) * 6000 * t.tCkNs * 1e-3,
+                p.vdd * (p.idd2n - p.idd6) * 6000 * t.tCkNs.ns() * 1e-3,
                 1e-9);
     // Every spec must keep idd6 below idd2n for the state to make
     // physical sense.
@@ -297,14 +299,14 @@ TEST(Energy, RealSelfRefreshResidencyBilledAtIdd6)
     const double e_idle = channelEnergy(idle, t, p).backgroundNj;
     const double e_sr = channelEnergy(sr, t, p).backgroundNj;
     EXPECT_NEAR(e_idle - e_sr,
-                p.vdd * (p.idd2n - p.idd6) * 4000 * t.tCkNs * 1e-3,
+                p.vdd * (p.idd2n - p.idd6) * 4000 * t.tCkNs.ns() * 1e-3,
                 1e-9);
 
     ChannelStats both = sr;
     both.rankSelfRefTicks = 2000;
     const double e_both = channelEnergy(both, t, p).backgroundNj;
     EXPECT_NEAR(e_sr - e_both,
-                p.vdd * (p.idd2n - p.idd6) * 2000 * t.tCkNs * 1e-3,
+                p.vdd * (p.idd2n - p.idd6) * 2000 * t.tCkNs.ns() * 1e-3,
                 1e-9);
 }
 

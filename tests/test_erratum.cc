@@ -124,7 +124,7 @@ TEST(ErratumEndToEnd, InterRefreshGapBoundedInFullSystem)
     cfg.enableChecker = true;
     System sys(cfg, {benchmarkIndex("mcf-like"),
                      benchmarkIndex("stream-like")});
-    const Tick horizon = 30 * sys.timing().tRefiAb;
+    const Tick horizon = Tick(0) + 30 * sys.timing().tRefiAb;
     sys.run(horizon);
 
     std::map<std::pair<int, int>, Tick> last;
@@ -141,7 +141,7 @@ TEST(ErratumEndToEnd, InterRefreshGapBoundedInFullSystem)
     ASSERT_EQ(last.size(), 16u) << "every bank must have refreshed";
     // Worst legal pattern: 8 pulled in early, then 8 postponed -> a gap
     // of up to 16 intervals plus drain slack.
-    EXPECT_LE(worst_gap, 17 * sys.timing().tRefiAb);
+    EXPECT_LE(worst_gap, Tick(0) + 17 * sys.timing().tRefiAb);
     EXPECT_GT(worst_gap, 0u);
 }
 
@@ -154,7 +154,7 @@ TEST(ErratumEndToEnd, PostponedAndPulledInBothOccur)
                      benchmarkIndex("libquantum-like"),
                      benchmarkIndex("gcc-like"),
                      benchmarkIndex("povray-like")});
-    sys.run(20 * sys.timing().tRefiAb);
+    sys.run(Tick(0) + 20 * sys.timing().tRefiAb);
     std::uint64_t postponed = 0, pulled = 0;
     for (int ch = 0; ch < sys.numChannels(); ++ch) {
         postponed += sys.controller(ch).refreshStats().postponed;

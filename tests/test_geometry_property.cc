@@ -56,7 +56,7 @@ TEST_P(GeometryProperty, LegalAndLive)
 
     System sys(cfg, {benchmarkIndex("milc-like"),
                      benchmarkIndex("soplex-like")});
-    sys.run(8 * sys.timing().tRefiAb);
+    sys.run(Tick(0) + 8 * sys.timing().tRefiAb);
 
     std::uint64_t reads = 0;
     for (int ch = 0; ch < sys.numChannels(); ++ch) {

@@ -22,6 +22,13 @@ using namespace dsarp;
 
 namespace {
 
+/** A duration read as an instant on a clock that started at tick 0. */
+Tick
+at(Cycles c)
+{
+    return Tick(0) + c;
+}
+
 /** DDR3-1333 timing for the default org (tHiRA = 5 cycles). */
 TimingParams
 ddr3Timing()
@@ -149,11 +156,11 @@ TEST(HiraBank, HiddenRefreshRequiresOpenRowAndDelay)
     // tHiRA cycles.
     bank.onAct(0, rows_per_sub + 5, 1);
     EXPECT_FALSE(bank.canHiddenRefresh(0));
-    EXPECT_FALSE(bank.canHiddenRefresh(t.tHiRA - 1));
-    EXPECT_TRUE(bank.canHiddenRefresh(t.tHiRA));
+    EXPECT_FALSE(bank.canHiddenRefresh(at(t.tHiRA) - 1));
+    EXPECT_TRUE(bank.canHiddenRefresh(at(t.tHiRA)));
 
     // An open bank never accepts a *plain* refresh.
-    EXPECT_FALSE(bank.canRefresh(t.tHiRA));
+    EXPECT_FALSE(bank.canRefresh(at(t.tHiRA)));
 }
 
 TEST(HiraBank, HiddenRefreshConflictsWithSameSubarray)
@@ -165,8 +172,8 @@ TEST(HiraBank, HiddenRefreshConflictsWithSameSubarray)
     // Open row 3 in subarray 0 -- the same subarray the refresh
     // counter (row 0) targets: hiding must be rejected at any delay.
     bank.onAct(0, 3, 0);
-    EXPECT_FALSE(bank.canHiddenRefresh(t.tHiRA));
-    EXPECT_FALSE(bank.canHiddenRefresh(t.tHiRA + 100));
+    EXPECT_FALSE(bank.canHiddenRefresh(at(t.tHiRA)));
+    EXPECT_FALSE(bank.canHiddenRefresh(at(t.tHiRA) + 100));
 }
 
 TEST(HiraBank, HiddenRefreshKeepsOpenRowServingAndBlocksNewActs)
@@ -176,7 +183,7 @@ TEST(HiraBank, HiddenRefreshKeepsOpenRowServingAndBlocksNewActs)
     Bank bank(&t, rows_per_sub, 65536, /*sarp=*/false);
 
     bank.onAct(0, rows_per_sub + 5, 1);
-    const Tick start = t.tHiRA;
+    const Tick start = at(t.tHiRA);
     bank.onRefresh(start, t.tRc, /*rows=*/1, /*hidden=*/true);
 
     EXPECT_TRUE(bank.hiddenRefreshing(start));
@@ -184,11 +191,11 @@ TEST(HiraBank, HiddenRefreshKeepsOpenRowServingAndBlocksNewActs)
     EXPECT_EQ(bank.refreshRowCounter(), 1);        // Advanced by 1 row.
 
     // The open row still serves column commands mid-refresh.
-    EXPECT_TRUE(bank.canRead(t.tRcd + 1));
-    EXPECT_TRUE(bank.canWrite(t.tRcd + 1));
+    EXPECT_TRUE(bank.canRead(at(t.tRcd) + 1));
+    EXPECT_TRUE(bank.canWrite(at(t.tRcd) + 1));
 
     // Close the row; a new ACT must wait for the hidden refresh end.
-    bank.onRead(t.tRcd + 1, /*autoPrecharge=*/true);
+    bank.onRead(at(t.tRcd) + 1, /*autoPrecharge=*/true);
     const Tick refresh_end = start + t.tRc;
     EXPECT_FALSE(bank.canAct(refresh_end - 1, 12345));
     EXPECT_TRUE(bank.canAct(refresh_end, 12345));
@@ -206,9 +213,9 @@ TEST(HiraBank, RefreshingSubarrayRecordedForHiddenRefresh)
     const int rows_per_sub = 65536 / 8;
     Bank bank(&t, rows_per_sub, 65536, /*sarp=*/false);
     bank.onAct(0, 5 * rows_per_sub, 5);
-    bank.onRefresh(t.tHiRA, t.tRc, 1, true);
-    EXPECT_EQ(bank.refreshingSubarray(t.tHiRA), 0);
-    EXPECT_EQ(bank.refreshingSubarray(t.tHiRA + t.tRc), kNone);
+    bank.onRefresh(at(t.tHiRA), t.tRc, 1, true);
+    EXPECT_EQ(bank.refreshingSubarray(at(t.tHiRA)), 0);
+    EXPECT_EQ(bank.refreshingSubarray(at(t.tHiRA) + t.tRc), kNone);
 }
 
 // ---------------------------------------------------------------------
@@ -242,27 +249,27 @@ TEST(HiraChannel, HiddenRefpbLegalityRules)
     hidden.rowsOverride = 1;
 
     // Too early: tHiRA not yet elapsed.
-    EXPECT_FALSE(ch.canIssue(hidden, 10 + t.tHiRA - 1));
-    EXPECT_TRUE(ch.canIssue(hidden, 10 + t.tHiRA));
+    EXPECT_FALSE(ch.canIssue(hidden, Tick(10) + t.tHiRA - Cycles(1)));
+    EXPECT_TRUE(ch.canIssue(hidden, Tick(10) + t.tHiRA));
 
     // A plain REFpb to the same (open) bank stays illegal.
     Command plain = hidden;
     plain.hidden = false;
-    EXPECT_FALSE(ch.canIssue(plain, 10 + t.tHiRA));
+    EXPECT_FALSE(ch.canIssue(plain, Tick(10) + t.tHiRA));
 
     // Wrong bank (closed): hidden refresh needs an open row.
     Command closed_bank = hidden;
     closed_bank.bank = 3;
-    EXPECT_FALSE(ch.canIssue(closed_bank, 10 + t.tHiRA));
+    EXPECT_FALSE(ch.canIssue(closed_bank, Tick(10) + t.tHiRA));
 
-    ch.issue(hidden, 10 + t.tHiRA);
+    ch.issue(hidden, Tick(10) + t.tHiRA);
     EXPECT_EQ(ch.stats().refPb, 1u);
     EXPECT_EQ(ch.stats().refPbHidden, 1u);
 
     // Rank-level REFpb serialization still applies beneath an ACT.
     Command act2 = act;
     act2.bank = 4;
-    const Tick later = 10 + t.tRrd + 1;
+    const Tick later = Tick(10) + t.tRrd + Cycles(1);
     if (ch.canIssue(act2, later))
         ch.issue(act2, later);
     Command hidden2 = hidden;
@@ -393,7 +400,7 @@ TEST(Hira, SpecDefaultsCharacterized)
     // Every registered spec carries plausible HiRA characterization.
     for (const std::string &name : DramSpecRegistry::instance().names()) {
         const DramSpec &spec = DramSpecRegistry::instance().at(name);
-        EXPECT_GT(spec.tHiRANs, 0.0) << name;
+        EXPECT_GT(spec.tHiRANs.ns(), 0.0) << name;
         EXPECT_GE(spec.hiraActCoverage, 0.0) << name;
         EXPECT_LE(spec.hiraActCoverage, 1.0) << name;
         EXPECT_GE(spec.hiraRefCoverage, 0.0) << name;

@@ -12,7 +12,7 @@ using namespace dsarp;
 
 TEST(Ledger, NothingOwedBeforeFirstAccrual)
 {
-    RefreshLedger ledger(1, 1, 1000, 0, 0);
+    RefreshLedger ledger(1, 1, Cycles(1000), Cycles(0), Cycles(0));
     ledger.advanceTo(999);
     EXPECT_EQ(ledger.owed(0, 0), 0);
     EXPECT_FALSE(ledger.due(0, 0));
@@ -20,7 +20,7 @@ TEST(Ledger, NothingOwedBeforeFirstAccrual)
 
 TEST(Ledger, AccruesOncePerPeriod)
 {
-    RefreshLedger ledger(1, 1, 1000, 0, 0);
+    RefreshLedger ledger(1, 1, Cycles(1000), Cycles(0), Cycles(0));
     ledger.advanceTo(1000);
     EXPECT_EQ(ledger.owed(0, 0), 1);
     ledger.advanceTo(3999);
@@ -30,7 +30,7 @@ TEST(Ledger, AccruesOncePerPeriod)
 
 TEST(Ledger, StaggerOffsetsUnits)
 {
-    RefreshLedger ledger(1, 4, 1000, 0, 100);
+    RefreshLedger ledger(1, 4, Cycles(1000), Cycles(0), Cycles(100));
     ledger.advanceTo(1000);
     EXPECT_EQ(ledger.owed(0, 0), 1);
     EXPECT_EQ(ledger.owed(0, 1), 0);
@@ -42,7 +42,7 @@ TEST(Ledger, StaggerOffsetsUnits)
 
 TEST(Ledger, RefreshRetiresObligation)
 {
-    RefreshLedger ledger(1, 1, 1000, 0, 0);
+    RefreshLedger ledger(1, 1, Cycles(1000), Cycles(0), Cycles(0));
     ledger.advanceTo(2500);
     EXPECT_EQ(ledger.owed(0, 0), 2);
     ledger.onRefresh(0, 0);
@@ -52,7 +52,7 @@ TEST(Ledger, RefreshRetiresObligation)
 
 TEST(Ledger, ForceAtPostponeLimit)
 {
-    RefreshLedger ledger(1, 1, 1000, 0, 0, 8);
+    RefreshLedger ledger(1, 1, Cycles(1000), Cycles(0), Cycles(0), 8);
     ledger.advanceTo(7999);
     EXPECT_FALSE(ledger.mustForce(0, 0));
     ledger.advanceTo(8000);
@@ -62,7 +62,7 @@ TEST(Ledger, ForceAtPostponeLimit)
 
 TEST(Ledger, PullInBoundedAtMinusEight)
 {
-    RefreshLedger ledger(1, 1, 1000, 0, 0, 8);
+    RefreshLedger ledger(1, 1, Cycles(1000), Cycles(0), Cycles(0), 8);
     for (int i = 0; i < 8; ++i) {
         EXPECT_TRUE(ledger.canPullIn(0, 0));
         ledger.onRefresh(0, 0);
@@ -73,7 +73,7 @@ TEST(Ledger, PullInBoundedAtMinusEight)
 
 TEST(Ledger, PullInCreatesSlack)
 {
-    RefreshLedger ledger(1, 1, 1000, 0, 0, 8);
+    RefreshLedger ledger(1, 1, Cycles(1000), Cycles(0), Cycles(0), 8);
     ledger.onRefresh(0, 0);  // owed = -1.
     ledger.advanceTo(9000);  // 9 accruals.
     EXPECT_EQ(ledger.owed(0, 0), 8);
@@ -82,7 +82,7 @@ TEST(Ledger, PullInCreatesSlack)
 
 TEST(Ledger, AccruedBetween)
 {
-    RefreshLedger ledger(1, 2, 1000, 0, 100);
+    RefreshLedger ledger(1, 2, Cycles(1000), Cycles(0), Cycles(100));
     // Unit (0,0) accrues at 1000, 2000, ...; unit (0,1) at 1100, 2100...
     EXPECT_FALSE(ledger.accruedBetween(0, 0, 0, 999));
     EXPECT_TRUE(ledger.accruedBetween(0, 0, 999, 1000));
@@ -93,7 +93,7 @@ TEST(Ledger, AccruedBetween)
 
 TEST(Ledger, FractionalAccounting)
 {
-    RefreshLedger ledger(1, 1, 250, 0, 0, 8);
+    RefreshLedger ledger(1, 1, Cycles(250), Cycles(0), Cycles(0), 8);
     ledger.setDenominator(4);
     ledger.advanceTo(250);
     EXPECT_EQ(ledger.owed(0, 0), 4) << "one accrual = 4 quarters";
@@ -106,7 +106,7 @@ TEST(Ledger, FractionalAccounting)
 
 TEST(Ledger, FractionalForceLimitScales)
 {
-    RefreshLedger ledger(1, 1, 250, 0, 0, 8);
+    RefreshLedger ledger(1, 1, Cycles(250), Cycles(0), Cycles(0), 8);
     ledger.setDenominator(4);
     ledger.advanceTo(250 * 7);
     EXPECT_FALSE(ledger.mustForce(0, 0));
@@ -122,7 +122,7 @@ TEST(Ledger, DenominatorChangeRescalesExistingBalances)
     // rescaled window. The REFsb + HiRA slice-pairing composition
     // (fractional accounting armed after pull-ins already happened)
     // exercises exactly this path.
-    RefreshLedger ledger(1, 1, 1000, 0, 0, 8);
+    RefreshLedger ledger(1, 1, Cycles(1000), Cycles(0), Cycles(0), 8);
     ledger.onRefresh(0, 0);  // Two whole slots pulled in before the
     ledger.onRefresh(0, 0);  // first accrual (idle-channel warmup).
     EXPECT_EQ(ledger.owed(0, 0), -2);
@@ -145,7 +145,7 @@ TEST(Ledger, DenominatorChangeRescalesExistingBalances)
 
 TEST(Ledger, DenominatorChangeMidWindow)
 {
-    RefreshLedger ledger(1, 2, 1000, 0, 0, 8);
+    RefreshLedger ledger(1, 2, Cycles(1000), Cycles(0), Cycles(0), 8);
     ledger.advanceTo(3000);  // Three accruals per unit.
     ledger.onRefresh(0, 0);
     EXPECT_EQ(ledger.owed(0, 0), 2);
@@ -170,7 +170,7 @@ TEST(Ledger, DenominatorChangeMidWindow)
 
 TEST(Ledger, DenominatorChangeRefusesToTruncate)
 {
-    RefreshLedger ledger(1, 1, 1000, 0, 0, 8);
+    RefreshLedger ledger(1, 1, Cycles(1000), Cycles(0), Cycles(0), 8);
     ledger.setDenominator(4);
     ledger.advanceTo(1000);
     ledger.onPartialRefresh(0, 0, 1);  // Balance now 3 quarters.
@@ -179,7 +179,7 @@ TEST(Ledger, DenominatorChangeRefusesToTruncate)
 
 TEST(Ledger, MultiRankIndependence)
 {
-    RefreshLedger ledger(2, 8, 1000, 500, 10);
+    RefreshLedger ledger(2, 8, Cycles(1000), Cycles(500), Cycles(10));
     ledger.advanceTo(5000);
     ledger.onRefresh(1, 5);
     EXPECT_EQ(ledger.owed(0, 5), ledger.owed(1, 5) + 1);

@@ -38,7 +38,7 @@ TEST_F(OverlapTest, StandardDisallowsOverlap)
     Rank rank(&cfg, &timing);
     rank.onRefPb(0, 0);
     EXPECT_FALSE(rank.canRefPbRankLevel(1));
-    EXPECT_TRUE(rank.canRefPbRankLevel(timing.tRfcPb));
+    EXPECT_TRUE(rank.canRefPbRankLevel(Tick(0) + timing.tRfcPb));
 }
 
 TEST_F(OverlapTest, ExtensionAllowsBoundedOverlap)
@@ -54,7 +54,7 @@ TEST_F(OverlapTest, ExtensionAllowsBoundedOverlap)
     EXPECT_EQ(rank.refPbCount(3), 3);
     EXPECT_FALSE(rank.canRefPbRankLevel(3)) << "limit is 3";
     // The first refresh finishing frees a slot.
-    EXPECT_TRUE(rank.canRefPbRankLevel(timing.tRfcPb));
+    EXPECT_TRUE(rank.canRefPbRankLevel(Tick(0) + timing.tRfcPb));
 }
 
 TEST_F(OverlapTest, RefAbStillNeedsQuietRank)
@@ -64,7 +64,7 @@ TEST_F(OverlapTest, RefAbStillNeedsQuietRank)
     Rank rank(&cfg, &timing);
     rank.onRefPb(0, 0);
     EXPECT_FALSE(rank.canRefAb(1));
-    EXPECT_TRUE(rank.canRefAb(timing.tRfcPb));
+    EXPECT_TRUE(rank.canRefAb(Tick(0) + timing.tRfcPb));
 }
 
 TEST_F(OverlapTest, InflationScalesWithInFlightCount)
@@ -113,7 +113,7 @@ TEST_F(OverlapTest, SystemRunsLegallyWithOverlap)
         cfg.enableChecker = true;
         System sys(cfg, {benchmarkIndex("mcf-like"),
                          benchmarkIndex("stream-like")});
-        sys.run(10 * sys.timing().tRefiAb);
+        sys.run(Tick(0) + 10 * sys.timing().tRefiAb);
         const CheckerReport report = verifyCommandLog(
             sys.commandLog(0), sys.config().mem, sys.timing(), sys.now());
         EXPECT_TRUE(report.ok())

@@ -54,7 +54,7 @@ TEST_P(RefreshProperty, LegalStreamAndProgress)
 
     System sys(cfg, {benchmarkIndex("milc-like"),
                      benchmarkIndex("lbm-like")});
-    const Tick horizon = 15 * sys.timing().tRefiAb;
+    const Tick horizon = Tick(0) + 15 * sys.timing().tRefiAb;
     sys.run(horizon);
 
     // 1. Forward progress.
@@ -121,7 +121,7 @@ TEST_P(SubarrayProperty, SarpLegalAcrossSubarrayCounts)
 
     System sys(cfg, {benchmarkIndex("mcf-like"),
                      benchmarkIndex("stream-like")});
-    sys.run(10 * sys.timing().tRefiAb);
+    sys.run(Tick(0) + 10 * sys.timing().tRefiAb);
 
     const CheckerReport report = verifyCommandLog(
         sys.commandLog(0), sys.config().mem, sys.timing(), sys.now());

@@ -12,6 +12,13 @@ using namespace dsarp;
 
 namespace {
 
+/** A duration read as an instant on a clock that started at tick 0. */
+Tick
+at(Cycles c)
+{
+    return Tick(0) + c;
+}
+
 class RankTest : public ::testing::Test
 {
   protected:
@@ -38,8 +45,8 @@ TEST_F(RankTest, TrrdBetweenActs)
     Rank rank(&cfg_, &timing_);
     EXPECT_TRUE(rank.canActRankLevel(0));
     rank.onAct(0);
-    EXPECT_FALSE(rank.canActRankLevel(timing_.tRrd - 1));
-    EXPECT_TRUE(rank.canActRankLevel(timing_.tRrd));
+    EXPECT_FALSE(rank.canActRankLevel(at(timing_.tRrd) - 1));
+    EXPECT_TRUE(rank.canActRankLevel(at(timing_.tRrd)));
 }
 
 TEST_F(RankTest, FourActivateWindow)
@@ -52,8 +59,8 @@ TEST_F(RankTest, FourActivateWindow)
     }
     // The fifth ACT must wait for the first to leave the tFAW window.
     EXPECT_FALSE(rank.canActRankLevel(now));
-    EXPECT_FALSE(rank.canActRankLevel(timing_.tFaw - 1));
-    EXPECT_TRUE(rank.canActRankLevel(timing_.tFaw));
+    EXPECT_FALSE(rank.canActRankLevel(at(timing_.tFaw) - 1));
+    EXPECT_TRUE(rank.canActRankLevel(at(timing_.tFaw)));
 }
 
 TEST_F(RankTest, RefPbOccupiesRankSerialization)
@@ -62,8 +69,8 @@ TEST_F(RankTest, RefPbOccupiesRankSerialization)
     EXPECT_TRUE(rank.canRefPbRankLevel(0));
     rank.onRefPb(0, 3);
     EXPECT_TRUE(rank.refPbInFlight(1));
-    EXPECT_FALSE(rank.canRefPbRankLevel(timing_.tRfcPb - 1));
-    EXPECT_TRUE(rank.canRefPbRankLevel(timing_.tRfcPb));
+    EXPECT_FALSE(rank.canRefPbRankLevel(at(timing_.tRfcPb) - 1));
+    EXPECT_TRUE(rank.canRefPbRankLevel(at(timing_.tRfcPb)));
     // The refreshed bank is locked; others are not (REFpb benefit).
     EXPECT_FALSE(rank.bank(3).canAct(1, 0));
     EXPECT_TRUE(rank.bank(4).canAct(1, 0));
@@ -82,10 +89,10 @@ TEST_F(RankTest, RefAbLocksEveryBank)
 {
     Rank rank(&cfg_, &timing_);
     rank.onRefAb(0);
-    EXPECT_TRUE(rank.refAbInFlight(timing_.tRfcAb - 1));
+    EXPECT_TRUE(rank.refAbInFlight(at(timing_.tRfcAb) - 1));
     for (int b = 0; b < rank.numBanks(); ++b) {
-        EXPECT_FALSE(rank.bank(b).canAct(timing_.tRfcAb - 1, 0));
-        EXPECT_TRUE(rank.bank(b).canAct(timing_.tRfcAb, 0));
+        EXPECT_FALSE(rank.bank(b).canAct(at(timing_.tRfcAb) - 1, 0));
+        EXPECT_TRUE(rank.bank(b).canAct(at(timing_.tRfcAb), 0));
     }
 }
 
@@ -124,7 +131,7 @@ TEST_F(SarpRankTest, PerBankInflationDuringRefresh)
     EXPECT_EQ(rank.effTRrd(1), 5);
     EXPECT_EQ(rank.effTFaw(1), 23);
     // Back to datasheet values once the refresh finishes.
-    EXPECT_EQ(rank.effTRrd(timing_.tRfcPb), timing_.tRrd);
+    EXPECT_EQ(rank.effTRrd(at(timing_.tRfcPb)), timing_.tRrd);
 }
 
 TEST_F(SarpRankTest, AllBankInflationDuringRefresh)
@@ -152,6 +159,6 @@ TEST_F(SarpRankTest, InflatedTrrdGatesActsUnderRefresh)
     Rank rank(&cfg_, &timing_);
     rank.onRefPb(0, 0);
     rank.onAct(1);
-    EXPECT_FALSE(rank.canActRankLevel(1 + timing_.tRrd));
-    EXPECT_TRUE(rank.canActRankLevel(1 + rank.effTRrd(1)));
+    EXPECT_FALSE(rank.canActRankLevel(Tick(1) + timing_.tRrd));
+    EXPECT_TRUE(rank.canActRankLevel(Tick(1) + rank.effTRrd(1)));
 }

@@ -66,14 +66,15 @@ class PolicyTest : public ::testing::Test
 TEST_F(PolicyTest, NoRefreshNeverIssues)
 {
     NoRefreshScheduler sched(&cfg_, &timing_, view_.get());
-    const auto issued = drive(sched, 3 * timing_.tRefiAb);
+    const auto issued =
+        drive(sched, Tick(0) + 3 * timing_.tRefiAb);
     EXPECT_TRUE(issued.empty());
 }
 
 TEST_F(PolicyTest, AllBankIssuesPerRankPerInterval)
 {
     AllBankScheduler sched(&cfg_, &timing_, view_.get());
-    const Tick horizon = 10 * timing_.tRefiAb;
+    const Tick horizon = Tick(0) + 10 * timing_.tRefiAb;
     const auto issued = drive(sched, horizon);
     // 10 intervals x 2 ranks, minus boundary slack.
     EXPECT_GE(issued.size(), 18u);
@@ -86,7 +87,8 @@ TEST_F(PolicyTest, AllBankIssuesPerRankPerInterval)
 TEST_F(PolicyTest, AllBankRanksStaggered)
 {
     AllBankScheduler sched(&cfg_, &timing_, view_.get());
-    const auto issued = drive(sched, 3 * timing_.tRefiAb);
+    const auto issued =
+        drive(sched, Tick(0) + 3 * timing_.tRefiAb);
     ASSERT_GE(issued.size(), 2u);
     // First two refreshes hit different ranks at different times.
     EXPECT_NE(issued[0].second.rank, issued[1].second.rank);
@@ -96,7 +98,8 @@ TEST_F(PolicyTest, AllBankRanksStaggered)
 TEST_F(PolicyTest, PerBankStrictRoundRobin)
 {
     PerBankScheduler sched(&cfg_, &timing_, view_.get());
-    const auto issued = drive(sched, 3 * timing_.tRefiAb);
+    const auto issued =
+        drive(sched, Tick(0) + 3 * timing_.tRefiAb);
     ASSERT_GE(issued.size(), 16u);
     // Per rank, bank order must be 0,1,2,...,7,0,1,...
     std::vector<int> next(cfg_.org.ranksPerChannel, 0);
@@ -110,7 +113,7 @@ TEST_F(PolicyTest, PerBankStrictRoundRobin)
 TEST_F(PolicyTest, PerBankCadenceMatchesTrefiPb)
 {
     PerBankScheduler sched(&cfg_, &timing_, view_.get());
-    const Tick horizon = 4 * timing_.tRefiAb;
+    const Tick horizon = Tick(0) + 4 * timing_.tRefiAb;
     const auto issued = drive(sched, horizon);
     // 4 intervals x 8 banks x 2 ranks = 64 expected, minus edge effects.
     EXPECT_GE(issued.size(), 44u);
@@ -245,9 +248,10 @@ TEST_F(PolicyTest, AdaptiveCoversObligationsInMixedMode)
     AdaptiveScheduler sched(&cfg_, &timing_, view_.get());
     std::vector<RefreshRequest> urgent;
     std::uint64_t covered_quarters = 0;
-    const Tick horizon = 8 * timing_.tRefiAb;
+    const Tick horizon = Tick(0) + 8 * timing_.tRefiAb;
     for (Tick t = 0; t < horizon; ++t) {
-        view_->setWriteback((t / timing_.tRefiAb) % 2 == 0);
+        view_->setWriteback(
+            (t / static_cast<Tick>(timing_.tRefiAb.count())) % 2 == 0);
         sched.tick(t);
         urgent.clear();
         sched.urgent(t, urgent);

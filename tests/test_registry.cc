@@ -201,7 +201,7 @@ class TestPulseScheduler : public RefreshScheduler
 
     void tick(Tick now) override
     {
-        due_ = (now % (timing_->tRefiAb / 2)) == 0;
+        due_ = now % static_cast<Tick>((timing_->tRefiAb / 2).count()) == 0;
     }
 
     void

@@ -83,8 +83,9 @@ TEST(SameBankTiming, CanonicalDdr5Geometry)
     const TimingParams t = TimingParams::forConfig(cfg);
     EXPECT_EQ(t.banksPerGroup, 4);
     EXPECT_EQ(t.tRefiSb, t.tRefiAb / 8);
-    EXPECT_EQ(t.tRfcSb, TimingParams::nsToCycles(115.0, t.tCkNs));
-    EXPECT_GT(t.tRefiSb, static_cast<Tick>(t.tRfcSb));
+    EXPECT_EQ(t.tRfcSb,
+              TimingParams::nsToCycles(Nanoseconds(115.0), t.tCkNs));
+    EXPECT_GT(t.tRefiSb, t.tRfcSb);
     // A slice refreshes 4 banks in less than 4 REFpb commands' time.
     EXPECT_LT(t.tRfcSb, 4 * t.tRfcPb);
 }
@@ -181,13 +182,13 @@ TEST_F(SameBankDram, SliceRefreshesAllGroupBanksAndOnlyThem)
     EXPECT_TRUE(rank.refSbInFlight(11));
     EXPECT_EQ(channel_.stats().refSb, 1u);
     EXPECT_EQ(channel_.stats().refSbCycles,
-              static_cast<std::uint64_t>(timing_.tRfcSb));
+              static_cast<std::uint64_t>(timing_.tRfcSb.count()));
 }
 
 TEST_F(SameBankDram, RefreshesSerializeWithinTheRank)
 {
     channel_.issue(refSb(0), 10);
-    const Tick during = 10 + timing_.tRfcSb / 2;
+    const Tick during = Tick(10) + timing_.tRfcSb / 2;
     // No second slice, REFpb, or REFab while the slice is in flight.
     EXPECT_FALSE(channel_.canIssue(refSb(1), during));
     Command pb;
@@ -198,14 +199,14 @@ TEST_F(SameBankDram, RefreshesSerializeWithinTheRank)
     ab.type = CommandType::kRefAb;
     EXPECT_FALSE(channel_.canIssue(ab, during));
 
-    const Tick after = 10 + timing_.tRfcSb;
+    const Tick after = Tick(10) + timing_.tRfcSb;
     EXPECT_TRUE(channel_.canIssue(refSb(1), after));
 }
 
 TEST_F(SameBankDram, OtherGroupsKeepServingDuringSlice)
 {
     channel_.issue(refSb(0), 10);
-    const Tick during = 10 + timing_.tRfcSb / 2;
+    const Tick during = Tick(10) + timing_.tRfcSb / 2;
     Command act;
     act.type = CommandType::kAct;
     act.bank = 5;  // Other bank group: stays available.
@@ -222,7 +223,7 @@ TEST_F(SameBankDram, SliceWaitsForOpenRowsAndBounds)
     act.bank = 1;
     act.row = 3;
     channel_.issue(act, 0);
-    const Tick later = timing_.tRcd + timing_.tRas;
+    const Tick later = Tick(0) + (timing_.tRcd + timing_.tRas);
     EXPECT_FALSE(channel_.canIssue(refSb(0), later))
         << "open row in the slice must block it";
     EXPECT_TRUE(channel_.canIssue(refSb(1), later));
@@ -242,7 +243,7 @@ TEST(SameBankScheduling, DueSliceIsBlockingAndRetiresWholeGroup)
     EXPECT_EQ(sched.numGroups(), 2);
 
     // Advance past the first accrual of rank 0 / group 0.
-    const Tick t0 = timing.tRefiAb + 1;
+    const Tick t0 = Tick(1) + timing.tRefiAb;
     sched.tick(t0);
     std::vector<RefreshRequest> urgent;
     sched.urgent(t0, urgent);
@@ -265,7 +266,7 @@ TEST(SameBankScheduling, PendingDemandsPostponeUntilHeadroomRunsOut)
     SameBankScheduler sched(&cfg, &timing, &view);
     view.setReads(0, 2, 4);  // Demand on one bank of group 0.
 
-    Tick t = timing.tRefiAb + 1;
+    Tick t = Tick(1) + timing.tRefiAb;
     sched.tick(t);
     std::vector<RefreshRequest> urgent;
     sched.urgent(t, urgent);
@@ -276,7 +277,7 @@ TEST(SameBankScheduling, PendingDemandsPostponeUntilHeadroomRunsOut)
     // Two slots short of the postpone limit the slice goes due even
     // with demands pending (drain headroom before the erratum bound).
     for (int slots = 2; slots <= 7; ++slots) {
-        t = (slots + 1) * timing.tRefiAb + 1;
+        t = Tick(1) + (slots + 1) * timing.tRefiAb;
         sched.tick(t);
     }
     urgent.clear();
@@ -303,7 +304,7 @@ TEST(SameBankScheduling, IdlePullInHonoursKnobAndWindow)
                 Command{CommandType::kRefSb, opp.rank, opp.bank}, t);
             sched.onIssued(opp, t);
             ++pulled;
-            t += timing.tRfcSb + 1;
+            t += timing.tRfcSb + Cycles(1);
             ASSERT_LT(pulled, 100);
         }
         // 2 ranks x 2 groups x 8-slot JEDEC pull-in window.
@@ -329,7 +330,7 @@ TEST(SameBankScheduling, HiraPairingDoublesLaggingSlices)
 
     // Three slots accrue with no refresh issued: the due slice must
     // offer to retire two of them in one command.
-    const Tick t = 3 * timing.tRefiAb + timing.tRefiSb + 1;
+    const Tick t = Tick(1) + 3 * timing.tRefiAb + timing.tRefiSb;
     sched.tick(t);
     std::vector<RefreshRequest> urgent;
     sched.urgent(t, urgent);
@@ -350,7 +351,7 @@ TEST(SameBankScheduling, NoPairingWithoutHira)
     const TimingParams timing = TimingParams::forConfig(cfg);
     MockView view(&cfg, &timing);
     SameBankScheduler sched(&cfg, &timing, &view);
-    const Tick t = 3 * timing.tRefiAb + timing.tRefiSb + 1;
+    const Tick t = Tick(1) + 3 * timing.tRefiAb + timing.tRefiSb;
     sched.tick(t);
     std::vector<RefreshRequest> urgent;
     sched.urgent(t, urgent);
@@ -403,7 +404,7 @@ TEST_F(SameBankChecker, AcceptsSerializedSlices)
 {
     const CheckerReport report = verify({
         refSb(10, 0),
-        refSb(10 + timing_.tRfcSb, 1),
+        refSb(Tick(10) + timing_.tRfcSb, 1),
     });
     EXPECT_TRUE(report.ok())
         << (report.violations.empty() ? "" : report.violations[0]);
@@ -456,7 +457,7 @@ TEST(SameBankEndToEnd, RefsbRunsCleanOnCanonicalDdr5)
     cfg.enableChecker = true;
     System sys(cfg, {benchmarkIndex("mcf-like"),
                      benchmarkIndex("stream-like")});
-    sys.run(8 * sys.timing().tRefiAb);
+    sys.run(Tick(0) + 8 * sys.timing().tRefiAb);
 
     const ChannelStats &cs = sys.controller(0).channel().stats();
     EXPECT_GT(cs.refSb, 0u);
@@ -479,7 +480,7 @@ TEST(SameBankEndToEnd, HirasbPairsSlices)
     cfg.enableChecker = true;
     System sys(cfg, {benchmarkIndex("mcf-like"),
                      benchmarkIndex("milc-like")});
-    sys.run(12 * sys.timing().tRefiAb);
+    sys.run(Tick(0) + 12 * sys.timing().tRefiAb);
 
     EXPECT_GT(sys.controller(0).channel().stats().refSb, 0u);
     const CheckerReport report = verifyCommandLog(

@@ -13,6 +13,13 @@ using namespace dsarp;
 
 namespace {
 
+/** A duration read as an instant on a clock that started at tick 0. */
+Tick
+at(Cycles c)
+{
+    return Tick(0) + c;
+}
+
 class FrFcfsTest : public ::testing::Test
 {
   protected:
@@ -76,7 +83,7 @@ TEST_F(FrFcfsTest, SingleRequestUsesAutoPrecharge)
 {
     queue_.push(req(1, 0, 0, 42));
     channel_->issue(pick(0).cmd, 0);
-    const CmdChoice c = pick(timing_.tRcd);
+    const CmdChoice c = pick(at(timing_.tRcd));
     ASSERT_TRUE(c.valid);
     EXPECT_EQ(c.cmd.type, CommandType::kRdA);
     EXPECT_EQ(c.queueIndex, 0);
@@ -88,13 +95,13 @@ TEST_F(FrFcfsTest, RowHitBatchKeepsRowOpenUntilLast)
     queue_.push(req(2, 0, 0, 42, 1));
     channel_->issue(pick(0).cmd, 0);
 
-    CmdChoice c = pick(timing_.tRcd);
+    CmdChoice c = pick(at(timing_.tRcd));
     ASSERT_TRUE(c.valid);
     EXPECT_EQ(c.cmd.type, CommandType::kRd) << "another hit is queued";
-    channel_->issue(c.cmd, timing_.tRcd);
+    channel_->issue(c.cmd, at(timing_.tRcd));
     queue_.pop(c.queueIndex);
 
-    c = pick(timing_.tRcd + timing_.tCcd);
+    c = pick(at(timing_.tRcd + timing_.tCcd));
     ASSERT_TRUE(c.valid);
     EXPECT_EQ(c.cmd.type, CommandType::kRdA) << "last hit closes the row";
 }
@@ -107,7 +114,7 @@ TEST_F(FrFcfsTest, RowHitPrioritizedOverOlderAct)
     queue_.pop(0);
     queue_.push(req(2, 0, 1, 7));   // Older in queue now.
     queue_.push(req(3, 0, 0, 42));  // Row hit.
-    const CmdChoice c = pick(timing_.tRcd);
+    const CmdChoice c = pick(at(timing_.tRcd));
     ASSERT_TRUE(c.valid);
     EXPECT_TRUE(isColumnCmd(c.cmd.type));
     EXPECT_EQ(c.cmd.bank, 0);
@@ -148,7 +155,7 @@ TEST_F(FrFcfsTest, BlockedBankRowHitForcesAutoPrecharge)
     queue_.push(req(2, 0, 0, 42, 1));
     channel_->issue(pick(0).cmd, 0);
     noBlockBank_[0] = 1;  // Refresh wants bank 0: close asap.
-    const CmdChoice c = pick(timing_.tRcd);
+    const CmdChoice c = pick(at(timing_.tRcd));
     ASSERT_TRUE(c.valid);
     EXPECT_EQ(c.cmd.type, CommandType::kRdA)
         << "hits still drain but must auto-precharge";
@@ -164,14 +171,14 @@ TEST_F(FrFcfsTest, ConflictPrechargeForStrandedRow)
     queue_.push(req(2, 0, 0, 7));
 
     // Until tRAS the precharge is not legal and nothing else fits.
-    EXPECT_FALSE(pick(timing_.tRcd).valid);
+    EXPECT_FALSE(pick(at(timing_.tRcd)).valid);
 
-    const CmdChoice c = pick(timing_.tRas);
+    const CmdChoice c = pick(at(timing_.tRas));
     ASSERT_TRUE(c.valid);
     EXPECT_EQ(c.cmd.type, CommandType::kPre);
-    channel_->issue(c.cmd, timing_.tRas);
+    channel_->issue(c.cmd, at(timing_.tRas));
 
-    const CmdChoice c2 = pick(timing_.tRas + timing_.tRp);
+    const CmdChoice c2 = pick(at(timing_.tRas + timing_.tRp));
     ASSERT_TRUE(c2.valid);
     EXPECT_EQ(c2.cmd.type, CommandType::kAct);
     EXPECT_EQ(c2.cmd.row, 7);
@@ -183,7 +190,7 @@ TEST_F(FrFcfsTest, NoPrechargeWhileQueueStillWantsRow)
     channel_->issue(pick(0).cmd, 0);
     queue_.push(req(2, 0, 0, 7));
     // Request 1 (row 42) is still queued: the row must not be blown away.
-    const CmdChoice c = pick(timing_.tRas);
+    const CmdChoice c = pick(at(timing_.tRas));
     ASSERT_TRUE(c.valid);
     EXPECT_NE(c.cmd.type, CommandType::kPre);
 }
@@ -192,7 +199,7 @@ TEST_F(FrFcfsTest, WritesPickWriteCommands)
 {
     queue_.push(req(1, 0, 0, 42, 0, true));
     channel_->issue(pick(0).cmd, 0);
-    const CmdChoice c = pick(timing_.tRcd);
+    const CmdChoice c = pick(at(timing_.tRcd));
     ASSERT_TRUE(c.valid);
     EXPECT_EQ(c.cmd.type, CommandType::kWrA);
 }

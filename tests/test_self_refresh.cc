@@ -122,8 +122,8 @@ TEST(SelfRefreshRank, EntryRequiresQuiescedRank)
 
     // A refresh in flight blocks entry until it drains.
     rank.onRefAb(10);
-    EXPECT_FALSE(rank.canSrEnter(10 + t.tRfcAb - 1));
-    EXPECT_TRUE(rank.canSrEnter(10 + t.tRfcAb));
+    EXPECT_FALSE(rank.canSrEnter(Tick(10) + t.tRfcAb - Cycles(1)));
+    EXPECT_TRUE(rank.canSrEnter(Tick(10) + t.tRfcAb));
 
     // An open row blocks entry.
     rank.bank(2).onAct(1000, 7, 0);
@@ -153,11 +153,11 @@ TEST(SelfRefreshRank, ExitHonoursMinimumResidencyAndChargesTxs)
     rank.onSrEnter(100);
 
     // tCKESR gates the exit...
-    EXPECT_FALSE(rank.canSrExit(100 + t.tCkesr - 1));
-    EXPECT_TRUE(rank.canSrExit(100 + t.tCkesr));
+    EXPECT_FALSE(rank.canSrExit(Tick(100) + t.tCkesr - Cycles(1)));
+    EXPECT_TRUE(rank.canSrExit(Tick(100) + t.tCkesr));
 
     // ...and the first command after it is charged the full tXS.
-    const Tick exit_at = 100 + t.tCkesr;
+    const Tick exit_at = Tick(100) + t.tCkesr;
     rank.onSrExit(exit_at);
     EXPECT_FALSE(rank.inSelfRefresh(exit_at));
     EXPECT_TRUE(rank.selfRefreshLockout(exit_at));
@@ -207,15 +207,16 @@ TEST(SelfRefreshChannel, CommandsAndStats)
     Command srx;
     srx.type = CommandType::kSrExit;
     srx.rank = 0;
-    EXPECT_FALSE(ch.canIssue(srx, 50 + t.tCkesr - 1));
-    ASSERT_TRUE(ch.canIssue(srx, 50 + t.tCkesr));
-    ch.issue(srx, 50 + t.tCkesr);
+    EXPECT_FALSE(ch.canIssue(srx, Tick(50) + t.tCkesr - Cycles(1)));
+    ASSERT_TRUE(ch.canIssue(srx, Tick(50) + t.tCkesr));
+    ch.issue(srx, Tick(50) + t.tCkesr);
     EXPECT_EQ(ch.stats().srExit, 1u);
 
     // tXS lockout, then the rank serves again.
     act.rank = 0;
-    EXPECT_FALSE(ch.canIssue(act, 50 + t.tCkesr + t.tXs - 1));
-    EXPECT_TRUE(ch.canIssue(act, 50 + t.tCkesr + t.tXs));
+    EXPECT_FALSE(
+        ch.canIssue(act, Tick(50) + t.tCkesr + t.tXs - Cycles(1)));
+    EXPECT_TRUE(ch.canIssue(act, Tick(50) + t.tCkesr + t.tXs));
 }
 
 // ---------------------------------------------------------------------
@@ -224,7 +225,7 @@ TEST(SelfRefreshChannel, CommandsAndStats)
 
 TEST(SelfRefreshLedger, PausedRankStopsAccruing)
 {
-    RefreshLedger ledger(2, 1, 1000, 0, 0);
+    RefreshLedger ledger(2, 1, Cycles(1000), Cycles(0), Cycles(0));
     ledger.advanceTo(1000);
     EXPECT_EQ(ledger.owed(0), 1);
     EXPECT_EQ(ledger.owed(1), 1);
@@ -238,7 +239,7 @@ TEST(SelfRefreshLedger, PausedRankStopsAccruing)
 
 TEST(SelfRefreshLedger, ResumeRetiresOwedAtInternalRate)
 {
-    RefreshLedger ledger(1, 2, 1000, 0, 0);
+    RefreshLedger ledger(1, 2, Cycles(1000), Cycles(0), Cycles(0));
     ledger.advanceTo(3999);  // Both banks owe 3.
     EXPECT_EQ(ledger.owed(0, 0), 3);
 
@@ -257,7 +258,7 @@ TEST(SelfRefreshLedger, ResumeRetiresOwedAtInternalRate)
 
 TEST(SelfRefreshLedger, ResumeReanchorsTheSchedule)
 {
-    RefreshLedger ledger(1, 1, 1000, 0, 0);
+    RefreshLedger ledger(1, 1, Cycles(1000), Cycles(0), Cycles(0));
     ledger.advanceTo(1000);
     ledger.onRefresh(0);
     EXPECT_EQ(ledger.owed(0), 0);
@@ -316,14 +317,16 @@ TEST(SelfRefreshChecker, ResidencyAndExitRulesCaught)
 {
     const TimingParams t = ddr3Timing();
     // SRX below tCKESR.
-    EXPECT_TRUE(logFails({cmdAt(10, CommandType::kSrEnter),
-                          cmdAt(10 + t.tCkesr - 1, CommandType::kSrExit)},
-                         "tCKESR"));
+    EXPECT_TRUE(logFails(
+        {cmdAt(10, CommandType::kSrEnter),
+         cmdAt(Tick(10) + t.tCkesr - Cycles(1), CommandType::kSrExit)},
+        "tCKESR"));
     // ACT inside the tXS window.
     EXPECT_TRUE(logFails(
         {cmdAt(10, CommandType::kSrEnter),
-         cmdAt(10 + t.tCkesr, CommandType::kSrExit),
-         cmdAt(10 + t.tCkesr + t.tXs - 1, CommandType::kAct, 0, 0, 3)},
+         cmdAt(Tick(10) + t.tCkesr, CommandType::kSrExit),
+         cmdAt(Tick(10) + t.tCkesr + t.tXs - Cycles(1),
+               CommandType::kAct, 0, 0, 3)},
         "tXS"));
     // SRX without a preceding SRE; double SRE.
     EXPECT_TRUE(logFails({cmdAt(10, CommandType::kSrExit)},
@@ -341,7 +344,7 @@ TEST(SelfRefreshChecker, LegalProtocolSequencePasses)
 {
     const MemConfig cfg = ddr3Config();
     const TimingParams t = TimingParams::forConfig(cfg);
-    const Tick exit_at = 100 + t.tCkesr;
+    const Tick exit_at = Tick(100) + t.tCkesr;
     const std::vector<TimedCommand> log = {
         cmdAt(100, CommandType::kSrEnter),
         cmdAt(exit_at, CommandType::kSrExit),
@@ -361,7 +364,7 @@ TEST(SelfRefreshChecker, ResidencyCreditsRefreshCompleteness)
     // caught.
     MemConfig cfg = ddr3Config();
     const TimingParams t = TimingParams::forConfig(cfg);
-    const Tick end = 12 * t.tRefiAb;
+    const Tick end = Tick(0) + 12 * t.tRefiAb;
     const CheckerReport report = verifyCommandLog(
         {cmdAt(10, CommandType::kSrEnter)}, cfg, t, end);
     bool rank0_behind = false;
@@ -402,7 +405,7 @@ endToEnd(const std::string &spec, const std::string &mech,
     cfg.enableChecker = true;
     const auto workloads = makeWorkloads(1, cfg.numCores, 1);
     System sys(cfg, workloads[0].benchIdx);
-    sys.run(10 * sys.timing().tRefiAb);
+    sys.run(Tick(0) + 10 * sys.timing().tRefiAb);
 
     std::uint64_t sre = 0;
     std::uint64_t refreshes = 0;

@@ -101,7 +101,7 @@ runStress(RefreshMode mode, bool sarp, int cores = 2)
         sources.push_back(traces.back().get());
     }
     System sys(cfg, sources);
-    sys.run(12 * sys.timing().tRefiAb);
+    sys.run(Tick(0) + 12 * sys.timing().tRefiAb);
 
     StressOutcome out;
     out.reads = sys.controller(0).stats().readsCompleted;
@@ -164,7 +164,7 @@ TEST(Stress, SingleRankGeometry)
     cfg.mem.sarp = true;
     cfg.enableChecker = true;
     System sys(cfg, {10, 15});
-    sys.run(10 * sys.timing().tRefiAb);
+    sys.run(Tick(0) + 10 * sys.timing().tRefiAb);
     EXPECT_GT(sys.controller(0).stats().readsCompleted, 500u);
     const CheckerReport report = verifyCommandLog(
         sys.commandLog(0), sys.config().mem, sys.timing(), sys.now());
@@ -182,7 +182,7 @@ TEST(Stress, FourRankGeometry)
     cfg.mem.refresh = RefreshMode::kPerBank;
     cfg.enableChecker = true;
     System sys(cfg, {10, 12, 14, 16});
-    sys.run(8 * sys.timing().tRefiAb);
+    sys.run(Tick(0) + 8 * sys.timing().tRefiAb);
     EXPECT_GT(sys.controller(0).stats().readsCompleted, 500u);
     const CheckerReport report = verifyCommandLog(
         sys.commandLog(0), sys.config().mem, sys.timing(), sys.now());

@@ -91,7 +91,7 @@ TEST(SystemIntegration, RefreshCadenceMatchesMechanism)
 {
     SystemConfig cfg = config(RefreshMode::kAllBank);
     System sys(cfg, intensiveMix());
-    const Tick window = 12 * sys.timing().tRefiAb;
+    const Tick window = Tick(0) + 12 * sys.timing().tRefiAb;
     const RunSummary ab = runSystem(cfg, window);
     // 2 channels x 2 ranks x 12 intervals = 48 expected REFab.
     EXPECT_GE(ab.refAb, 40u);

@@ -28,10 +28,11 @@ cfgFor(Density d, int retention_ms = 32,
 
 TEST(Timing, NsToCycles)
 {
-    EXPECT_EQ(TimingParams::nsToCycles(1.5, 1.5), 1);
-    EXPECT_EQ(TimingParams::nsToCycles(1.6, 1.5), 2);
-    EXPECT_EQ(TimingParams::nsToCycles(350.0, 1.5), 234);
-    EXPECT_EQ(TimingParams::nsToCycles(0.0, 1.5), 0);
+    const Nanoseconds tck{1.5};
+    EXPECT_EQ(TimingParams::nsToCycles(Nanoseconds(1.5), tck), 1);
+    EXPECT_EQ(TimingParams::nsToCycles(Nanoseconds(1.6), tck), 2);
+    EXPECT_EQ(TimingParams::nsToCycles(Nanoseconds(350.0), tck), 234);
+    EXPECT_EQ(TimingParams::nsToCycles(Nanoseconds(0.0), tck), 0);
 }
 
 TEST(Timing, Ddr3CoreParameters)
@@ -51,7 +52,7 @@ TEST(Timing, RefreshIntervals32ms)
 {
     const TimingParams t = TimingParams::ddr3_1333(cfgFor(Density::k8Gb));
     // 32 ms / 8192 = 3.9 us = 2604 cycles at 1.5 ns.
-    EXPECT_NEAR(static_cast<double>(t.tRefiAb), 2604.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(t.tRefiAb.count()), 2604.0, 2.0);
     EXPECT_EQ(t.tRefiPb, t.tRefiAb / 8);
 }
 
@@ -59,7 +60,7 @@ TEST(Timing, RefreshIntervals64ms)
 {
     const TimingParams t =
         TimingParams::ddr3_1333(cfgFor(Density::k8Gb, 64));
-    EXPECT_NEAR(static_cast<double>(t.tRefiAb), 5208.0, 4.0);
+    EXPECT_NEAR(static_cast<double>(t.tRefiAb.count()), 5208.0, 4.0);
 }
 
 TEST(Timing, RefreshLatencyScalesWithDensity)
@@ -78,8 +79,8 @@ TEST(Timing, PerBankRatioIs2Point3)
 {
     for (Density d : {Density::k8Gb, Density::k16Gb, Density::k32Gb}) {
         const TimingParams t = TimingParams::ddr3_1333(cfgFor(d));
-        const double ratio =
-            static_cast<double>(t.tRfcAb) / static_cast<double>(t.tRfcPb);
+        const double ratio = static_cast<double>(t.tRfcAb.count()) /
+            static_cast<double>(t.tRfcPb.count());
         EXPECT_NEAR(ratio, 2.3, 0.03) << densityName(d);
         EXPECT_GT(t.tRfcPb, t.tRfcAb / 8)
             << "tRFCpb must exceed tRFCab/8 (Figure 3b)";
@@ -112,11 +113,16 @@ TEST(Timing, FgrScaling)
     EXPECT_EQ(f4.tRefiAb, base.tRefiAb / 4);
 
     // Section 6.5: tRFC shrinks by only 1.35x / 1.63x.
-    EXPECT_NEAR(static_cast<double>(base.tRfcAb) / f2.tRfcAb, 1.35, 0.02);
-    EXPECT_NEAR(static_cast<double>(base.tRfcAb) / f4.tRfcAb, 1.63, 0.02);
+    EXPECT_NEAR(static_cast<double>(base.tRfcAb.count()) /
+                    static_cast<double>(f2.tRfcAb.count()),
+                1.35, 0.02);
+    EXPECT_NEAR(static_cast<double>(base.tRfcAb.count()) /
+                    static_cast<double>(f4.tRfcAb.count()),
+                1.63, 0.02);
 
     // Worst-case lockout per retention grows (the paper's complaint).
-    const double base_lockout = static_cast<double>(base.tRfcAb);
+    const double base_lockout =
+        static_cast<double>(base.tRfcAb.count());
     EXPECT_GT(2.0 * f2.tRfcAb, base_lockout);
     EXPECT_GT(4.0 * f4.tRfcAb, base_lockout);
 

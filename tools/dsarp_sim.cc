@@ -79,7 +79,7 @@ listSpecs()
     const auto &registry = DramSpecRegistry::instance();
     for (const std::string &name : registry.names()) {
         const DramSpec *spec = registry.find(name);
-        std::printf("%-12s tCK %5.3f ns  %s\n", name.c_str(), spec->tCkNs,
+        std::printf("%-12s tCK %5.3f ns  %s\n", name.c_str(), spec->tCkNs.ns(),
                     spec->summary.c_str());
     }
 }
@@ -191,7 +191,7 @@ main(int argc, char **argv)
 
     std::printf("mechanism  : %s\n", sim.mechanismName().c_str());
     std::printf("dram spec  : %s (tCK %.3f ns)\n",
-                sim.dramSpecName().c_str(), sim.dramSpec().tCkNs);
+                sim.dramSpecName().c_str(), sim.dramSpec().tCkNs.ns());
     std::printf("density    : %dGb, retention %d ms, %d subarrays/bank\n",
                 cfg.densityGb, cfg.retentionMs, cfg.subarraysPerBank);
     std::printf("system     : %d cores, %llu+%llu cycles\n", cfg.numCores,

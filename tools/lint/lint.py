@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for invariants the compiler cannot see.
+
+Three checks, each born from a real bug class in this codebase:
+
+1. unit-honest-conversion -- no raw arithmetic against the clock
+   period (``/ tCkNs`` or ``* tCkNs``) outside the two blessed
+   translation units, src/dram/timing.cc and src/dram/spec.cc.  Every
+   other file must convert through TimingParams::nsToCycles /
+   nsToCyclesFloor (this is the bug class that once understated
+   LPDDR4 refresh energy 2x).
+
+2. config-key-once -- every ExperimentConfig key string is declared
+   exactly once, in src/sim/config_keys.hh.  A bare string literal
+   under src/ that respells a known key (e.g. "refresh.fgrRate")
+   forks the user-facing vocabulary; library code must reference the
+   keys::k* constant instead.  Comments, and tests/tools that
+   exercise the public string API the way a user would, are exempt;
+   only exact standalone literals in src/ code are flagged.
+
+3. registrar-once -- every DSARP_REGISTER_REFRESH_POLICY /
+   DSARP_REGISTER_DRAM_SPEC identifier appears in exactly one
+   translation unit.  A copy-pasted registrar aborts at startup in
+   every binary; catch it before the build does.
+
+Exit status 0 when clean, 1 with findings (one ``file:line: message``
+per line), 2 on usage errors.  ``--self-test`` seeds one violation of
+each invariant in a temp tree and asserts the linter reports it.
+"""
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+# Files allowed to do raw tCK arithmetic: the single-point conversion
+# implementations themselves.
+CONVERSION_TUS = {
+    Path("src/dram/timing.cc"),
+    Path("src/dram/spec.cc"),
+}
+
+# Unit-blind arithmetic against the clock period.  The explicit
+# `.ns()` escape hatch is excluded: it is the documented way to read
+# the raw figure for printing and for energy math (mA x ns), where no
+# ns -> cycles conversion is happening.
+RAW_TCK_RE = re.compile(
+    r"[*/]\s*(?:\w+(?:\.|->))?tCkNs\b(?!\s*\.\s*ns\(\))"
+    r"|\btCkNs\s*[*/]")
+COMMENT_RE = re.compile(r"^\s*(?://|\*|/\*)")
+
+STRING_LIT_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+REGISTRAR_RE = re.compile(
+    r"DSARP_REGISTER_(?:REFRESH_POLICY|DRAM_SPEC)\(\s*(\w+)")
+
+SOURCE_GLOBS = ("src/**/*.cc", "src/**/*.hh", "tests/*.cc",
+                "bench/*.cc", "bench/*.hh", "tools/*.cc",
+                "examples/*.cpp")
+
+
+def source_files(root):
+    out = []
+    for pattern in SOURCE_GLOBS:
+        out.extend(sorted(root.glob(pattern)))
+    return out
+
+
+def config_keys(root):
+    """Key literals declared in config_keys.hh, in declaration order."""
+    header = root / "src/sim/config_keys.hh"
+    if not header.exists():
+        return []
+    keys = []
+    for line in header.read_text().splitlines():
+        if "constexpr char" not in line:
+            continue
+        m = STRING_LIT_RE.search(line)
+        if m:
+            keys.append(m.group(1))
+    return keys
+
+
+def check_unit_conversions(root, findings):
+    for path in source_files(root):
+        rel = path.relative_to(root)
+        if rel in CONVERSION_TUS:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if COMMENT_RE.match(line):
+                continue
+            if RAW_TCK_RE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: raw tCK arithmetic outside "
+                    "timing.cc/spec.cc; convert via "
+                    "TimingParams::nsToCycles")
+
+
+def check_config_keys(root, findings):
+    keys = set(config_keys(root))
+    if not keys:
+        findings.append(
+            "src/sim/config_keys.hh: missing or declares no keys")
+        return
+    header = Path("src/sim/config_keys.hh")
+    for path in source_files(root):
+        rel = path.relative_to(root)
+        if rel == header or rel.parts[0] != "src":
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if COMMENT_RE.match(line):
+                continue
+            for m in STRING_LIT_RE.finditer(line):
+                if m.group(1) in keys:
+                    findings.append(
+                        f"{rel}:{lineno}: config key "
+                        f"\"{m.group(1)}\" respelled; use the keys::k* "
+                        "constant from sim/config_keys.hh")
+    seen = {}
+    for lineno, line in enumerate(
+            (root / header).read_text().splitlines(), 1):
+        if "constexpr char" not in line:
+            continue
+        m = STRING_LIT_RE.search(line)
+        if m and m.group(1) in seen:
+            findings.append(
+                f"{header}:{lineno}: key \"{m.group(1)}\" declared "
+                f"twice (first at line {seen[m.group(1)]})")
+        elif m:
+            seen[m.group(1)] = lineno
+
+
+def check_registrars(root, findings):
+    owners = {}
+    for path in source_files(root):
+        rel = path.relative_to(root)
+        if path.suffix != ".cc":
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for m in REGISTRAR_RE.finditer(line):
+                ident = m.group(1)
+                if ident in owners:
+                    prev_rel, prev_line = owners[ident]
+                    findings.append(
+                        f"{rel}:{lineno}: registry entry '{ident}' "
+                        f"also registered at {prev_rel}:{prev_line}; "
+                        "each entry must live in exactly one TU")
+                else:
+                    owners[ident] = (rel, lineno)
+
+
+def run_checks(root):
+    findings = []
+    check_unit_conversions(root, findings)
+    check_config_keys(root, findings)
+    check_registrars(root, findings)
+    return findings
+
+
+def self_test():
+    """Seed one violation per invariant; the linter must catch all."""
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        (root / "src/dram").mkdir(parents=True)
+        (root / "src/sim").mkdir(parents=True)
+        (root / "tests").mkdir()
+
+        (root / "src/sim/config_keys.hh").write_text(
+            'inline constexpr char kFgrRate[] = "refresh.fgrRate";\n')
+
+        # 1. Raw tCK conversion outside the blessed TUs.
+        (root / "src/dram/bad_convert.cc").write_text(
+            "int cycles(double ns, double tCkNs)\n"
+            "{ return static_cast<int>(ns / tCkNs); }\n")
+        # 2. A respelled config key in library code (tests/tools may
+        # spell keys out; src/ must not).
+        (root / "src/sim/bad_key.cc").write_text(
+            'const char *k = "refresh.fgrRate";\n')
+        # 3. A registrar duplicated across two TUs.
+        (root / "src/dram/reg_a.cc").write_text(
+            "DSARP_REGISTER_DRAM_SPEC(ddr9, spec());\n")
+        (root / "src/dram/reg_b.cc").write_text(
+            "DSARP_REGISTER_DRAM_SPEC(ddr9, spec());\n")
+
+        findings = run_checks(root)
+        for needle in ("raw tCK arithmetic", "respelled",
+                       "exactly one TU"):
+            if not any(needle in f for f in findings):
+                failures.append(f"self-test: no finding matching "
+                                f"'{needle}' in {findings}")
+
+        # The blessed TUs must stay allowed.
+        (root / "src/dram/bad_convert.cc").unlink()
+        (root / "src/dram/timing.cc").write_text(
+            "int c(double ns, double tCkNs) { return int(ns / tCkNs); }\n")
+        for f in run_checks(root):
+            if "raw tCK" in f:
+                failures.append(f"self-test: blessed TU flagged: {f}")
+
+    # The real tree must currently be clean, or the lint gate is dead
+    # on arrival.
+    real = run_checks(REPO)
+    for f in real:
+        failures.append(f"self-test: real tree not clean: {f}")
+
+    for msg in failures:
+        print(msg)
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true",
+                        help="seed violations and assert detection")
+    parser.add_argument("--root", type=Path, default=REPO,
+                        help="tree to lint (default: the repo)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        rc = self_test()
+        if rc == 0:
+            print("lint self-test: all seeded violations caught")
+        return rc
+
+    findings = run_checks(args.root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
