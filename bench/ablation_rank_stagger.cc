@@ -20,8 +20,9 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Ablation", "REFab cross-rank refresh phase (32 Gb)");
 
     Runner runner;

@@ -18,8 +18,9 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Ablation",
            "write batch length vs DARP's write-refresh benefit (32 Gb)");
 

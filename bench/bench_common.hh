@@ -20,6 +20,7 @@
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "dram/spec.hh"
+#include "sim/parallel.hh"
 #include "sim/runner.hh"
 #include "workload/workload.hh"
 
@@ -79,6 +80,44 @@ specSupportsSameBank(const std::string &spec)
 {
     const std::string name = spec.empty() ? "DDR3-1333" : spec;
     return DramSpecRegistry::instance().at(name).banksPerGroup > 0;
+}
+
+/**
+ * The bench-wide worker count: every binary's sweep() calls shard
+ * their workload list across this many threads. Defaults to the
+ * DSARP_JOBS environment knob (itself defaulting to 1 = serial);
+ * "--jobs N" on the command line wins (applyJobsFromArgs()). Results
+ * are byte-identical for any value -- see sim/parallel.hh.
+ */
+inline int &
+sweepJobs()
+{
+    static int jobs = static_cast<int>(envKnob("DSARP_JOBS", 1));
+    return jobs;
+}
+
+/**
+ * Parse "--jobs N" (fatal named-key error on a missing or non-positive
+ * value) into the bench-wide worker count. Benches pass argc/argv
+ * straight through, exactly like specFromArgs().
+ */
+inline void
+applyJobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") != 0)
+            continue;
+        if (i + 1 >= argc)
+            DSARP_FATAL("--jobs needs a value (a positive worker count)");
+        char *end = nullptr;
+        const long n = std::strtol(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || *end != '\0' || n < 1) {
+            DSARP_FATALF("--jobs: '%s' is not a positive worker count",
+                         argv[i + 1]);
+        }
+        sweepJobs() = static_cast<int>(n);
+        return;
+    }
 }
 
 /**
@@ -160,6 +199,19 @@ sweep(Runner &runner, const RunConfig &cfgIn,
     RunConfig cfg = cfgIn;
     if (cfg.dramSpec.empty())
         cfg.dramSpec = defaultSpec();
+    if (sweepJobs() > 1) {
+        // Sharded across the bench-wide pool; SweepRunner collects
+        // results by point index, so the output (and therefore every
+        // printed figure) is byte-identical to the serial path.
+        std::fprintf(stderr, "  [%s %s] %zu workloads x %d jobs\r",
+                     densityName(cfg.density),
+                     cfg.mechanismName().c_str(), workloads.size(),
+                     sweepJobs());
+        SweepRunner sharded(runner, sweepJobs());
+        auto out = sharded.run(cfg, workloads);
+        std::fprintf(stderr, "%60s\r", "");
+        return out;
+    }
     std::vector<RunResult> out;
     out.reserve(workloads.size());
     for (const Workload &w : workloads) {

@@ -70,8 +70,9 @@ measure(Runner &runner, const std::string &mech, const std::string &spec,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Extension: HiRA",
            "hidden row activation vs REFab/DSARP per DRAM spec");
 

@@ -16,8 +16,9 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Extension",
            "overlapped per-bank refresh (footnote 5), 32 Gb");
 

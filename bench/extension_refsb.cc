@@ -78,8 +78,9 @@ measure(Runner &runner, const std::string &mech, const std::string &spec,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Extension: REFsb",
            "DDR5 same-bank refresh vs REFpb/HiRA/DSARP per DRAM spec");
 

@@ -39,8 +39,9 @@ fitLine(const std::vector<Point> &pts, double &slope, double &intercept)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    dsarp::bench::applyJobsFromArgs(argc, argv);
     dsarp::bench::banner("Figure 5", "refresh latency (tRFCab) trend");
 
     // Datasheet tRFCab values for shipped DDR3 generations [11, 29].

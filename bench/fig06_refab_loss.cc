@@ -18,8 +18,9 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Figure 6", "performance loss due to REFab vs ideal (no refresh)");
 
     Runner runner;

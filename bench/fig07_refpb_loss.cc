@@ -15,8 +15,9 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Figure 7", "performance loss due to REFab and REFpb vs ideal");
 
     Runner runner;

@@ -19,8 +19,9 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Figure 12",
            "sorted per-workload normalized WS over REFab (8/16/32 Gb)");
 

@@ -21,6 +21,7 @@ main(int argc, char **argv)
     banner("Figure 13", "average WS improvement over REFab (%)");
 
     // Backend axis: --spec NAME > DSARP_DRAM_SPEC > DDR3-1333 default.
+    applyJobsFromArgs(argc, argv);
     const std::string spec = specFromArgs(argc, argv);
     if (!spec.empty())
         std::printf("[dram spec: %s]\n", spec.c_str());

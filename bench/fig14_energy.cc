@@ -33,6 +33,7 @@ main(int argc, char **argv)
     banner("Figure 14", "energy per access (nJ) by mechanism");
 
     // Backend axis: --spec NAME > DSARP_DRAM_SPEC > DDR3-1333 default.
+    applyJobsFromArgs(argc, argv);
     const std::string spec = specFromArgs(argc, argv);
     if (!spec.empty())
         std::printf("[dram spec: %s]\n", spec.c_str());

@@ -17,8 +17,9 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Figure 15",
            "DSARP WS improvement by memory intensity (%)");
 

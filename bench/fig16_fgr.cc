@@ -22,6 +22,7 @@ main(int argc, char **argv)
 
     // Backend axis: DDR4-2400 is the interesting one here -- its
     // native tRFC2/tRFC4 divisors replace the Section 6.5 projections.
+    applyJobsFromArgs(argc, argv);
     const std::string spec = specFromArgs(argc, argv);
     if (!spec.empty())
         std::printf("[dram spec: %s]\n", spec.c_str());

@@ -17,8 +17,9 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Section 6.1.2", "DARP component breakdown (WS over REFab)");
 
     Runner runner;

@@ -28,8 +28,9 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Spec comparison",
            "tRFC trend and DSARP win across registered DRAM specs");
 

@@ -17,8 +17,9 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Table 2",
            "max / gmean WS improvement over REFpb and REFab (%)");
 

@@ -16,8 +16,9 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Table 3", "DSARP vs REFab by core count (32 Gb, intensive)");
 
     Runner runner;

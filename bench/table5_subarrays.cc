@@ -17,8 +17,9 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Table 5",
            "SARPpb over REFpb vs subarrays-per-bank (32 Gb, intensive)");
 

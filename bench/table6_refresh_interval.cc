@@ -16,8 +16,9 @@ using namespace dsarp;
 using namespace dsarp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    applyJobsFromArgs(argc, argv);
     banner("Table 6", "DSARP at 64 ms retention (WS improvement)");
 
     Runner runner;

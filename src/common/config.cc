@@ -272,6 +272,11 @@ SystemConfig::finalize()
     if (numCores < 1)
         DSARP_FATALF("config key 'numCores' must be >= 1 (got %d)",
                      numCores);
+    if (engine != "cycle" && engine != "event") {
+        DSARP_FATALF("config key 'sim.engine' must be \"cycle\" or "
+                     "\"event\" (got \"%s\")",
+                     engine.c_str());
+    }
     if (core.cpuCyclesPerTick < 1 || core.windowSize < 1 ||
         core.retireWidth < 1 || core.mshrs < 1) {
         DSARP_FATALF("config keys 'core.cpuCyclesPerTick'/'core."

@@ -276,6 +276,14 @@ struct SystemConfig
     std::uint64_t seed = 1;
     bool enableChecker = false;  ///< Attach the timing-invariant checker.
 
+    /**
+     * Simulation engine (config key "sim.engine"): "cycle" steps every
+     * DRAM tick (the legacy loop, kept forever as the reference);
+     * "event" skips to the earliest next deadline any component
+     * reports, with bit-identical commands, stats, and RNG streams.
+     */
+    std::string engine = "cycle";
+
     /** Validate core/system keys, then the memory config; a fatal
      *  named-key error on inconsistent values. */
     void finalize();

@@ -37,6 +37,7 @@ class Rng
     std::uint64_t
     next()
     {
+        ++drawCount_;
         const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
         const std::uint64_t t = state_[1] << 17;
         state_[2] ^= state_[0];
@@ -68,6 +69,26 @@ class Rng
     /** Bernoulli draw with probability p. */
     bool chance(double p) { return uniform() < p; }
 
+    /**
+     * Advance the stream by @p n draws without using them. The
+     * event-driven engine replays the draws a skipped tick would have
+     * made (every consumer above costs exactly one next()), keeping
+     * the stream bit-identical to the cycle-by-cycle loop.
+     */
+    void
+    discard(std::uint64_t n)
+    {
+        for (std::uint64_t i = 0; i < n; ++i)
+            next();
+    }
+
+    /**
+     * Draws made since construction. The event engine snapshots this
+     * around a component's tick to learn how many draws one inert tick
+     * costs, then discard()s that many per skipped tick.
+     */
+    std::uint64_t draws() const { return drawCount_; }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)
@@ -76,6 +97,7 @@ class Rng
     }
 
     std::uint64_t state_[4];
+    std::uint64_t drawCount_ = 0;
 };
 
 } // namespace dsarp

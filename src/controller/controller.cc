@@ -7,6 +7,7 @@
 
 namespace dsarp {
 
+
 ChannelController::ChannelController(ChannelId id, const MemConfig *cfg,
                                      const TimingParams *timing,
                                      std::uint64_t seed)
@@ -37,22 +38,31 @@ ChannelController::enqueueRead(const Request &req, Tick now)
     if (writeQ_.findAddr(req.addr) >= 0) {
         ++stats_.forwardedReads;
         pendingReads_.push_back({now + 1, req});
+        enqueuedSinceTick_ = true;
         return true;
     }
-    if (!readQ_.push(req))
+    if (!readQ_.push(req)) {
+        // The core retries every tick; the event engine re-wakes it
+        // when a pop frees a slot (see consumePoppedWithRejection).
+        sendRejected_ = true;
         return false;
+    }
     ++stats_.readsEnqueued;
     lastDemandActivity_[req.loc.rank] = now;
+    enqueuedSinceTick_ = true;
     return true;
 }
 
 bool
 ChannelController::enqueueWrite(const Request &req, Tick now)
 {
-    if (!writeQ_.push(req))
+    if (!writeQ_.push(req)) {
+        sendRejected_ = true;
         return false;
+    }
     ++stats_.writesEnqueued;
     lastDemandActivity_[req.loc.rank] = now;
+    enqueuedSinceTick_ = true;
     return true;
 }
 
@@ -128,6 +138,7 @@ ChannelController::tryIssue(const Command &cmd, Tick now)
     if (!channel_.canIssue(cmd, now))
         return false;
     channel_.issue(cmd, now);
+    issuedThisTick_ = true;
     if (cmdLog_)
         cmdLog_->push_back({now, cmd});
     return true;
@@ -138,6 +149,7 @@ ChannelController::serveDemand(RequestQueue &queue, const CmdChoice &choice,
                                Tick now)
 {
     const Tick data_tick = channel_.issue(choice.cmd, now);
+    issuedThisTick_ = true;
     if (cmdLog_)
         cmdLog_->push_back({now, choice.cmd});
     lastDemandActivity_[choice.cmd.rank] = now;
@@ -146,6 +158,12 @@ ChannelController::serveDemand(RequestQueue &queue, const CmdChoice &choice,
     if (!isColumnCmd(choice.cmd.type))
         return;  // ACT: the request stays queued for its column command.
 
+    if (sendRejected_) {
+        // A queue slot frees while some core sits in fetch-retry:
+        // that core's stalled certificate is void from here on.
+        poppedWithRejection_ = true;
+        sendRejected_ = false;
+    }
     Request req = queue.pop(choice.queueIndex);
     if (req.isWrite) {
         ++stats_.writesIssued;
@@ -210,38 +228,47 @@ ChannelController::arbitrate(Tick now)
     }
 
     // 2. Demand commands: writes during writeback mode, reads otherwise.
-    RequestQueue &queue = writeDrain_.active() ? writeQ_ : readQ_;
-    CmdChoice choice = FrFcfs::pick(queue, channel_, now, blockedActBank_,
-                                    blockedActRank_,
-                                    cfg_->org.banksPerRank);
-    if (choice.valid) {
-        serveDemand(queue, choice, now);
-        return;
-    }
-
-    // 3. Precharge assist: a blocking refresh target still has a row open
-    //    (e.g. read row hits stranded by writeback mode); close it.
-    for (const RefreshRequest &req : urgentScratch_) {
-        if (!req.blocking)
-            continue;
-        int lo = req.bank, hi = req.bank;
-        if (req.allBank) {
-            lo = 0;
-            hi = cfg_->org.banksPerRank - 1;
-        } else if (req.sameBank) {
-            lo = req.bank * timing_->banksPerGroup;
-            hi = lo + timing_->banksPerGroup - 1;
+    //    Skipped wholesale while the frozen-pick certificate holds (see
+    //    pickSkipUntil_): this tick was reached by a wake that cannot
+    //    change the pick's "nothing issuable" answer -- a read
+    //    delivery, a refresh pull-in probe, or an SRE threshold.
+    if (now >= pickSkipUntil_) {
+        RequestQueue &queue = writeDrain_.active() ? writeQ_ : readQ_;
+        CmdChoice choice = FrFcfs::pick(queue, channel_, now,
+                                        blockedActBank_, blockedActRank_,
+                                        cfg_->org.banksPerRank);
+        if (choice.valid) {
+            serveDemand(queue, choice, now);
+            return;
         }
-        for (BankId b = lo; b <= hi; ++b) {
-            const Bank &bank = channel_.rank(req.rank).bank(b);
-            if (!bank.isOpen())
+
+        // 3. Precharge assist: a blocking refresh target still has a
+        //    row open (e.g. read row hits stranded by writeback mode);
+        //    close it. Under the certificate its answer is frozen too:
+        //    the urgent set, every open row, and PRE legality are all
+        //    unchanged since it last found nothing.
+        for (const RefreshRequest &req : urgentScratch_) {
+            if (!req.blocking)
                 continue;
-            Command pre;
-            pre.type = CommandType::kPre;
-            pre.rank = req.rank;
-            pre.bank = b;
-            if (tryIssue(pre, now))
-                return;
+            int lo = req.bank, hi = req.bank;
+            if (req.allBank) {
+                lo = 0;
+                hi = cfg_->org.banksPerRank - 1;
+            } else if (req.sameBank) {
+                lo = req.bank * timing_->banksPerGroup;
+                hi = lo + timing_->banksPerGroup - 1;
+            }
+            for (BankId b = lo; b <= hi; ++b) {
+                const Bank &bank = channel_.rank(req.rank).bank(b);
+                if (!bank.isOpen())
+                    continue;
+                Command pre;
+                pre.type = CommandType::kPre;
+                pre.rank = req.rank;
+                pre.bank = b;
+                if (tryIssue(pre, now))
+                    return;
+            }
         }
     }
 
@@ -275,9 +302,14 @@ ChannelController::arbitrate(Tick now)
         }
     }
 
-    // 5. Opportunistic refresh (DARP's idle-bank pull-in).
+    // 5. Opportunistic refresh (DARP's idle-bank pull-in). Measure the
+    //    probe's RNG appetite: an inert tick reaches this point, so the
+    //    event engine replays exactly these draws per skipped tick.
     RefreshRequest opp;
-    if (refreshSched_->opportunistic(now, opp)) {
+    const std::uint64_t draws_before = rng_.draws();
+    const bool opp_wanted = refreshSched_->opportunistic(now, opp);
+    oppDraws_ = rng_.draws() - draws_before;
+    if (opp_wanted) {
         if (tryIssue(toCommand(opp), now)) {
             refreshSched_->onIssued(opp, now);
             return;
@@ -289,6 +321,12 @@ void
 ChannelController::tick(Tick now)
 {
     ++stats_.ticks;
+    if (issuedThisTick_ || enqueuedSinceTick_) {
+        deadlineCacheValid_ = false;
+        pickSkipUntil_ = 0;
+    }
+    issuedThisTick_ = false;
+    enqueuedSinceTick_ = false;
 
     refreshSched_->tick(now);
     writeDrain_.update(writeQ_.size());
@@ -301,6 +339,7 @@ ChannelController::tick(Tick now)
             const PendingRead pr = pendingReads_[i];
             pendingReads_[i] = pendingReads_.back();
             pendingReads_.pop_back();
+            deadlineCacheValid_ = false;
             ++stats_.readsCompleted;
             stats_.readLatencySum += pr.done - pr.req.arrival;
             stats_.readLatency.add(pr.done - pr.req.arrival);
@@ -316,6 +355,80 @@ ChannelController::tick(Tick now)
     stats_.readQueueOccupancySum += readQ_.size();
     stats_.writeQueueOccupancySum += writeQ_.size();
     channel_.sampleActivity(now);
+}
+
+Tick
+ChannelController::nextWake(Tick now)
+{
+    // A tick that issued a command, or fresh work enqueued by a core
+    // after this controller ticked, may enable another command on the
+    // very next tick: step.
+    if (issuedThisTick_ || enqueuedSinceTick_)
+        return now;
+
+    // The DRAM deadline set only moves when a command issues, work is
+    // enqueued, or read data is delivered -- every such event
+    // invalidates the cache -- so an inert controller re-enumerates at
+    // most once per event rather than at every wake. The refresh
+    // scheduler is deliberately outside the cache: its wake is cheap
+    // and its internal state (ledger accrual, policy decisions) moves
+    // on its own schedule.
+    if (!deadlineCacheValid_ || cachedDeadline_ <= now) {
+        Tick issu = kTickNever;
+        const auto addIssu = [&](Tick t) {
+            if (t > now && t < issu)
+                issu = t;
+        };
+        addIssu(channel_.nextDeadline(now));
+        // Self-refresh idle-entry thresholds (arbitrate step 4). Added
+        // unconditionally per rank: a spurious wake costs one tick, a
+        // missed one would diverge.
+        if (cfg_->srIdleEntryCycles > 0) {
+            for (RankId r = 0; r < channel_.numRanks(); ++r) {
+                addIssu(lastDemandActivity_[r] +
+                        static_cast<Tick>(cfg_->srIdleEntryCycles));
+            }
+        }
+        Tick wake = issu;
+        for (const PendingRead &pr : pendingReads_) {
+            if (pr.done > now && pr.done < wake)
+                wake = pr.done;
+        }
+        cachedDeadline_ = wake;
+        cachedIssuDeadline_ = issu;
+        deadlineCacheValid_ = true;
+    }
+    Tick wake = cachedDeadline_;
+    const Tick sched = refreshSched_->nextWake(now);
+    if (sched > now && sched < wake)
+        wake = sched;
+    // This tick was inert and everything the demand pick reads is
+    // frozen until the issuability deadline or the policy's next state
+    // change, whichever is first: later wakes (deliveries, refresh
+    // pull-ins, SRE probes) may skip the FR-FCFS scan until then.
+    pickSkipUntil_ = cachedIssuDeadline_;
+    if (sched > now && sched < pickSkipUntil_)
+        pickSkipUntil_ = sched;
+    return wake;
+}
+
+void
+ChannelController::skipTicks(Tick firstTick, Tick ticks)
+{
+    // Replay the linear per-tick effects of an inert tick() across the
+    // span [firstTick, firstTick + ticks). Queue sizes, drain state,
+    // and every DRAM predicate are frozen: nothing issued, nothing was
+    // enqueued, and the engine wakes at every timing threshold.
+    stats_.ticks += ticks;
+    if (writeDrain_.active())
+        stats_.writebackModeTicks += ticks;
+    stats_.readQueueOccupancySum +=
+        ticks * static_cast<std::uint64_t>(readQ_.size());
+    stats_.writeQueueOccupancySum +=
+        ticks * static_cast<std::uint64_t>(writeQ_.size());
+    rng_.discard(oppDraws_ * ticks);
+    refreshSched_->skipTicks(firstTick, ticks);
+    channel_.sampleActivitySpan(firstTick, ticks);
 }
 
 } // namespace dsarp

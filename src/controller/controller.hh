@@ -80,6 +80,42 @@ class ChannelController : public ControllerView
     /** Advance one DRAM cycle: refresh policy, arbitration, stats. */
     void tick(Tick now);
 
+    /**
+     * Earliest tick strictly after @p now at which this controller
+     * could act differently than it just did: the next read-data
+     * delivery, refresh-policy wake, DRAM timing threshold, or
+     * self-refresh idle-entry instant. Returns @p now (forcing the
+     * legacy one-tick step) whenever the tick at @p now issued a
+     * command or a core enqueued since -- only provably inert state
+     * may be skipped.
+     */
+    Tick nextWake(Tick now);
+
+    /**
+     * Account the @p ticks skipped ticks [firstTick, firstTick+ticks)
+     * for the event-driven engine: linear stat accrual (tick/occupancy/
+     * writeback counters, activity sampling) plus a replay of the
+     * per-tick RNG draws the opportunistic-refresh probe would have
+     * made. Bit-identical to ticking cycle by cycle across an inert
+     * span.
+     */
+    void skipTicks(Tick firstTick, Tick ticks);
+
+    /**
+     * True once, after a demand-queue pop that followed a rejected
+     * enqueue: some core is spinning in fetch-retry against the full
+     * queue, and its stalled-core certificate ends at the pop. The
+     * event engine re-wakes every core at such ticks (reads the flag
+     * destructively).
+     */
+    bool
+    consumePoppedWithRejection()
+    {
+        const bool v = poppedWithRejection_;
+        poppedWithRejection_ = false;
+        return v;
+    }
+
     /** @name ControllerView */
     /// @{
     int pendingDemands(RankId r, BankId b) const override;
@@ -149,6 +185,35 @@ class ChannelController : public ControllerView
     ReadCallback readCallback_;
     ControllerStats stats_;
     std::vector<TimedCommand> *cmdLog_ = nullptr;
+
+    /** @name Event-engine bookkeeping (see nextWake/skipTicks). */
+    /// @{
+    bool issuedThisTick_ = false;    ///< Any command went out at tick().
+    bool enqueuedSinceTick_ = false; ///< A core enqueued after tick().
+    bool sendRejected_ = false;      ///< An enqueue bounced off a full queue.
+    bool poppedWithRejection_ = false; ///< ...and a slot has freed since.
+    /** RNG draws the last inert opportunistic() probe made (replayed
+     *  once per skipped tick; lazy draws in urgent() cache themselves
+     *  and must not be replayed). */
+    std::uint64_t oppDraws_ = 0;
+    /** Memoized DRAM-side deadline minimum (see nextWake()). */
+    Tick cachedDeadline_ = 0;
+    /** Same minimum without the read-delivery instants: the earliest
+     *  tick any command's legality can flip (deliveries never do). */
+    Tick cachedIssuDeadline_ = 0;
+    bool deadlineCacheValid_ = false;
+    /**
+     * Frozen-pick certificate: while now < pickSkipUntil_, the demand
+     * pick (and the precharge assist behind it) provably repeats its
+     * last "nothing issuable" answer -- the queues are unchanged (an
+     * enqueue zeroes this), no command issued (ditto), no DRAM timing
+     * threshold expires before the issuability deadline, and the
+     * refresh policy's urgent set is fixed until its own wake. Set by
+     * nextWake() after an inert tick, so only event-engine runs
+     * benefit; the cycle engine always runs the full pick.
+     */
+    Tick pickSkipUntil_ = 0;
+    /// @}
 };
 
 } // namespace dsarp

@@ -18,6 +18,7 @@ RequestQueue::push(const Request &req)
         return false;
     entries_.push_back(req);
     ++bankCount_[req.loc.rank * banks_ + req.loc.bank];
+    ++rowCount_[rowKey(req.loc.rank, req.loc.bank, req.loc.row)];
     return true;
 }
 
@@ -30,6 +31,12 @@ RequestQueue::pop(int i)
     --bankCount_[req.loc.rank * banks_ + req.loc.bank];
     DSARP_ASSERT(bankCount_[req.loc.rank * banks_ + req.loc.bank] >= 0,
                  "bank count underflow");
+    const auto it =
+        rowCount_.find(rowKey(req.loc.rank, req.loc.bank, req.loc.row));
+    DSARP_ASSERT(it != rowCount_.end() && it->second > 0,
+                 "row count underflow");
+    if (--it->second == 0)
+        rowCount_.erase(it);
     return req;
 }
 
@@ -50,17 +57,6 @@ RequestQueue::findAddr(Addr addr) const
             return i;
     }
     return -1;
-}
-
-int
-RequestQueue::rowCount(RankId r, BankId b, RowId row) const
-{
-    int count = 0;
-    for (const Request &req : entries_) {
-        if (req.loc.rank == r && req.loc.bank == b && req.loc.row == row)
-            ++count;
-    }
-    return count;
 }
 
 } // namespace dsarp

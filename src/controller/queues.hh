@@ -10,6 +10,8 @@
 #ifndef DSARP_CONTROLLER_QUEUES_HH
 #define DSARP_CONTROLLER_QUEUES_HH
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -48,14 +50,30 @@ class RequestQueue
     /** First index whose request matches @p addr, or -1. */
     int findAddr(Addr addr) const;
 
-    /** Requests queued for (rank, bank, row), e.g. row-hit bookkeeping. */
-    int rowCount(RankId r, BankId b, RowId row) const;
+    /** Requests queued for (rank, bank, row), e.g. row-hit bookkeeping.
+     *  O(1): counts are maintained incrementally on push/pop -- this
+     *  sits on the FR-FCFS fast path (row-hit and conflict-precharge
+     *  decisions every arbitration tick). */
+    int
+    rowCount(RankId r, BankId b, RowId row) const
+    {
+        const auto it = rowCount_.find(rowKey(r, b, row));
+        return it == rowCount_.end() ? 0 : it->second;
+    }
 
   private:
+    std::uint64_t
+    rowKey(RankId r, BankId b, RowId row) const
+    {
+        return (static_cast<std::uint64_t>(r * banks_ + b) << 32) |
+               static_cast<std::uint32_t>(row);
+    }
+
     int capacity_;
     int banks_;
     std::vector<Request> entries_;
     std::vector<int> bankCount_;
+    std::unordered_map<std::uint64_t, int> rowCount_;
 };
 
 } // namespace dsarp

@@ -14,13 +14,40 @@ FrFcfs::pick(const RequestQueue &queue, const Channel &channel, Tick now,
 {
     CmdChoice choice;
 
+    // Snapshot the open rows once: under the closed-row policy most
+    // banks are closed most ticks, so the row-hit scan below reduces to
+    // a bitmask test per entry (and vanishes when nothing is open)
+    // instead of a bank lookup per queued request.
+    DSARP_ASSERT(channel.numRanks() <= kMaxRanksScan &&
+                     channel.numRanks() * banks_per_rank <= kMaxBanksScan,
+                 "geometry exceeds FR-FCFS scan buffers");
+    const int num_ranks = channel.numRanks();
+    std::uint64_t open_mask = 0;
+    std::uint64_t refreshing_mask = 0;
+    RowId open_rows[kMaxBanksScan];
+    for (RankId r = 0; r < num_ranks; ++r) {
+        const Rank &rank = channel.rank(r);
+        for (BankId b = 0; b < banks_per_rank; ++b) {
+            const Bank &bank = rank.bank(b);
+            const int idx = r * banks_per_rank + b;
+            if (bank.isOpen()) {
+                open_mask |= std::uint64_t(1) << idx;
+                open_rows[idx] = bank.openRow();
+            }
+            if (bank.refreshing(now))
+                refreshing_mask |= std::uint64_t(1) << idx;
+        }
+    }
+
     // Phase 1: row hits. Oldest request whose row is open and whose
     // column command is legal right now.
-    for (int i = 0; i < queue.size(); ++i) {
+    for (int i = 0; open_mask && i < queue.size(); ++i) {
         const Request &req = queue.at(i);
-        const Bank &bank = channel.rank(req.loc.rank).bank(req.loc.bank);
-        if (bank.openRow() != req.loc.row)
+        const int open_idx = req.loc.rank * banks_per_rank + req.loc.bank;
+        if (!(open_mask >> open_idx & 1) ||
+            open_rows[open_idx] != req.loc.row) {
             continue;
+        }
 
         // Keep the row open only if another request for it is queued;
         // otherwise auto-precharge (closed-row policy). A pending
@@ -55,30 +82,29 @@ FrFcfs::pick(const RequestQueue &queue, const Channel &channel, Tick now,
     // request to a bank whose oldest request cannot activate must not
     // jump ahead of it.
     bool rank_act_ok[kMaxRanksScan] = {};
-    DSARP_ASSERT(channel.numRanks() <= kMaxRanksScan &&
-                     channel.numRanks() * banks_per_rank <= kMaxBanksScan,
-                 "geometry exceeds FR-FCFS scan buffers");
-    const int num_ranks = channel.numRanks();
-    for (RankId r = 0; r < num_ranks; ++r)
+    bool any_rank_ok = false;
+    for (RankId r = 0; r < num_ranks; ++r) {
         rank_act_ok[r] = channel.rank(r).canActRankLevel(now);
+        any_rank_ok |= rank_act_ok[r] && !act_blocked_rank[r];
+    }
     std::uint64_t tried_banks = 0;
-    for (int i = 0; i < queue.size(); ++i) {
+    for (int i = 0; any_rank_ok && i < queue.size(); ++i) {
         const Request &req = queue.at(i);
         const int bank_idx = req.loc.rank * banks_per_rank + req.loc.bank;
         const std::uint64_t bit = std::uint64_t(1) << bank_idx;
         if (tried_banks & bit)
             continue;
-        const Bank &bank = channel.rank(req.loc.rank).bank(req.loc.bank);
         // A refreshing bank stays eligible for younger requests: under
         // SARP they may target a different, accessible subarray.
-        if (!bank.refreshing(now))
+        if (!(refreshing_mask & bit))
             tried_banks |= bit;
         if (!rank_act_ok[req.loc.rank] || act_blocked_rank[req.loc.rank] ||
             act_blocked_bank[bank_idx]) {
             continue;
         }
-        if (bank.isOpen())
+        if (open_mask >> bank_idx & 1)
             continue;  // Handled by phase 3 if the row is stranded.
+        const Bank &bank = channel.rank(req.loc.rank).bank(req.loc.bank);
         if (!bank.canAct(now, req.loc.row))
             continue;
 

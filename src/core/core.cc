@@ -110,10 +110,96 @@ Core::retire()
 void
 Core::tick()
 {
+    // Snapshot every field retire()/fetch() can move except the pure
+    // stall/cycle counters: if none changed, this tick was inert and
+    // the event engine may skip ahead (see nextWake()).
+    const std::uint64_t retired_before = stats_.instructionsRetired;
+    const std::uint64_t reads_before = stats_.readsIssued;
+    const std::uint64_t wb_before = stats_.writebacksIssued;
+    const int window_before = windowInstrs_;
+    const bool have_pending_before = havePending_;
+    const int gap_before = pendingGapLeft_;
+    const bool wb_sent_before = writebackSent_;
+
     for (int c = 0; c < cfg_->cpuCyclesPerTick; ++c) {
         ++stats_.cpuCycles;
         retire();
         fetch();
+    }
+
+    const bool progress =
+        retired_before != stats_.instructionsRetired ||
+        reads_before != stats_.readsIssued ||
+        wb_before != stats_.writebacksIssued ||
+        window_before != windowInstrs_ ||
+        have_pending_before != havePending_ ||
+        gap_before != pendingGapLeft_ || wb_sent_before != writebackSent_;
+    mode_ = progress ? TickMode::kActive : TickMode::kStalled;
+    streamTicks_ = 0;
+
+    // Gap-streaming certificate: with a full window whose head and
+    // tail are non-load batches and a deep non-memory gap still
+    // pending, every following tick retires exactly retireWidth x
+    // cpuCyclesPerTick gap instructions from the head and refetches as
+    // many at the tail -- pure linear motion with no memory traffic,
+    // no trace advance and no stalls, so the event engine may replay
+    // the whole span in skipTicks(). The span is cut one tick short of
+    // any boundary (head batch or pending gap running low) so every
+    // skipped tick stays strictly in this regime.
+    if (progress && windowInstrs_ == cfg_->windowSize && havePending_ &&
+        !window_.empty() && !window_.front().isLoad &&
+        !window_.back().isLoad) {
+        const int rate = cfg_->retireWidth * cfg_->cpuCyclesPerTick;
+        std::int64_t span = pendingGapLeft_ / rate - 1;
+        if (window_.size() > 1)
+            span = std::min<std::int64_t>(
+                span, window_.front().instrs / rate - 1);
+        if (span > 0) {
+            mode_ = TickMode::kStreaming;
+            streamTicks_ = static_cast<Tick>(span);
+        }
+    }
+}
+
+Tick
+Core::nextWake(Tick now) const
+{
+    switch (mode_) {
+    case TickMode::kActive:
+        return now;
+    case TickMode::kStalled:
+        return kTickNever;
+    case TickMode::kStreaming:
+        return now + streamTicks_ + 1;
+    }
+    return now;
+}
+
+void
+Core::skipTicks(Tick ticks)
+{
+    const std::uint64_t cycles =
+        ticks * static_cast<std::uint64_t>(cfg_->cpuCyclesPerTick);
+    stats_.cpuCycles += cycles;
+
+    if (mode_ == TickMode::kStreaming) {
+        DSARP_ASSERT(ticks <= streamTicks_,
+                     "skip span exceeds streaming certificate");
+        const int drained = static_cast<int>(
+            ticks * static_cast<std::uint64_t>(cfg_->retireWidth *
+                                               cfg_->cpuCyclesPerTick));
+        stats_.instructionsRetired += static_cast<std::uint64_t>(drained);
+        pendingGapLeft_ -= drained;
+        if (window_.size() > 1) {
+            window_.front().instrs -= drained;
+            window_.back().instrs += drained;
+        }
+        return;
+    }
+
+    if (!window_.empty() && window_.front().isLoad &&
+        completed_.find(window_.front().loadId) == completed_.end()) {
+        stats_.readStallCycles += cycles;
     }
 }
 

@@ -56,6 +56,27 @@ class Core
     /** Advance cpuCyclesPerTick CPU cycles. */
     void tick();
 
+    /**
+     * Earliest tick strictly after @p now at which this core could do
+     * more than linearly replayable work. A fully blocked core
+     * (pending-load head or stalled fetch) waits on controller-side
+     * events, which only fire at controller wakes -- where the core
+     * ticks again. A core streaming non-memory gap instructions at the
+     * fixed retire rate certifies the whole linear span (see tick()).
+     * Any other progress forces the one-tick step.
+     */
+    Tick nextWake(Tick now) const;
+
+    /**
+     * Account @p ticks skipped ticks for the event-driven engine,
+     * replaying exactly what the certified-inert (or certified-linear)
+     * ticks would have done: a blocked core advances the cycle counter
+     * and, iff the window head is a pending load, the read-stall
+     * counter; a gap-streaming core additionally retires and refills
+     * retireWidth x cpuCyclesPerTick instructions per tick.
+     */
+    void skipTicks(Tick ticks);
+
     /** Read data for request @p id has returned. */
     void onReadComplete(std::uint64_t id);
 
@@ -95,6 +116,16 @@ class Core
 
     std::uint64_t nextLoadId_;
     CoreStats stats_;
+
+    /** How the last tick() ended, deciding nextWake()/skipTicks(). */
+    enum class TickMode
+    {
+        kActive,     ///< Non-linear progress: step one tick.
+        kStalled,    ///< Blocked: only stall/cycle counters move.
+        kStreaming,  ///< Draining gap instrs at the fixed retire rate.
+    };
+    TickMode mode_ = TickMode::kActive;
+    Tick streamTicks_ = 0;  ///< Certified linear span (kStreaming).
 };
 
 } // namespace dsarp

@@ -97,6 +97,17 @@ class Bank
 
     /** Earliest tick an ACT could be accepted (ignores rank constraints). */
     Tick actReadyAt() const { return actAllowedAt_; }
+
+    /**
+     * Earliest pending bank-local threshold strictly after @p now
+     * (kTickNever when none): the instants at which any legality
+     * predicate above can flip. The event-driven engine wakes at each
+     * so a skipped span never crosses a legality change. @p hira
+     * includes the canHiddenRefresh() flip after each ACT -- only the
+     * HiRA schedulers consult that predicate, so other mechanisms
+     * skip the spurious per-ACT wake.
+     */
+    Tick nextDeadline(Tick now, bool hira) const;
     /// @}
 
   private:

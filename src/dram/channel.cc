@@ -14,6 +14,8 @@ Channel::Channel(const MemConfig *cfg, const TimingParams *timing)
         ranks_.emplace_back(cfg, timing);
     wrDataEnd_.assign(cfg->org.ranksPerChannel, 0);
     lastDemandActiveAt_.assign(cfg->org.ranksPerChannel, 0);
+    rankDeadlineCache_.assign(cfg->org.ranksPerChannel, 0);
+    rankDeadlineDirty_.assign(cfg->org.ranksPerChannel, 1);
 }
 
 bool
@@ -94,6 +96,7 @@ Channel::issue(const Command &cmd, Tick now)
 {
     DSARP_ASSERT(canIssue(cmd, now), "issuing illegal command");
     Rank &rk = ranks_[cmd.rank];
+    rankDeadlineDirty_[cmd.rank] = 1;
     if (!isRefreshCmd(cmd.type) && !isSelfRefreshCmd(cmd.type))
         lastDemandActiveAt_[cmd.rank] = now;
     switch (cmd.type) {
@@ -170,6 +173,82 @@ Channel::issue(const Command &cmd, Tick now)
         return 0;
     }
     return 0;
+}
+
+Tick
+Channel::nextDeadline(Tick now) const
+{
+    Tick deadline = kTickNever;
+    const auto add = [&](Tick t) {
+        if (t > now && t < deadline)
+            deadline = t;
+    };
+    // A column command leads its burst by tCL/tCWL, so the command
+    // legality instant is that much *before* the bus frees (with the
+    // tRTRS variant for a rank switch).
+    const auto addLead = [&](Tick busFree, Cycles lead) {
+        const Tick c = static_cast<Tick>(lead.count());
+        if (busFree > c)
+            add(busFree - c);
+    };
+    addLead(busBusyUntil_, timing_->tCl);
+    addLead(busBusyUntil_ + timing_->tRtrs, timing_->tCl);
+    addLead(busBusyUntil_, timing_->tCwl);
+    addLead(busBusyUntil_ + timing_->tRtrs, timing_->tCwl);
+    if (lastRdCmdAt_ != kTickNever)
+        add(lastRdCmdAt_ + timing_->tRtw);
+    for (RankId r = 0; r < static_cast<RankId>(ranks_.size()); ++r) {
+        add(wrDataEnd_[r] + timing_->tWtr);
+        if (cfg_->selfRefreshIdleCycles > 0) {
+            add(lastDemandActiveAt_[r] +
+                static_cast<Tick>(cfg_->selfRefreshIdleCycles));
+        }
+        // A rank's deadline set only moves when a command issues to it
+        // (every eff* flip instant -- refresh start/end -- is either an
+        // issue or itself an enumerated deadline capping the cached
+        // value), so the O(banks) walk reruns only after an issue or
+        // once the cached instant has passed.
+        if (rankDeadlineDirty_[r] || rankDeadlineCache_[r] <= now) {
+            rankDeadlineCache_[r] = ranks_[r].nextDeadline(now);
+            rankDeadlineDirty_[r] = 0;
+        }
+        add(rankDeadlineCache_[r]);
+    }
+    return deadline;
+}
+
+void
+Channel::sampleActivitySpan(Tick firstTick, Tick ticks)
+{
+    // One evaluation per rank stands for the whole span: the event
+    // engine wakes at every threshold nextDeadline() enumerates, so
+    // within a skipped span every predicate below is constant.
+    for (RankId r = 0; r < static_cast<RankId>(ranks_.size()); ++r) {
+        const Rank &rk = ranks_[r];
+        stats_.rankTotalTicks += ticks;
+
+        if (rk.inSelfRefresh(firstTick)) {
+            stats_.srTicks += ticks;
+            continue;
+        }
+
+        if (cfg_->selfRefreshIdleCycles > 0 &&
+            firstTick - lastDemandActiveAt_[r] >=
+                static_cast<Tick>(cfg_->selfRefreshIdleCycles) &&
+            !rk.hasOpenRow()) {
+            stats_.rankSelfRefTicks += ticks;
+            if (rk.refAbInFlight(firstTick))
+                stats_.refAbCyclesSrMasked += ticks;
+            stats_.refPbCyclesSrMasked +=
+                ticks * static_cast<std::uint64_t>(rk.refPbCount(firstTick));
+            if (rk.refSbInFlight(firstTick))
+                stats_.refSbCyclesSrMasked += ticks;
+            continue;
+        }
+
+        if (rk.isActive(firstTick))
+            stats_.rankActiveTicks += ticks;
+    }
 }
 
 void

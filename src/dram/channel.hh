@@ -92,6 +92,22 @@ class Channel
     /** Accumulate per-tick activity for the energy model. */
     void sampleActivity(Tick now);
 
+    /**
+     * Bulk form of sampleActivity() for the event-driven engine: one
+     * evaluation at @p firstTick stands for @p ticks consecutive
+     * skipped ticks. Legal only inside an inert span -- the engine
+     * wakes at every threshold below, so no predicate can change.
+     */
+    void sampleActivitySpan(Tick firstTick, Tick ticks);
+
+    /**
+     * Earliest pending channel/rank/bank threshold strictly after
+     * @p now (kTickNever when none): bus-turnaround instants (command
+     * legality leads the burst by tCL/tCWL), tWTR/tRTW windows, the
+     * legacy IDD6 idle threshold, and every rank/bank deadline.
+     */
+    Tick nextDeadline(Tick now) const;
+
     const ChannelStats &stats() const { return stats_; }
     const TimingParams &timing() const { return *timing_; }
 
@@ -111,6 +127,9 @@ class Channel
     RankId lastBurstRank_ = kNone;
     Tick lastRdCmdAt_ = kTickNever;
     std::vector<Tick> wrDataEnd_;  ///< Per-rank last write-data end (tWTR).
+    /** Per-rank memo of Rank::nextDeadline, dirtied by issue(). */
+    mutable std::vector<Tick> rankDeadlineCache_;
+    mutable std::vector<std::uint8_t> rankDeadlineDirty_;
 
     /**
      * Per-rank tick of the last *demand* command (ACT/RD/WR/PRE).

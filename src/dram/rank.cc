@@ -278,6 +278,33 @@ Rank::onSrExit(Tick now)
     srExitLockoutUntil_ = now + timing_->tXs;
 }
 
+Tick
+Rank::nextDeadline(Tick now) const
+{
+    Tick deadline = kTickNever;
+    const auto add = [&](Tick t) {
+        if (t > now && t < deadline)
+            deadline = t;
+    };
+    if (lastActAt_ != kTickNever)
+        add(lastActAt_ + effTRrd(now));
+    if (actsSeen_ >= 4)
+        add(actWindow_[0] + effTFaw(now));
+    add(refAbUntil_);
+    for (Tick end : refPbEnds_)
+        add(end);
+    for (Tick end : hiddenPbEnds_)
+        add(end);
+    for (Tick end : refSbEnds_)
+        add(end);
+    add(srExitLockoutUntil_);
+    if (srActive_ && srEnteredAt_ != kTickNever)
+        add(srEnteredAt_ + timing_->tCkesr);
+    for (const Bank &b : banks_)
+        add(b.nextDeadline(now, cfg_->hira));
+    return deadline;
+}
+
 bool
 Rank::isActive(Tick now) const
 {

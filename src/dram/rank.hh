@@ -142,6 +142,17 @@ class Rank
     Cycles effTRrd(Tick now) const;
     Cycles effTFaw(Tick now) const;
 
+    /**
+     * Earliest pending rank- or bank-level threshold strictly after
+     * @p now (kTickNever when none). Every legality predicate of this
+     * rank flips only at one of these instants, so the event-driven
+     * engine is safe to sleep to the minimum. tRRD/tFAW use the
+     * inflation effective at @p now; the refresh-end ticks that change
+     * the inflation are themselves deadlines, so the value is exact
+     * within the span.
+     */
+    Tick nextDeadline(Tick now) const;
+
   private:
     /** Prune ended entries from an in-flight list; return the count. */
     static int pruneInFlight(std::vector<Tick> &ends, Tick now);

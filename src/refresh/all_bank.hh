@@ -29,6 +29,9 @@ class AllBankScheduler : public RefreshScheduler
     void onSrEnter(RankId rank, Tick now) override;
     void onSrExit(RankId rank, Tick now) override;
 
+    /** Nothing changes between ledger accrual instants. */
+    Tick nextWake(Tick) override { return ledger_.nextAccrualTick(); }
+
     const RefreshLedger &ledger() const { return ledger_; }
 
   private:

@@ -39,6 +39,14 @@ class DarpScheduler : public RefreshScheduler
     void onSrEnter(RankId rank, Tick now) override;
     void onSrExit(RankId rank, Tick now) override;
 
+    /**
+     * Postpone/force decisions and the dueNow_ marks only change at
+     * ledger accrual instants; between them urgent()/opportunistic()
+     * are pure functions of frozen controller and DRAM state (the
+     * controller replays the per-tick RNG draw itself).
+     */
+    Tick nextWake(Tick) override { return ledger_.nextAccrualTick(); }
+
     const RefreshLedger &ledger() const { return ledger_; }
 
   protected:

@@ -80,6 +80,36 @@ ElasticScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
     }
 }
 
+Tick
+ElasticScheduler::nextWake(Tick now)
+{
+    Tick wake = ledger_.nextAccrualTick();
+    for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        if (rankInSelfRefresh(r, now) || !ledger_.due(r) ||
+            ledger_.mustForce(r)) {
+            continue;
+        }
+        if (view_->pendingDemandsRank(r) != 0)
+            continue;  // Next demand dequeue is a command, hence a wake.
+        const Tick release =
+            view_->lastDemandActivity(r) + idleThreshold(ledger_.owed(r));
+        if (release > now && release < wake)
+            wake = release;
+    }
+    return wake;
+}
+
+void
+ElasticScheduler::skipTicks(Tick firstTick, Tick ticks)
+{
+    for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        if (!rankInSelfRefresh(r, firstTick) && ledger_.due(r) &&
+            ledger_.mustForce(r)) {
+            stats_.forced += ticks;
+        }
+    }
+}
+
 bool
 ElasticScheduler::opportunistic(Tick, RefreshRequest &)
 {

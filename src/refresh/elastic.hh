@@ -33,6 +33,18 @@ class ElasticScheduler : public RefreshScheduler
     void onSrEnter(RankId rank, Tick now) override;
     void onSrExit(RankId rank, Tick now) override;
 
+    /**
+     * Ledger accrual instants plus each due rank's elastic release
+     * instant (lastDemandActivity + the owed-dependent idle threshold).
+     */
+    Tick nextWake(Tick now) override;
+
+    /**
+     * urgent() bumps the forced counter every tick a rank sits at the
+     * postpone limit; replay those bumps across the skipped span.
+     */
+    void skipTicks(Tick firstTick, Tick ticks) override;
+
     const RefreshLedger &ledger() const { return ledger_; }
 
     /** Idle delay demanded before releasing a refresh, given owed count. */

@@ -130,6 +130,17 @@ AdaptiveScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
 }
 
 void
+AdaptiveScheduler::skipTicks(Tick firstTick, Tick ticks)
+{
+    for (RankId r = 0; r < ledger_.numRanks(); ++r) {
+        if (!rankInSelfRefresh(r, firstTick) && pending4x_[r] == 0 &&
+            ledger_.owed(r) >= 4 && ledger_.mustForce(r)) {
+            stats_.forced += ticks;
+        }
+    }
+}
+
+void
 AdaptiveScheduler::onIssued(const RefreshRequest &req, Tick)
 {
     const int parts = req.ledgerParts ? req.ledgerParts : 4;

@@ -42,6 +42,19 @@ class AdaptiveScheduler : public RefreshScheduler
     void onSrEnter(RankId rank, Tick now) override;
     void onSrExit(RankId rank, Tick now) override;
 
+    /**
+     * Budget grants and granularity choices only change at ledger
+     * accrual instants (fastMode_ tracks writeback mode, which is
+     * frozen while the controller is inert).
+     */
+    Tick nextWake(Tick) override { return ledger_.nextAccrualTick(); }
+
+    /**
+     * urgent() bumps the forced counter every tick a rank sits at the
+     * postpone limit with a full slot due; replay those bumps.
+     */
+    void skipTicks(Tick firstTick, Tick ticks) override;
+
     const RefreshLedger &ledger() const { return ledger_; }
 
     /** True when the policy would currently prefer 4x commands. */

@@ -124,6 +124,17 @@ HiraScheduler::urgent(Tick now, std::vector<RefreshRequest> &out)
     }
 }
 
+Tick
+HiraScheduler::nextWake(Tick now)
+{
+    Tick wake = DarpScheduler::nextWake(now);
+    for (const HiddenWindow &win : windows_) {
+        if (win.armed && win.readyAt > now && win.readyAt < wake)
+            wake = win.readyAt;
+    }
+    return wake;
+}
+
 void
 HiraScheduler::onIssued(const RefreshRequest &req, Tick now)
 {

@@ -54,6 +54,14 @@ class HiraScheduler : public DarpScheduler
     void onIssued(const RefreshRequest &req, Tick now) override;
     void onDemandCommand(const Command &cmd, Tick now) override;
 
+    /**
+     * DARP's accrual instants plus pending hidden-window openings
+     * (readyAt of each armed window). Expiry needs no wake: past
+     * expiresAt the window merely stops *trying*, and an inert try has
+     * no side effects.
+     */
+    Tick nextWake(Tick now) override;
+
     /** Hidden refreshes issued beneath ACTs (subset of stats().issued). */
     std::uint64_t hiddenIssued() const { return hiddenIssued_; }
 

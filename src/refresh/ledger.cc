@@ -150,6 +150,18 @@ RefreshLedger::onPartialRefresh(RankId r, BankId b, int parts)
                  "pulled in beyond the JEDEC window");
 }
 
+Tick
+RefreshLedger::nextAccrualTick() const
+{
+    Tick earliest = kTickNever;
+    for (int i = 0; i < static_cast<int>(owed_.size()); ++i) {
+        if (pausedAt_[i / banks_] != kTickNever)
+            continue;
+        earliest = std::min(earliest, nextAccrual_[i]);
+    }
+    return earliest;
+}
+
 bool
 RefreshLedger::accruedBetween(RankId r, BankId b, Tick prev, Tick now) const
 {

@@ -86,6 +86,14 @@ class RefreshLedger
     bool accruedBetween(RankId r, BankId b, Tick prev, Tick now) const;
 
     /**
+     * Earliest pending accrual instant over all units of unpaused
+     * ranks (kTickNever when every rank is paused). The event-driven
+     * engine must wake the scheduler at every accrual, or postpone
+     * decisions and mustForce flips would land late.
+     */
+    Tick nextAccrualTick() const;
+
+    /**
      * @name Self-refresh pause.
      *
      * While a rank is in self-refresh the device refreshes itself:

@@ -19,6 +19,7 @@ class NoRefreshScheduler : public RefreshScheduler
     void urgent(Tick, std::vector<RefreshRequest> &) override {}
     bool opportunistic(Tick, RefreshRequest &) override { return false; }
     void onIssued(const RefreshRequest &, Tick) override {}
+    Tick nextWake(Tick) override { return kTickNever; }
 };
 
 } // namespace dsarp

@@ -30,6 +30,9 @@ class PerBankScheduler : public RefreshScheduler
     void onSrEnter(RankId rank, Tick now) override;
     void onSrExit(RankId rank, Tick now) override;
 
+    /** Nothing changes between ledger accrual instants. */
+    Tick nextWake(Tick) override { return ledger_.nextAccrualTick(); }
+
     const RefreshLedger &ledger() const { return ledger_; }
 
     /** Next bank the round-robin order will refresh for a rank. */

@@ -51,6 +51,14 @@ class SameBankScheduler : public RefreshScheduler
     void onSrEnter(RankId rank, Tick now) override;
     void onSrExit(RankId rank, Tick now) override;
 
+    /**
+     * Postpone decisions and dueNow_ marks only change at ledger
+     * accrual instants; the pairing draw is lazy (cached after the
+     * first evaluation) and the per-tick pull-in draw is replayed by
+     * the controller.
+     */
+    Tick nextWake(Tick) override { return ledger_.nextAccrualTick(); }
+
     const RefreshLedger &ledger() const { return ledger_; }
 
     /** Bank-group slices per rank. */

@@ -131,6 +131,36 @@ class RefreshScheduler
         (void)now;
     }
 
+    /**
+     * Earliest tick strictly after @p now at which this policy could
+     * behave differently than it just did (ledger accrual instants,
+     * HiRA window arming, elastic idle-release thresholds, ...). The
+     * event-driven engine sleeps to the minimum over all components;
+     * returning @p now is the always-safe default and forces the
+     * legacy one-tick step. Called only on ticks where the controller
+     * issued nothing.
+     */
+    virtual Tick
+    nextWake(Tick now)
+    {
+        return now;
+    }
+
+    /**
+     * Account @p ticks consecutive skipped ticks starting at
+     * @p firstTick. A skipped tick is one the cycle engine would have
+     * executed with no command issued and no threshold crossed; the
+     * policy must replay whatever per-tick side effects it has on that
+     * path (RNG draws from opportunistic(), per-tick stat counters in
+     * urgent()) so the event engine stays bit-identical. Default: none.
+     */
+    virtual void
+    skipTicks(Tick firstTick, Tick ticks)
+    {
+        (void)firstTick;
+        (void)ticks;
+    }
+
     const RefreshSchedStats &stats() const { return stats_; }
 
     /** Zero the counters (obligation state is preserved). */

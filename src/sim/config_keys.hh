@@ -45,6 +45,7 @@ inline constexpr char kWarmupCycles[] = "warmupCycles";
 inline constexpr char kMeasureCycles[] = "measureCycles";
 inline constexpr char kWorkloadSeed[] = "workloadSeed";
 inline constexpr char kIntensityPct[] = "intensityPct";
+inline constexpr char kSimEngine[] = "sim.engine";
 
 /** Every key, for exhaustiveness checks (tests, lint self-test). */
 inline constexpr const char *const kAllKeys[] = {
@@ -58,7 +59,7 @@ inline constexpr const char *const kAllKeys[] = {
     kSrIdleEntry,     kFgrRate,            kSelfRefreshIdle,
     kNumCores,        kSeed,               kEnableChecker,
     kWarmupCycles,    kMeasureCycles,      kWorkloadSeed,
-    kIntensityPct,
+    kIntensityPct,    kSimEngine,
 };
 
 } // namespace dsarp::keys

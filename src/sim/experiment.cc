@@ -168,6 +168,13 @@ keyTable()
         u64Key(keys::kMeasureCycles, &ExperimentConfig::measureCycles),
         u64Key(keys::kWorkloadSeed, &ExperimentConfig::workloadSeed),
         intKey(keys::kIntensityPct, &ExperimentConfig::intensityPct),
+        {keys::kSimEngine,
+         [](ExperimentConfig &cfg, const std::string &v) -> std::string {
+             if (v.empty())
+                 return "expected a simulation engine name";
+             cfg.engine = v;
+             return "";
+         }},
     };
     return table;
 }
@@ -298,6 +305,10 @@ ExperimentConfig::validate() const
         fail(std::string("config key '") + keys::kNumCores +
              "' must be >= 1 (got " + std::to_string(numCores) + ")");
     }
+    if (engine != "cycle" && engine != "event") {
+        fail(std::string("config key '") + keys::kSimEngine +
+             "' must be \"cycle\" or \"event\" (got \"" + engine + "\")");
+    }
     // -1 means "keep the MemConfig default"; anything else must be an
     // explicit (non-negative) value so a bad override never silently
     // falls back to the default.
@@ -380,6 +391,7 @@ ExperimentConfig::toSystemConfig() const
     sys.numCores = numCores;
     sys.seed = seed;
     sys.enableChecker = enableChecker;
+    sys.engine = engine;
     return sys;
 }
 

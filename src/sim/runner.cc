@@ -131,6 +131,8 @@ Runner::makeSystemConfig(const RunConfig &cfg)
         sys.mem.maxOverlappedRefPb = cfg.maxOverlappedRefPb;
     sys.mem.srIdleEntryCycles = cfg.srIdleEntryCycles;
     sys.mem.fgrRate = cfg.fgrRate;
+    if (!cfg.engine.empty())
+        sys.engine = cfg.engine;
     sys.numCores = cfg.numCores;
     sys.seed = cfg.seed;
     return sys;

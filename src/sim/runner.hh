@@ -73,6 +73,14 @@ struct RunConfig
      *  0 keeps the profile default, else 1/2/4. */
     int fgrRate = 0;
 
+    /**
+     * Simulation engine (= sim.engine): empty keeps the SystemConfig
+     * default ("cycle"); "event" selects the skip-to-next-deadline
+     * loop. Results are bit-identical either way, so the alone-IPC
+     * cache deliberately ignores it.
+     */
+    std::string engine;
+
     std::uint64_t seed = 1;
 
     /** The paper's mechanism names (REFab, REFpb, DARP, SARPab, ...). */

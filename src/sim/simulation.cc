@@ -1,6 +1,7 @@
 #include "sim/simulation.hh"
 
 #include "common/log.hh"
+#include "sim/parallel.hh"
 
 namespace dsarp {
 
@@ -212,6 +213,17 @@ Simulation::run()
     if (!traces_.empty())
         return runner_.run(sys, traces_);
     return runner_.run(sys, workload_);
+}
+
+void
+Simulation::prewarmBaselines(int jobs)
+{
+    if (!traces_.empty())
+        return;
+    const SystemConfig sys = cfg_.toSystemConfig();
+    parallelFor(jobs, workload_.benchIdx.size(), [&](std::size_t i) {
+        runner_.aloneIpc(workload_.benchIdx[i], sys);
+    });
 }
 
 } // namespace dsarp

@@ -124,6 +124,14 @@ class Simulation
      */
     RunResult run();
 
+    /**
+     * Simulate the workload's alone-IPC baselines now, sharded across
+     * @p jobs worker threads (sim/parallel.hh), so the single-threaded
+     * run() that follows finds them memoized. A no-op for .traces()
+     * runs, which have no baselines.
+     */
+    void prewarmBaselines(int jobs);
+
   private:
     Simulation(ExperimentConfig cfg, Workload workload,
                std::vector<TraceSource *> traces);

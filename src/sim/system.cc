@@ -66,6 +66,17 @@ System::build()
             controllers_.back()->setCommandLog(&cmdLogs_[ch]);
         controllers_.back()->setReadCallback(
             [this](const Request &req, Tick) {
+                // A delivery voids the target core's dormant certificate:
+                // settle its inert span against the pre-delivery state
+                // (the stall accounting reads completed_), then make it
+                // execute this tick -- cores run after controllers, so
+                // the cycle engine's order is preserved.
+                if (eventRun_) {
+                    const std::size_t c =
+                        static_cast<std::size_t>(req.core);
+                    coreCatchUp(c, now_);
+                    coreWake_[c] = std::min(coreWake_[c], now_);
+                }
                 cores_[req.core]->onReadComplete(req.id);
             });
     }
@@ -83,8 +94,19 @@ System::build()
                 req.addr = addr;
                 req.loc = map_.decode(addr);
                 req.arrival = now_;
-                return controllers_[req.loc.channel]->enqueueRead(req,
-                                                                  now_);
+                const std::size_t ch =
+                    static_cast<std::size_t>(req.loc.channel);
+                // Controllers tick before cores, so a dormant target's
+                // tick at now_ sampled the pre-enqueue queues: account
+                // it through now_ before mutating, then wake it for the
+                // tick that can first see the request.
+                if (eventRun_)
+                    ctlCatchUp(ch, now_ + 1);
+                const bool ok =
+                    controllers_[ch]->enqueueRead(req, now_);
+                if (ok && eventRun_)
+                    ctlWake_[ch] = std::min(ctlWake_[ch], now_ + 1);
+                return ok;
             },
             [this, c](Addr addr) {
                 Request req;
@@ -94,8 +116,15 @@ System::build()
                 req.addr = addr;
                 req.loc = map_.decode(addr);
                 req.arrival = now_;
-                return controllers_[req.loc.channel]->enqueueWrite(req,
-                                                                   now_);
+                const std::size_t ch =
+                    static_cast<std::size_t>(req.loc.channel);
+                if (eventRun_)
+                    ctlCatchUp(ch, now_ + 1);
+                const bool ok =
+                    controllers_[ch]->enqueueWrite(req, now_);
+                if (ok && eventRun_)
+                    ctlWake_[ch] = std::min(ctlWake_[ch], now_ + 1);
+                return ok;
             });
     }
 }
@@ -104,12 +133,118 @@ void
 System::run(Tick ticks)
 {
     const Tick end = now_ + ticks;
+    if (cfg_.engine == "event")
+        runEvent(end);
+    else
+        runCycle(end);
+}
+
+void
+System::runCycle(Tick end)
+{
     while (now_ < end) {
         for (auto &ctl : controllers_)
             ctl->tick(now_);
         for (auto &core : cores_)
             core->tick();
         ++now_;
+    }
+}
+
+void
+System::runEvent(Tick end)
+{
+    // Per-component skip-to-next-deadline loop. Each controller and
+    // core keeps its own clock: a wake tick (the earliest instant it
+    // could act differently, per its nextWake() certificate) and an
+    // accounted-through cursor. A component executes only at its wake
+    // ticks; the inert span in between is bulk-accounted through
+    // skipTicks() -- linear stat accrual and RNG replay -- exactly
+    // when the component is next touched. Every executed tick runs in
+    // the cycle loop's order (controllers ascending, then cores
+    // ascending), and every cross-component interaction re-wakes its
+    // target first (enqueues via the bind() hooks, read deliveries via
+    // the read callback, queue-slot frees via poppedWithRejection), so
+    // commands, stats, and random streams stay bit-identical to
+    // runCycle().
+    const std::size_t ncs = controllers_.size();
+    const std::size_t nks = cores_.size();
+    ctlWake_.assign(ncs, now_);
+    ctlNext_.assign(ncs, now_);
+    coreWake_.assign(nks, now_);
+    coreNext_.assign(nks, now_);
+    ctlRan_.assign(ncs, 0);
+    coreRan_.assign(nks, 0);
+    eventRun_ = true;
+
+    while (now_ < end) {
+        const Tick t = now_;
+
+        for (std::size_t i = 0; i < ncs; ++i) {
+            if (ctlWake_[i] > t)
+                continue;
+            ctlCatchUp(i, t);
+            controllers_[i]->tick(t);
+            ctlNext_[i] = t + 1;
+            ctlRan_[i] = 1;
+            if (controllers_[i]->consumePoppedWithRejection()) {
+                for (std::size_t j = 0; j < nks; ++j)
+                    coreWake_[j] = std::min(coreWake_[j], t);
+            }
+        }
+        for (std::size_t j = 0; j < nks; ++j) {
+            if (coreWake_[j] > t)
+                continue;
+            coreCatchUp(j, t);
+            cores_[j]->tick();
+            coreNext_[j] = t + 1;
+            coreRan_[j] = 1;
+        }
+
+        // Re-certify what executed; hook-set wakes (always t+1) stand.
+        Tick next = end;
+        for (std::size_t i = 0; i < ncs; ++i) {
+            if (ctlRan_[i]) {
+                ctlRan_[i] = 0;
+                const Tick w = controllers_[i]->nextWake(t);
+                ctlWake_[i] = w <= t ? t + 1 : w;
+            }
+            next = std::min(next, ctlWake_[i]);
+        }
+        for (std::size_t j = 0; j < nks; ++j) {
+            if (coreRan_[j]) {
+                coreRan_[j] = 0;
+                const Tick w = cores_[j]->nextWake(t);
+                coreWake_[j] = w <= t ? t + 1 : w;
+            }
+            next = std::min(next, coreWake_[j]);
+        }
+        now_ = std::max(next, t + 1);
+    }
+
+    // The cycle loop's last tick is end-1: account every dormant tail.
+    for (std::size_t i = 0; i < ncs; ++i)
+        ctlCatchUp(i, end);
+    for (std::size_t j = 0; j < nks; ++j)
+        coreCatchUp(j, end);
+    eventRun_ = false;
+}
+
+void
+System::ctlCatchUp(std::size_t i, Tick t)
+{
+    if (ctlNext_[i] < t) {
+        controllers_[i]->skipTicks(ctlNext_[i], t - ctlNext_[i]);
+        ctlNext_[i] = t;
+    }
+}
+
+void
+System::coreCatchUp(std::size_t j, Tick t)
+{
+    if (coreNext_[j] < t) {
+        cores_[j]->skipTicks(t - coreNext_[j]);
+        coreNext_[j] = t;
     }
 }
 

@@ -43,7 +43,11 @@ class System
     System(const SystemConfig &cfg,
            const std::vector<TraceSource *> &traces);
 
-    /** Advance the simulation by @p ticks DRAM cycles. */
+    /**
+     * Advance the simulation by @p ticks DRAM cycles using the engine
+     * selected by SystemConfig::engine ("cycle" or "event"); both
+     * produce bit-identical commands, stats, and RNG streams.
+     */
     void run(Tick ticks);
 
     /** Zero all measurement counters; microarchitectural state persists. */
@@ -78,6 +82,11 @@ class System
 
   private:
     void build();
+    void runCycle(Tick end);
+    void runEvent(Tick end);
+    /** Bulk-account a component's inert span [itsNext, t) (event engine). */
+    void ctlCatchUp(std::size_t i, Tick t);
+    void coreCatchUp(std::size_t j, Tick t);
 
     SystemConfig cfg_;
     TimingParams timing_;
@@ -89,6 +98,15 @@ class System
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<ChannelController>> controllers_;
     std::vector<std::vector<TimedCommand>> cmdLogs_;
+
+    /** @name Per-component clocks of the event engine (see runEvent()).
+     *  wake = earliest tick the component must execute; next = first
+     *  tick not yet accounted (executed or skipped). */
+    /// @{
+    std::vector<Tick> ctlWake_, ctlNext_, coreWake_, coreNext_;
+    std::vector<std::uint8_t> ctlRan_, coreRan_;
+    bool eventRun_ = false;
+    /// @}
 };
 
 } // namespace dsarp

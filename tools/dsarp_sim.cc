@@ -10,9 +10,9 @@
  *   dsarp_sim [--mech NAME] [--density 8|16|32] [--cores N]
  *             [--retention 32|64] [--subarrays N] [--cycles N]
  *             [--warmup N] [--seed N] [--workload-seed N]
- *             [--intensity 0|25|50|75|100] [--config FILE]
- *             [--set key=value] [--list-mechs] [--list-keys]
- *             [--list-benchmarks] [--help]
+ *             [--intensity 0|25|50|75|100] [--engine cycle|event]
+ *             [--jobs N] [--config FILE] [--set key=value]
+ *             [--list-mechs] [--list-keys] [--list-benchmarks] [--help]
  *
  * Mechanism names come from the refresh-policy registry (--list-mechs);
  * adding a policy to the library makes it available here with no CLI
@@ -23,6 +23,7 @@
  * breakdown -- the same numbers the paper's tables are built from.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -53,6 +54,8 @@ usage()
         "  --seed N           simulator seed                    [1]\n"
         "  --workload-seed N  workload mix seed                 [1]\n"
         "  --intensity PCT    0|25|50|75|100 intensive mix      [100]\n"
+        "  --engine NAME      cycle | event, = sim.engine       [cycle]\n"
+        "  --jobs N           threads for the alone-IPC baselines [1]\n"
         "  --config FILE      key=value config file (layered first)\n"
         "  --set key=value    one config override (repeatable)\n"
         "  --list             print refresh mechanisms and DRAM specs\n"
@@ -112,6 +115,7 @@ int
 main(int argc, char **argv)
 {
     ExperimentConfig cfg;
+    int jobs = 1;
 
     // Two passes keep the layering honest regardless of flag order:
     // the config file first, then DSARP_SET, then every other flag.
@@ -180,6 +184,18 @@ main(int argc, char **argv)
             cfg.set("workloadSeed", value());
         } else if (arg == "--intensity") {
             cfg.set("intensityPct", value());
+        } else if (arg == "--engine") {
+            cfg.set("sim.engine", value());
+        } else if (arg == "--jobs") {
+            const char *v = value();
+            char *end = nullptr;
+            jobs = static_cast<int>(std::strtol(v, &end, 10));
+            if (end == v || *end != '\0' || jobs < 1) {
+                std::fprintf(stderr,
+                             "--jobs: '%s' is not a positive integer\n",
+                             v);
+                return 1;
+            }
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             usage();
@@ -198,7 +214,21 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(sim.warmupTicks()),
                 static_cast<unsigned long long>(sim.measureTicks()));
 
+    // Baselines first (sharded when --jobs > 1) so the timed run below
+    // measures only the constrained simulation.
+    sim.prewarmBaselines(jobs);
+    const auto t0 = std::chrono::steady_clock::now();
     const RunResult res = sim.run();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    const double simCycles = static_cast<double>(sim.warmupTicks()) +
+                             static_cast<double>(sim.measureTicks());
+    std::printf("engine     : %s, %d jobs, %.2fs wall "
+                "(%.3g sim-cycles/sec)\n",
+                sim.config().engine.c_str(), jobs, wall,
+                wall > 0 ? simCycles / wall : 0.0);
 
     std::printf("\n%-20s %8s %8s %9s\n", "core/benchmark", "IPC",
                 "alone", "slowdown");

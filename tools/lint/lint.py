@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lint for invariants the compiler cannot see.
 
-Three checks, each born from a real bug class in this codebase:
+Four checks, each born from a real bug class in this codebase:
 
 1. unit-honest-conversion -- no raw arithmetic against the clock
    period (``/ tCkNs`` or ``* tCkNs``) outside the two blessed
@@ -22,6 +22,16 @@ Three checks, each born from a real bug class in this codebase:
    DSARP_REGISTER_DRAM_SPEC identifier appears in exactly one
    translation unit.  A copy-pasted registrar aborts at startup in
    every binary; catch it before the build does.
+
+4. single-thread-spawn-point -- no raw ``std::thread`` /
+   ``std::jthread`` / ``std::async`` under src/, bench/, or tools/
+   outside the audited spawn point src/sim/parallel.{hh,cc}.  Every
+   parallel path must funnel through parallelFor()/SweepRunner so it
+   inherits their exception handling and byte-identical-results
+   contract; an ad-hoc thread next to the shared alone-IPC memo is a
+   data race waiting for a TSan run to find it.  Static queries
+   (``std::thread::hardware_concurrency``) and tests/ (which probe
+   thread-cleanliness on purpose) are exempt.
 
 Exit status 0 when clean, 1 with findings (one ``file:line: message``
 per line), 2 on usage errors.  ``--self-test`` seeds one violation of
@@ -55,6 +65,18 @@ COMMENT_RE = re.compile(r"^\s*(?://|\*|/\*)")
 STRING_LIT_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 REGISTRAR_RE = re.compile(
     r"DSARP_REGISTER_(?:REFRESH_POLICY|DRAM_SPEC)\(\s*(\w+)")
+
+# The audited thread-spawn point (see src/sim/parallel.hh).
+THREAD_SPAWN_TUS = {
+    Path("src/sim/parallel.hh"),
+    Path("src/sim/parallel.cc"),
+}
+
+# A raw thread spawn: std::thread/std::jthread used as a type (the
+# `::` lookahead exempts static queries like hardware_concurrency),
+# or any std::async launch.
+THREAD_SPAWN_RE = re.compile(
+    r"std::j?thread\b(?!\s*::)|std::async\b")
 
 SOURCE_GLOBS = ("src/**/*.cc", "src/**/*.hh", "tests/*.cc",
                 "bench/*.cc", "bench/*.hh", "tools/*.cc",
@@ -151,11 +173,27 @@ def check_registrars(root, findings):
                     owners[ident] = (rel, lineno)
 
 
+def check_thread_spawns(root, findings):
+    for path in source_files(root):
+        rel = path.relative_to(root)
+        if rel in THREAD_SPAWN_TUS or rel.parts[0] == "tests":
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if COMMENT_RE.match(line):
+                continue
+            if THREAD_SPAWN_RE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: raw thread spawn outside "
+                    "src/sim/parallel.*; route through parallelFor/"
+                    "SweepRunner (the audited spawn point)")
+
+
 def run_checks(root):
     findings = []
     check_unit_conversions(root, findings)
     check_config_keys(root, findings)
     check_registrars(root, findings)
+    check_thread_spawns(root, findings)
     return findings
 
 
@@ -184,10 +222,13 @@ def self_test():
             "DSARP_REGISTER_DRAM_SPEC(ddr9, spec());\n")
         (root / "src/dram/reg_b.cc").write_text(
             "DSARP_REGISTER_DRAM_SPEC(ddr9, spec());\n")
+        # 4. A raw thread spawn outside the audited spawn point.
+        (root / "src/sim/bad_spawn.cc").write_text(
+            "void f() { std::thread t([] {}); t.join(); }\n")
 
         findings = run_checks(root)
         for needle in ("raw tCK arithmetic", "respelled",
-                       "exactly one TU"):
+                       "exactly one TU", "raw thread spawn"):
             if not any(needle in f for f in findings):
                 failures.append(f"self-test: no finding matching "
                                 f"'{needle}' in {findings}")
@@ -199,6 +240,19 @@ def self_test():
         for f in run_checks(root):
             if "raw tCK" in f:
                 failures.append(f"self-test: blessed TU flagged: {f}")
+
+        # The audited spawn point, static queries, and tests/ must all
+        # stay allowed.
+        (root / "src/sim/bad_spawn.cc").unlink()
+        (root / "src/sim/parallel.cc").write_text(
+            "void pool() { std::thread t([] {}); t.join(); }\n")
+        (root / "src/sim/query.cc").write_text(
+            "unsigned n() { return std::thread::hardware_concurrency(); }\n")
+        (root / "tests/test_spawn.cc").write_text(
+            "void probe() { std::thread t([] {}); t.join(); }\n")
+        for f in run_checks(root):
+            if "thread spawn" in f:
+                failures.append(f"self-test: exempt spawn flagged: {f}")
 
     # The real tree must currently be clean, or the lint gate is dead
     # on arrival.
