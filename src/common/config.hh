@@ -73,6 +73,15 @@ struct MemOrg
      */
     int burstBytes = 64;
 
+    /**
+     * Sub-channel factor already folded into `channels` by
+     * MemConfig::finalize() under a spec-derived address map
+     * ("ddr5-subch"). Recorded so finalize() stays idempotent: a
+     * re-finalized config divides the factor back out before applying
+     * the (possibly different) spec's own.
+     */
+    int appliedSubChannels = 1;
+
     /** Bytes per DRAM column address: one burst, never below a line. */
     int columnBytes() const
     {
@@ -103,6 +112,28 @@ struct MemConfig
      * named-key error listing the registered specs.
      */
     std::string dramSpec = "DDR3-1333";
+
+    /**
+     * Physical-address interleave by registry name (config key
+     * "address.map"; case-insensitive -- see dram/address.hh).
+     * "burst-ch" is the default and reproduces every pre-existing
+     * result bit-identically; "row-ch" places channel bits above the
+     * row, "perm-bank" XOR-permutes the bank index, and "ddr5-subch"
+     * derives the channel count from DramSpec::subChannels. Unknown
+     * names and map/spec mismatches are fatal named-key errors.
+     */
+    std::string addressMap = "burst-ch";
+
+    /**
+     * Cross-channel phase of every ledger-driven refresh schedule
+     * (config key "refresh.channelStagger"): channel c's accrual
+     * origin shifts by c x this many DRAM cycles, so all-bank
+     * refreshes of different channels stop landing on the same ticks.
+     * 0 disables staggering (bit-identical default); -1 picks the
+     * even spread tREFIab / channels; positive values are explicit
+     * cycle counts.
+     */
+    int channelStaggerCycles = 0;
 
     /**
      * Refresh mechanism by registry name ("REFab", "DSARP", "FGR2x",

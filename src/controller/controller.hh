@@ -124,6 +124,7 @@ class ChannelController : public ControllerView
     int pendingDemandsRank(RankId r) const override;
     bool inWritebackMode() const override { return writeDrain_.active(); }
     Tick lastDemandActivity(RankId r) const override;
+    ChannelId channelId() const override { return id_; }
     const Channel &dram() const override { return channel_; }
     Rng &schedulerRng() override { return rng_; }
     /// @}

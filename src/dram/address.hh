@@ -1,12 +1,22 @@
 /**
  * @file
- * Physical address mapping.
+ * Physical address mapping, pluggable through a string-keyed registry.
  *
- * The interleaving is burst:channel:column:bank:rank:row from least to
- * most significant, i.e. consecutive bursts alternate across channels,
- * then walk the columns of one row within a channel. This gives
- * streaming workloads both channel-level parallelism and row-buffer
- * locality, the standard layout for FR-FCFS studies.
+ * AddressMap itself is the default `"burst-ch"` interleave --
+ * burst:channel:column:bank:rank:row from least to most significant,
+ * i.e. consecutive bursts alternate across channels, then walk the
+ * columns of one row within a channel. This gives streaming workloads
+ * both channel-level parallelism and row-buffer locality, the standard
+ * layout for FR-FCFS studies.
+ *
+ * Alternative interleaves (per-channel streaming regions, XOR bank
+ * permutation, DDR5 sub-channel expansion) subclass it and register
+ * themselves from static initializers in their own translation units
+ * under src/dram/address_maps/ (see DSARP_REGISTER_ADDRESS_MAP),
+ * exactly like DRAM specs and refresh policies: adding a mapping
+ * strategy is one new .cc file. Selection is MemConfig::addressMap
+ * (config key "address.map"); unknown names are a fatal named-key
+ * error listing the registered maps.
  *
  * The mapping unit is one DRAM column = one spec burst
  * (MemOrg::columnBytes()): a 64 B cache line on DDR3/DDR4, but 128 B
@@ -17,10 +27,21 @@
 #ifndef DSARP_DRAM_ADDRESS_HH
 #define DSARP_DRAM_ADDRESS_HH
 
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
 #include "common/config.hh"
 #include "common/types.hh"
 
 namespace dsarp {
+
+struct DramSpec;
 
 /** A fully decoded physical address. */
 struct DecodedAddr
@@ -40,27 +61,132 @@ struct DecodedAddr
     }
 };
 
-/** Bidirectional mapping between physical addresses and DRAM coordinates. */
+/**
+ * Bidirectional mapping between physical addresses and DRAM
+ * coordinates. Concretely instantiable: AddressMap(org) *is* the
+ * default "burst-ch" interleave (pinned bit-identical by the golden
+ * baselines), and the registered strategies subclass it.
+ */
 class AddressMap
 {
   public:
     explicit AddressMap(const MemOrg &org);
+    virtual ~AddressMap() = default;
+
+    /** The registry name of this mapping strategy. */
+    virtual const char *name() const { return "burst-ch"; }
 
     /** Decode a physical byte address. */
-    DecodedAddr decode(Addr addr) const;
+    virtual DecodedAddr decode(Addr addr) const;
 
     /** Compose a physical byte address from DRAM coordinates. */
-    Addr encode(const DecodedAddr &d) const;
+    virtual Addr encode(const DecodedAddr &d) const;
 
     /** Total bytes covered by the mapping. */
     Addr capacityBytes() const { return capacity_; }
 
     const MemOrg &org() const { return org_; }
 
-  private:
+  protected:
+    /** Range-check @p d against the organization (encode precondition). */
+    void checkCoords(const DecodedAddr &d) const;
+
     MemOrg org_;
     Addr capacity_;
 };
+
+/** One registered mapping strategy. */
+struct AddressMapInfo
+{
+    std::string name;     ///< Canonical spelling, e.g. "burst-ch".
+    std::string summary;  ///< One-liner for --list-maps and docs.
+
+    /** Build the map for a (finalized) organization. */
+    std::function<std::unique_ptr<AddressMap>(const MemOrg &)> make;
+
+    /**
+     * Cross-check map x organization x device spec; "" when supported,
+     * otherwise a named-key error ("config key 'address.map': ...").
+     * Null means no constraints.
+     */
+    std::function<std::string(const MemOrg &, const DramSpec &)> check;
+
+    /**
+     * How many independent channels each *configured* channel (DIMM)
+     * expands to under this map ("ddr5-subch" returns the spec's
+     * sub-channel count). Null means 1: configured channels are the
+     * physical channels.
+     */
+    std::function<int(const DramSpec &)> channelFactor;
+};
+
+class AddressMapRegistry
+{
+  public:
+    /**
+     * The process-wide registry; a function-local static with
+     * mutex-guarded members, same thread-safety contract as
+     * DramSpecRegistry (safe against concurrent registration and the
+     * parallel sweep harness).
+     */
+    static AddressMapRegistry &instance();
+
+    /**
+     * Register @p info under its canonical name and every alias.
+     * Returns true so static registrars can capture the result; a
+     * duplicate name is a fatal error at startup.
+     */
+    bool add(AddressMapInfo info, std::vector<std::string> aliases = {});
+
+    bool has(const std::string &name) const;
+
+    /** Case-insensitive lookup; nullptr when unknown. */
+    const AddressMapInfo *find(const std::string &name) const;
+
+    /** find(), but a fatal named-key error listing known maps. */
+    const AddressMapInfo &at(const std::string &name) const;
+
+    /** The named-key error text at() dies with (for callers that
+     *  collect errors instead of exiting). */
+    std::string unknownMapMessage(const std::string &name) const;
+
+    /** Canonical names, sorted; aliases are not repeated. */
+    std::vector<std::string> names() const;
+
+    /** Build the named map for @p org (fatal named-key error when
+     *  unknown). */
+    std::unique_ptr<AddressMap> make(const std::string &name,
+                                     const MemOrg &org) const;
+
+  private:
+    const AddressMapInfo *findLocked(const std::string &name) const;
+    std::string unknownMapMessageLocked(const std::string &name) const;
+    std::vector<std::string> namesLocked() const;
+
+    /** Guards index_/entries_; never held while calling out. */
+    mutable std::mutex mutex_;
+
+    std::map<std::string, std::size_t> index_;  ///< lowercase name -> slot.
+
+    /** A deque so references returned by find()/at() stay valid when
+     *  later registrations grow the registry. */
+    std::deque<AddressMapInfo> entries_;
+};
+
+/**
+ * Define a static registrar. Use at namespace scope in the map's
+ * translation unit:
+ *
+ *   DSARP_REGISTER_ADDRESS_MAP(row_ch, {
+ *       "row-ch", "channel bits above row (per-channel regions)",
+ *       [](const MemOrg &org) { return std::make_unique<RowChMap>(org); },
+ *       nullptr, nullptr})
+ */
+#define DSARP_REGISTER_ADDRESS_MAP(ident, ...) \
+    namespace { \
+    const bool dsarpAddressMapRegistrar_##ident [[maybe_unused]] = \
+        ::dsarp::AddressMapRegistry::instance().add(__VA_ARGS__); \
+    }
 
 } // namespace dsarp
 

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * "burst-ch": the default interleave -- burst:channel:column:bank:rank:
+ * row from least to most significant. Consecutive bursts alternate
+ * across channels, then walk the columns of one row within a channel,
+ * giving streaming workloads channel-level parallelism and row-buffer
+ * locality at once. The implementation *is* the AddressMap base class;
+ * this registrar only gives it its registry slot (and keeps the
+ * pre-registry behaviour pinned bit-identical via the goldens).
+ */
+
+#include <memory>
+
+#include "dram/address.hh"
+
+namespace dsarp {
+
+DSARP_REGISTER_ADDRESS_MAP(burst_ch, {
+    "burst-ch",
+    "bursts alternate across channels, then columns (default)",
+    [](const MemOrg &org) { return std::make_unique<AddressMap>(org); },
+    nullptr, nullptr})
+
+} // namespace dsarp

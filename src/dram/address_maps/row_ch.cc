@@ -1,0 +1,71 @@
+/**
+ * @file
+ * "row-ch": channel bits above the row bits -- burst:column:bank:rank:
+ * row:channel from least to most significant. Each channel owns one
+ * large contiguous region of the physical address space, so a
+ * streaming core stays on one channel (per-channel locality) instead
+ * of striping across all of them. The interesting contrast to the
+ * default "burst-ch": channel parallelism now comes only from *distinct
+ * cores'* footprints landing on distinct channels, which is exactly the
+ * regime where cross-channel refresh staggering pays.
+ */
+
+#include <memory>
+
+#include "dram/address.hh"
+#include "common/log.hh"
+
+namespace dsarp {
+
+namespace {
+
+class RowChMap : public AddressMap
+{
+  public:
+    explicit RowChMap(const MemOrg &org) : AddressMap(org) {}
+
+    const char *name() const override { return "row-ch"; }
+
+    DecodedAddr
+    decode(Addr addr) const override
+    {
+        DSARP_ASSERT(addr < capacityBytes(),
+                     "address beyond mapped capacity");
+        Addr x = addr / org_.columnBytes();
+
+        DecodedAddr d;
+        d.column = static_cast<int>(x % org_.columns());
+        x /= org_.columns();
+        d.bank = static_cast<BankId>(x % org_.banksPerRank);
+        x /= org_.banksPerRank;
+        d.rank = static_cast<RankId>(x % org_.ranksPerChannel);
+        x /= org_.ranksPerChannel;
+        d.row = static_cast<RowId>(x % org_.rowsPerBank);
+        x /= org_.rowsPerBank;
+        d.channel = static_cast<ChannelId>(x);
+        d.subarray = d.row / org_.rowsPerSubarray();
+        return d;
+    }
+
+    Addr
+    encode(const DecodedAddr &d) const override
+    {
+        checkCoords(d);
+        Addr x = static_cast<Addr>(d.channel);
+        x = x * org_.rowsPerBank + d.row;
+        x = x * org_.ranksPerChannel + d.rank;
+        x = x * org_.banksPerRank + d.bank;
+        x = x * org_.columns() + d.column;
+        return x * org_.columnBytes();
+    }
+};
+
+} // namespace
+
+DSARP_REGISTER_ADDRESS_MAP(row_ch, {
+    "row-ch",
+    "channel bits above row: contiguous per-channel regions",
+    [](const MemOrg &org) { return std::make_unique<RowChMap>(org); },
+    nullptr, nullptr})
+
+} // namespace dsarp

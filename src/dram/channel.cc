@@ -135,32 +135,44 @@ Channel::issue(const Command &cmd, Tick now)
         ++stats_.pres;
         return 0;
 
-      case CommandType::kRefPb:
+      case CommandType::kRefPb: {
         rk.onRefPb(now, cmd.bank, cmd.tRfcOverride, cmd.rowsOverride,
                    cmd.hidden);
         ++stats_.refPb;
         if (cmd.hidden)
             ++stats_.refPbHidden;
-        stats_.refPbCycles += static_cast<std::uint64_t>(
+        const std::uint64_t dur = static_cast<std::uint64_t>(
             (cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcPb)
                 .count());
+        stats_.refPbCycles += dur;
+        if (refreshSpanCb_)
+            refreshSpanCb_(now, now + dur);
         return 0;
+      }
 
-      case CommandType::kRefAb:
+      case CommandType::kRefAb: {
         rk.onRefAb(now, cmd.tRfcOverride, cmd.rowsOverride);
         ++stats_.refAb;
-        stats_.refAbCycles += static_cast<std::uint64_t>(
+        const std::uint64_t dur = static_cast<std::uint64_t>(
             (cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcAb)
                 .count());
+        stats_.refAbCycles += dur;
+        if (refreshSpanCb_)
+            refreshSpanCb_(now, now + dur);
         return 0;
+      }
 
-      case CommandType::kRefSb:
+      case CommandType::kRefSb: {
         rk.onRefSb(now, cmd.bank, cmd.tRfcOverride, cmd.rowsOverride);
         ++stats_.refSb;
-        stats_.refSbCycles += static_cast<std::uint64_t>(
+        const std::uint64_t dur = static_cast<std::uint64_t>(
             (cmd.tRfcOverride ? cmd.tRfcOverride : timing_->tRfcSb)
                 .count());
+        stats_.refSbCycles += dur;
+        if (refreshSpanCb_)
+            refreshSpanCb_(now, now + dur);
         return 0;
+      }
 
       case CommandType::kSrEnter:
         rk.onSrEnter(now);

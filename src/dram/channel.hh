@@ -12,6 +12,7 @@
 #define DSARP_DRAM_CHANNEL_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/config.hh"
@@ -68,6 +69,15 @@ struct ChannelStats
     std::uint64_t srExit = 0;   ///< SRX commands issued.
     std::uint64_t srTicks = 0;  ///< Rank-ticks spent in self-refresh.
     /// @}
+
+    /**
+     * Ticks during which this channel's refresh bursts overlapped a
+     * refresh in flight on a *sibling* channel (the per-system sum is
+     * sum_t max(0, refreshing channels - 1)). Computed by the owning
+     * System from the refresh spans the channels report; the
+     * cross-channel stagger exists to drive this to zero.
+     */
+    std::uint64_t refOverlapTicks = 0;
 };
 
 class Channel
@@ -111,6 +121,21 @@ class Channel
     const ChannelStats &stats() const { return stats_; }
     const TimingParams &timing() const { return *timing_; }
 
+    /**
+     * Observer for refresh bursts: invoked at every REFab/REFpb/REFsb
+     * issue with the burst's [start, end) tick span (end honours
+     * FGR/AR tRFC overrides). The System uses it for cross-channel
+     * refresh-overlap accounting.
+     */
+    using RefreshSpanCallback = std::function<void(Tick start, Tick end)>;
+    void setRefreshSpanCallback(RefreshSpanCallback cb)
+    {
+        refreshSpanCb_ = std::move(cb);
+    }
+
+    /** Overlap ticks attributed to this channel (see stats above). */
+    void addRefOverlapTicks(std::uint64_t t) { stats_.refOverlapTicks += t; }
+
     /** Zero the counters (DRAM state is preserved). */
     void resetStats() { stats_ = ChannelStats{}; }
 
@@ -140,6 +165,8 @@ class Channel
      * self-refresh energy state from ever firing.
      */
     std::vector<Tick> lastDemandActiveAt_;
+
+    RefreshSpanCallback refreshSpanCb_;
 
     ChannelStats stats_;
 };

@@ -168,6 +168,16 @@ struct DramSpec
     int busWidthBits = 64;
 
     /**
+     * Independent sub-channels per DIMM (DDR5: 2, everything else 1).
+     * The spec's channel-level fields above describe *one* sub-channel
+     * (DDR5-4800: 32 data bits, BL16, 64 B bursts); under the
+     * "ddr5-subch" address map MemConfig::finalize() expands every
+     * configured channel into this many full channels, so DDR5
+     * topology falls out of the spec, not the config.
+     */
+    int subChannels = 1;
+
+    /**
      * HiRA (hidden row activation, Yağlıkçı et al., MICRO'22)
      * characterization: the delay between a demand activation and the
      * hidden refresh activation tucked beneath it, and the fraction of

@@ -57,8 +57,11 @@ DSARP_REGISTER_DRAM_SPEC(ddr5_4800, []() {
     s.banksPerGroup = 4;
     s.tRfcSbNs = {Nanoseconds(115.0), Nanoseconds(130.0), Nanoseconds(190.0)};
     // One 32-bit subchannel at BL16: 64 B bursts, DDR3-equivalent
-    // column granularity.
+    // column granularity. A DIMM carries two such independent
+    // sub-channels; the "ddr5-subch" address map expands each
+    // configured channel accordingly.
     s.busWidthBits = 32;
+    s.subChannels = 2;
     s.tHiRANs = Nanoseconds(7.5);
     s.hiraActCoverage = 0.32;
     s.hiraRefCoverage = 0.78;

@@ -36,7 +36,7 @@ AllBankScheduler::AllBankScheduler(const MemConfig *cfg,
       ledger_(cfg->org.ranksPerChannel, 1, timing->tRefiAb,
               timing->tRefiAb /
                   (cfg->refabStaggerDivisor * cfg->org.ranksPerChannel),
-              Cycles())
+              Cycles(), 8, channelPhase())
 {
 }
 

@@ -30,7 +30,8 @@ DarpScheduler::DarpScheduler(const MemConfig *cfg,
                              ControllerView *view)
     : RefreshScheduler(cfg, timing, view),
       ledger_(cfg->org.ranksPerChannel, cfg->org.banksPerRank,
-              timing->tRefiAb, timing->tRefiPb / 2, timing->tRefiPb),
+              timing->tRefiAb, timing->tRefiPb / 2, timing->tRefiPb, 8,
+              channelPhase()),
       banks_(cfg->org.banksPerRank),
       writeRefreshEnabled_(cfg->darpWriteRefresh)
 {

@@ -23,7 +23,7 @@ ElasticScheduler::ElasticScheduler(const MemConfig *cfg,
       ledger_(cfg->org.ranksPerChannel, 1, timing->tRefiAb,
               timing->tRefiAb /
                   (cfg->refabStaggerDivisor * cfg->org.ranksPerChannel),
-              Cycles())
+              Cycles(), 8, channelPhase())
 {
     // The most patient threshold: wait for an idle gap about as long as
     // the average rank idle period that would hide a refresh.

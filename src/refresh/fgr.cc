@@ -51,7 +51,7 @@ AdaptiveScheduler::AdaptiveScheduler(const MemConfig *cfg,
       // 8 full commands' worth (32 quarters) of postponement.
       ledger_(cfg->org.ranksPerChannel, 1, timing->tRefiAb / 4,
               timing->tRefiAb / (8 * cfg->org.ranksPerChannel), Cycles(),
-              8 * 4)
+              8 * 4, channelPhase())
 {
     // The spec's own 4x divisor: DDR4 parts use their native tRFC4
     // ratio rather than the Section 6.5 DDR3 projection.

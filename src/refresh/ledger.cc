@@ -8,7 +8,7 @@ namespace dsarp {
 
 RefreshLedger::RefreshLedger(int ranks, int banks, Cycles period,
                              Cycles rank_stagger, Cycles unit_stagger,
-                             int max_slack)
+                             int max_slack, Cycles channel_phase)
     : ranks_(ranks), banks_(banks),
       period_(static_cast<Tick>(period.count())), maxSlack_(max_slack)
 {
@@ -23,9 +23,12 @@ RefreshLedger::RefreshLedger(int ranks, int banks, Cycles period,
             // Stagger banks within a rank (the REFpb round-robin origin)
             // and phase-shift ranks against each other; the first
             // obligation lands one full period in, so a fresh system is
-            // not instantly behind.
+            // not instantly behind. The channel phase shifts the whole
+            // ledger so sibling channels' schedules interleave instead
+            // of refreshing in lockstep.
             const Tick offset =
-                Tick(0) + (period + rank_stagger * r + unit_stagger * b);
+                Tick(0) + (period + rank_stagger * r + unit_stagger * b +
+                           channel_phase);
             firstAccrual_[index(r, b)] = offset;
             nextAccrual_[index(r, b)] = offset;
         }

@@ -37,9 +37,13 @@ class RefreshLedger
      * @param rankStagger phase offset between consecutive ranks
      * @param unitStagger phase offset between banks within a rank
      * @param maxSlack    postpone/pull-in window (JEDEC: 8)
+     * @param channelPhase whole-ledger phase origin: the owning
+     *                     channel's cross-channel refresh stagger
+     *                     (0 keeps channels aligned)
      */
     RefreshLedger(int ranks, int banks, Cycles period, Cycles rankStagger,
-                  Cycles unitStagger, int maxSlack = 8);
+                  Cycles unitStagger, int maxSlack = 8,
+                  Cycles channelPhase = Cycles(0));
 
     /** Accrue any obligations whose nominal instant has passed. */
     void advanceTo(Tick now);

@@ -32,7 +32,8 @@ PerBankScheduler::PerBankScheduler(const MemConfig *cfg,
       // within the rank so each rank sees one obligation per tREFIpb in
       // round-robin order; ranks are phase-shifted by half a slot.
       ledger_(cfg->org.ranksPerChannel, cfg->org.banksPerRank,
-              timing->tRefiAb, timing->tRefiPb / 2, timing->tRefiPb),
+              timing->tRefiAb, timing->tRefiPb / 2, timing->tRefiPb, 8,
+              channelPhase()),
       rrIndex_(cfg->org.ranksPerChannel, 0)
 {
 }

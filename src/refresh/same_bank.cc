@@ -41,7 +41,8 @@ SameBankScheduler::SameBankScheduler(const MemConfig *cfg,
               timing->banksPerGroup > 0
                   ? cfg->org.banksPerRank / timing->banksPerGroup
                   : 1,
-              timing->tRefiAb, timing->tRefiSb / 2, timing->tRefiSb),
+              timing->tRefiAb, timing->tRefiSb / 2, timing->tRefiSb, 8,
+              channelPhase()),
       groups_(timing->banksPerGroup > 0
                   ? cfg->org.banksPerRank / timing->banksPerGroup
                   : 1),

@@ -43,6 +43,11 @@ class ControllerView
     /** Tick of the last demand activity on a rank (for idle prediction). */
     virtual Tick lastDemandActivity(RankId r) const = 0;
 
+    /** Index of the channel this controller drives, for cross-channel
+     *  refresh phasing. Defaulted so single-channel mocks need not
+     *  care. */
+    virtual ChannelId channelId() const { return 0; }
+
     virtual const Channel &dram() const = 0;
     virtual Rng &schedulerRng() = 0;
 };
@@ -173,6 +178,25 @@ class RefreshScheduler
     rankInSelfRefresh(RankId r, Tick now) const
     {
         return view_->dram().rank(r).selfRefreshLockout(now);
+    }
+
+    /**
+     * This channel's cross-channel refresh phase (config key
+     * "refresh.channelStagger"): the ledger origin offset that keeps
+     * sibling channels from refreshing on the same ticks. 0 when
+     * staggering is off (the bit-identical default) or the system has
+     * one channel; -1 selects the even spread tREFIab / channels.
+     * Ledger-driven policies pass this as their ledger's channelPhase.
+     */
+    Cycles
+    channelPhase() const
+    {
+        const int s = cfg_->channelStaggerCycles;
+        if (s == 0 || cfg_->org.channels <= 1)
+            return Cycles(0);
+        const Cycles per =
+            s < 0 ? timing_->tRefiAb / cfg_->org.channels : Cycles(s);
+        return per * view_->channelId();
     }
 
     const MemConfig *cfg_;

@@ -20,6 +20,8 @@ inline constexpr char kDensityGb[] = "densityGb";
 inline constexpr char kRetentionMs[] = "retentionMs";
 inline constexpr char kSubarraysPerBank[] = "subarraysPerBank";
 inline constexpr char kChannels[] = "channels";
+inline constexpr char kAddressMap[] = "address.map";
+inline constexpr char kChannelStagger[] = "refresh.channelStagger";
 inline constexpr char kRanksPerChannel[] = "ranksPerChannel";
 inline constexpr char kBanksPerRank[] = "banksPerRank";
 inline constexpr char kReadQueueSize[] = "readQueueSize";
@@ -51,6 +53,7 @@ inline constexpr char kSimEngine[] = "sim.engine";
 inline constexpr const char *const kAllKeys[] = {
     kPolicy,          kDramSpec,           kDensityGb,
     kRetentionMs,     kSubarraysPerBank,   kChannels,
+    kAddressMap,      kChannelStagger,
     kRanksPerChannel, kBanksPerRank,       kReadQueueSize,
     kWriteQueueSize,  kWriteHighWatermark, kWriteLowWatermark,
     kRefabStaggerDivisor, kMaxOverlappedRefPb, kTFawOverride,

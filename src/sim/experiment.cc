@@ -134,6 +134,13 @@ keyTable()
              cfg.dramSpec = v;
              return "";
          }},
+        {keys::kAddressMap,
+         [](ExperimentConfig &cfg, const std::string &v) -> std::string {
+             if (v.empty())
+                 return "expected an address map name";
+             cfg.addressMap = v;
+             return "";
+         }},
         intKey(keys::kDensityGb, &ExperimentConfig::densityGb),
         intKey(keys::kRetentionMs, &ExperimentConfig::retentionMs),
         intKey(keys::kSubarraysPerBank, &ExperimentConfig::subarraysPerBank),
@@ -159,6 +166,7 @@ keyTable()
         intKey(keys::kSrIdleEntry,
                &ExperimentConfig::srIdleEntry),
         intKey(keys::kFgrRate, &ExperimentConfig::fgrRate),
+        intKey(keys::kChannelStagger, &ExperimentConfig::channelStagger),
         intKey(keys::kSelfRefreshIdle,
                &ExperimentConfig::selfRefreshIdle),
         intKey(keys::kNumCores, &ExperimentConfig::numCores),
@@ -360,6 +368,8 @@ ExperimentConfig::toSystemConfig() const
     SystemConfig sys;
     sys.mem.policy = policy;
     sys.mem.dramSpec = dramSpec;
+    sys.mem.addressMap = addressMap;
+    sys.mem.channelStaggerCycles = channelStagger;
     sys.mem.density = densityGb == 8 ? Density::k8Gb
         : densityGb == 16            ? Density::k16Gb
                                      : Density::k32Gb;

@@ -44,6 +44,12 @@ struct ExperimentConfig
      *  dram/spec.hh). Unknown names fail validation with a named-key
      *  error listing the registered specs. */
     std::string dramSpec = "DDR3-1333";
+
+    /** Physical-address interleave by registry name (key "address.map";
+     *  see dram/address.hh). Unknown names fail validation with a
+     *  named-key error listing the registered maps. */
+    std::string addressMap = "burst-ch";
+
     int densityGb = 32;          ///< 8 | 16 | 32.
     int retentionMs = 32;        ///< 32 | 64.
     int subarraysPerBank = 8;
@@ -85,6 +91,11 @@ struct ExperimentConfig
     /** Explicit FGR rate for any mechanism (key "refresh.fgrRate");
      *  0 keeps the profile default, else 1/2/4. */
     int fgrRate = 0;
+
+    /** Cross-channel refresh-schedule phase in cycles (key
+     *  "refresh.channelStagger"): 0 = off (bit-identical default),
+     *  -1 = the even spread tREFIab / channels, > 0 = explicit. */
+    int channelStagger = 0;
 
     /** Legacy accounting-only self-refresh energy state (key
      *  "energy.selfRefreshIdle"); 0 disables. Deprecated in favour of

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "dram/address.hh"
 #include "dram/spec.hh"
 #include "refresh/registry.hh"
 #include "sim/metrics.hh"
@@ -113,6 +114,11 @@ Runner::makeSystemConfig(const RunConfig &cfg)
     sys.mem.policy = cfg.policy;
     if (!cfg.dramSpec.empty())
         sys.mem.dramSpec = cfg.dramSpec;
+    if (!cfg.addressMap.empty())
+        sys.mem.addressMap = cfg.addressMap;
+    if (cfg.channels > 0)
+        sys.mem.org.channels = cfg.channels;
+    sys.mem.channelStaggerCycles = cfg.channelStaggerCycles;
     sys.mem.density = cfg.density;
     sys.mem.retentionMs = cfg.retentionMs;
     sys.mem.refresh = cfg.refresh;
@@ -176,6 +182,7 @@ collectChannelStats(System &system, const SystemConfig &sys,
         res.srEnters += cs.srEnter;
         res.srExits += cs.srExit;
         res.srTicks += cs.srTicks;
+        res.refOverlapTicks += cs.refOverlapTicks;
         res.readsCompleted += system.controller(ch).stats().readsCompleted;
         res.writesIssued += system.controller(ch).stats().writesIssued;
     }
@@ -211,6 +218,8 @@ Runner::aloneIpc(int bench_idx, const SystemConfig &sys)
     // "ddr4" and "DDR4-2400" share one baseline.
     key << bench_idx << ':' << warmup_ << ':' << measure_ << ':'
         << DramSpecRegistry::instance().at(sys.mem.dramSpec).name << ':'
+        << AddressMapRegistry::instance().at(sys.mem.addressMap).name
+        << ':'
         << densityName(sys.mem.density) << ':' << sys.mem.retentionMs
         << ':' << sys.mem.org.subarraysPerBank << ':'
         << sys.mem.tFawOverride << ':' << sys.mem.tRrdOverride << ':'

@@ -46,6 +46,19 @@ struct RunConfig
     std::string dramSpec;
 
     /**
+     * Address map by registry name (see dram/address.hh); empty keeps
+     * the MemConfig default ("burst-ch").
+     */
+    std::string addressMap;
+
+    /** Channels per system; 0 keeps the MemOrg default (2). */
+    int channels = 0;
+
+    /** Cross-channel refresh stagger in cycles (= the
+     *  refresh.channelStagger key): 0 off, -1 = tREFIab / channels. */
+    int channelStaggerCycles = 0;
+
+    /**
      * Refresh mechanism by registry name; when non-empty it wins over
      * the (refresh, sarp) pair below (see MemConfig::policy).
      */
@@ -114,6 +127,9 @@ struct RunResult
     std::uint64_t srEnters = 0;     ///< Self-refresh entries (SRE).
     std::uint64_t srExits = 0;      ///< Self-refresh exits (SRX).
     std::uint64_t srTicks = 0;      ///< Rank-ticks spent in self-refresh.
+    /** Ticks a channel's refresh overlapped a sibling channel's (the
+     *  simultaneous-refresh exposure channel staggering removes). */
+    std::uint64_t refOverlapTicks = 0;
 };
 
 class Runner

@@ -1,6 +1,8 @@
 #include "sim/simulation.hh"
 
 #include "common/log.hh"
+#include "dram/address.hh"
+#include "refresh/registry.hh"
 #include "sim/parallel.hh"
 
 namespace dsarp {
@@ -23,6 +25,27 @@ Simulation::Builder &
 Simulation::Builder::dramSpec(const std::string &name)
 {
     cfg_.dramSpec = name;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::addressMap(const std::string &name)
+{
+    cfg_.addressMap = name;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::channels(int n)
+{
+    cfg_.channels = n;
+    return *this;
+}
+
+Simulation::Builder &
+Simulation::Builder::channelStagger(int cycles)
+{
+    cfg_.channelStagger = cycles;
     return *this;
 }
 
@@ -204,6 +227,17 @@ Simulation::Simulation(ExperimentConfig cfg, Workload workload,
     // Canonicalise so config() and every SystemConfig projected from
     // it carry the registry spelling, not the user's alias/case.
     cfg_.dramSpec = spec_->name;
+    cfg_.addressMap =
+        AddressMapRegistry::instance().at(cfg_.addressMap).name;
+}
+
+MemOrg
+Simulation::resolvedOrg() const
+{
+    SystemConfig sys = cfg_.toSystemConfig();
+    RefreshPolicyRegistry::instance().resolve(sys.mem);
+    sys.mem.finalize();
+    return sys.mem.org;
 }
 
 RunResult

@@ -46,6 +46,9 @@ class Simulation
 
         Builder &policy(const std::string &name);
         Builder &dramSpec(const std::string &name);
+        Builder &addressMap(const std::string &name);
+        Builder &channels(int n);
+        Builder &channelStagger(int cycles);
         Builder &densityGb(int gb);
         Builder &cores(int n);
         Builder &retentionMs(int ms);
@@ -109,6 +112,19 @@ class Simulation
 
     /** Canonical DRAM spec name, e.g. "DDR4-2400". */
     const std::string &dramSpecName() const;
+
+    /** Canonical address map name, e.g. "burst-ch" (cached at
+     *  build(), like the spec). */
+    const std::string &addressMapName() const { return cfg_.addressMap; }
+
+    /**
+     * The fully-resolved DRAM geometry this simulation will run on:
+     * the configured MemOrg after the policy bundle and finalize()
+     * (density-derived rows, spec burst size, and any spec-derived
+     * sub-channel expansion of the channel count). For topology
+     * reporting -- run() re-resolves from scratch.
+     */
+    MemOrg resolvedOrg() const;
 
     Tick warmupTicks() const { return runner_.warmupTicks(); }
     Tick measureTicks() const { return runner_.measureTicks(); }

@@ -24,7 +24,8 @@ finalized(SystemConfig cfg)
 
 System::System(const SystemConfig &cfg, const std::vector<int> &bench_idx)
     : cfg_(finalized(cfg)), timing_(TimingParams::forConfig(cfg_.mem)),
-      map_(cfg_.mem.org)
+      map_(AddressMapRegistry::instance().make(cfg_.mem.addressMap,
+                                               cfg_.mem.org))
 {
     DSARP_ASSERT(static_cast<int>(bench_idx.size()) == cfg_.numCores,
                  "one benchmark per core required");
@@ -38,7 +39,7 @@ System::System(const SystemConfig &cfg, const std::vector<int> &bench_idx)
         DSARP_ASSERT(idx >= 0 && idx < static_cast<int>(table.size()),
                      "benchmark index out of range");
         ownedTraces_.push_back(std::make_unique<SyntheticTrace>(
-            table[idx].profile, map_, c, partitions,
+            table[idx].profile, *map_, c, partitions,
             cfg_.seed + 0x1000 * (c + 1)));
         traces_.push_back(ownedTraces_.back().get());
     }
@@ -48,7 +49,9 @@ System::System(const SystemConfig &cfg, const std::vector<int> &bench_idx)
 System::System(const SystemConfig &cfg,
                const std::vector<TraceSource *> &traces)
     : cfg_(finalized(cfg)), timing_(TimingParams::forConfig(cfg_.mem)),
-      map_(cfg_.mem.org), traces_(traces)
+      map_(AddressMapRegistry::instance().make(cfg_.mem.addressMap,
+                                               cfg_.mem.org)),
+      traces_(traces)
 {
     DSARP_ASSERT(static_cast<int>(traces_.size()) == cfg_.numCores,
                  "one trace per core required");
@@ -59,11 +62,16 @@ void
 System::build()
 {
     cmdLogs_.resize(cfg_.mem.org.channels);
+    refBusyUntil_.assign(cfg_.mem.org.channels, 0);
     for (ChannelId ch = 0; ch < cfg_.mem.org.channels; ++ch) {
         controllers_.push_back(std::make_unique<ChannelController>(
             ch, &cfg_.mem, &timing_, cfg_.seed));
         if (cfg_.enableChecker)
             controllers_.back()->setCommandLog(&cmdLogs_[ch]);
+        controllers_.back()->channel().setRefreshSpanCallback(
+            [this, ch](Tick start, Tick end) {
+                onRefreshSpan(ch, start, end);
+            });
         controllers_.back()->setReadCallback(
             [this](const Request &req, Tick) {
                 // A delivery voids the target core's dormant certificate:
@@ -92,7 +100,7 @@ System::build()
                 req.core = c;
                 req.isWrite = false;
                 req.addr = addr;
-                req.loc = map_.decode(addr);
+                req.loc = map_->decode(addr);
                 req.arrival = now_;
                 const std::size_t ch =
                     static_cast<std::size_t>(req.loc.channel);
@@ -114,7 +122,7 @@ System::build()
                 req.core = c;
                 req.isWrite = true;
                 req.addr = addr;
-                req.loc = map_.decode(addr);
+                req.loc = map_->decode(addr);
                 req.arrival = now_;
                 const std::size_t ch =
                     static_cast<std::size_t>(req.loc.channel);
@@ -246,6 +254,28 @@ System::coreCatchUp(std::size_t j, Tick t)
         cores_[j]->skipTicks(t - coreNext_[j]);
         coreNext_[j] = t;
     }
+}
+
+void
+System::onRefreshSpan(ChannelId ch, Tick start, Tick end)
+{
+    // Spans arrive in issue order, so every sibling frontier > s below
+    // belongs to a burst already running at s; billing the span's
+    // intersection with the union of the others' makes the system-wide
+    // sum exactly sum_t max(0, refreshing channels - 1).
+    if (end <= refBusyUntil_[ch])
+        return;  // Re-billing time this channel already accounted.
+    const Tick s = std::max(start, refBusyUntil_[ch]);
+    Tick others = 0;
+    for (std::size_t c = 0; c < refBusyUntil_.size(); ++c) {
+        if (static_cast<ChannelId>(c) != ch)
+            others = std::max(others, refBusyUntil_[c]);
+    }
+    if (others > s) {
+        controllers_[ch]->channel().addRefOverlapTicks(
+            std::min(end, others) - s);
+    }
+    refBusyUntil_[ch] = end;
 }
 
 void

@@ -67,7 +67,7 @@ class System
         return *controllers_[ch];
     }
 
-    const AddressMap &addressMap() const { return map_; }
+    const AddressMap &addressMap() const { return *map_; }
     const TimingParams &timing() const { return timing_; }
     const SystemConfig &config() const { return cfg_; }
 
@@ -88,9 +88,19 @@ class System
     void ctlCatchUp(std::size_t i, Tick t);
     void coreCatchUp(std::size_t j, Tick t);
 
+    /**
+     * Cross-channel refresh-overlap accounting: channel @p ch put a
+     * refresh burst spanning [start, end) on its bus. Ticks the span
+     * shares with a sibling channel's in-flight refresh are billed to
+     * @p ch's ChannelStats::refOverlapTicks (the system-wide sum is
+     * sum_t max(0, refreshing channels - 1): each arriving span bills
+     * its intersection with the union of the others').
+     */
+    void onRefreshSpan(ChannelId ch, Tick start, Tick end);
+
     SystemConfig cfg_;
     TimingParams timing_;
-    AddressMap map_;
+    std::unique_ptr<AddressMap> map_;  ///< Registry-resolved interleave.
     Tick now_ = 0;
 
     std::vector<std::unique_ptr<SyntheticTrace>> ownedTraces_;
@@ -98,6 +108,9 @@ class System
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<ChannelController>> controllers_;
     std::vector<std::vector<TimedCommand>> cmdLogs_;
+
+    /** Per-channel end of the latest refresh burst (onRefreshSpan). */
+    std::vector<Tick> refBusyUntil_;
 
     /** @name Per-component clocks of the event engine (see runEvent()).
      *  wake = earliest tick the component must execute; next = first

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "dram/address.hh"
 #include "dram/spec.hh"
 #include "refresh/registry.hh"
 #include "sim/checker.hh"
@@ -54,17 +55,24 @@ sameBankMech(const std::string &mech)
 /** One randomized end-to-end case; all choices derive from @p seed.
  *  With @p self_refresh the command-level SRE/SRX idle-entry policy
  *  is armed at a random threshold (and fewer cores, so ranks really
- *  do idle into it). */
+ *  do idle into it). @p channels and @p map (empty = default) span
+ *  the multi-channel topology axis; with more than one channel, half
+ *  the cases arm the auto cross-channel refresh stagger. */
 void
 fuzzOne(const std::string &spec, const std::string &mech,
-        std::uint64_t seed, bool self_refresh = false)
+        std::uint64_t seed, bool self_refresh = false, int channels = 1,
+        const std::string &map = "")
 {
     Rng rng(seed * 0x9e3779b97f4a7c15ULL + (self_refresh ? 2 : 1));
 
     SystemConfig cfg;
     cfg.mem.dramSpec = spec;
     cfg.mem.policy = mech;
-    cfg.mem.org.channels = 1;
+    cfg.mem.org.channels = channels;
+    if (!map.empty())
+        cfg.mem.addressMap = map;
+    if (channels > 1)
+        cfg.mem.channelStaggerCycles = rng.chance(0.5) ? -1 : 0;
     cfg.mem.org.subarraysPerBank = rng.chance(0.5) ? 8 : 4;
     const Density densities[] = {Density::k8Gb, Density::k16Gb,
                                  Density::k32Gb};
@@ -96,6 +104,9 @@ fuzzOne(const std::string &spec, const std::string &mech,
         << " banks=" << cfg.mem.org.banksPerRank
         << " subarrays=" << cfg.mem.org.subarraysPerBank
         << " srIdleEntry=" << cfg.mem.srIdleEntryCycles
+        << " channels=" << channels << " map="
+        << (map.empty() ? "default" : map)
+        << " stagger=" << cfg.mem.channelStaggerCycles
         << " workload=" << w.index;
 
     std::uint64_t refreshes = 0;
@@ -148,6 +159,37 @@ TEST_P(CheckerFuzz, RandomWorkloadsProduceLegalCommandStreams)
         // refresh.
         for (std::uint64_t s = 1; s <= seeds; ++s)
             fuzzOne(spec, mech, s, /*self_refresh=*/true);
+    }
+}
+
+TEST_P(CheckerFuzz, MultiChannelMapMatrixStaysLegal)
+{
+    // The topology axis: every registered address map x channels in
+    // {1, 2, 4}, mechanisms round-robined across combos so the matrix
+    // stays bounded. Covers the per-channel command streams staying
+    // legal when the interleave changes and when the cross-channel
+    // refresh stagger (armed randomly inside fuzzOne) shifts every
+    // ledger's phase origin.
+    const std::string spec = GetParam();
+    const DramSpec &dev = DramSpecRegistry::instance().at(spec);
+    std::vector<std::string> mechs;
+    for (const char *mech : kMechs) {
+        if (!sameBankMech(mech) || dev.banksPerGroup > 0)
+            mechs.push_back(mech);
+    }
+
+    std::uint64_t seed = 0;
+    for (const std::string &map :
+         AddressMapRegistry::instance().names()) {
+        const AddressMapInfo &info =
+            AddressMapRegistry::instance().at(map);
+        if (info.check && !info.check(MemOrg{}, dev).empty())
+            continue;  // e.g. ddr5-subch on a spec without sub-channels.
+        for (const int channels : {1, 2, 4}) {
+            ++seed;
+            fuzzOne(spec, mechs[seed % mechs.size()], seed,
+                    /*self_refresh=*/false, channels, map);
+        }
     }
 }
 

@@ -7,12 +7,14 @@
  * precedence order defaults < --config file < DSARP_SET env < CLI.
  *
  * Usage:
- *   dsarp_sim [--mech NAME] [--density 8|16|32] [--cores N]
+ *   dsarp_sim [--mech NAME] [--map NAME] [--channels N]
+ *             [--density 8|16|32] [--cores N]
  *             [--retention 32|64] [--subarrays N] [--cycles N]
  *             [--warmup N] [--seed N] [--workload-seed N]
  *             [--intensity 0|25|50|75|100] [--engine cycle|event]
  *             [--jobs N] [--config FILE] [--set key=value]
- *             [--list-mechs] [--list-keys] [--list-benchmarks] [--help]
+ *             [--list-mechs] [--list-maps] [--list-keys]
+ *             [--list-benchmarks] [--help]
  *
  * Mechanism names come from the refresh-policy registry (--list-mechs);
  * adding a policy to the library makes it available here with no CLI
@@ -29,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "dram/address.hh"
 #include "refresh/registry.hh"
 #include "sim/simulation.hh"
 #include "workload/workload.hh"
@@ -45,6 +48,9 @@ usage()
         "  --mech NAME        refresh mechanism (--list-mechs)  [DSARP]\n"
         "  --spec NAME        DRAM spec, = dram.spec (--list-specs)\n"
         "                                                  [DDR3-1333]\n"
+        "  --map NAME         address map, = address.map (--list-maps)\n"
+        "                                                  [burst-ch]\n"
+        "  --channels N       memory channels, = channels       [2]\n"
         "  --density GB       8 | 16 | 32                       [32]\n"
         "  --cores N          cores / workload slots            [8]\n"
         "  --retention MS     32 | 64                           [32]\n"
@@ -58,9 +64,11 @@ usage()
         "  --jobs N           threads for the alone-IPC baselines [1]\n"
         "  --config FILE      key=value config file (layered first)\n"
         "  --set key=value    one config override (repeatable)\n"
-        "  --list             print refresh mechanisms and DRAM specs\n"
+        "  --list             print refresh mechanisms, DRAM specs and "
+        "maps\n"
         "  --list-mechs       print the registered refresh mechanisms\n"
         "  --list-specs       print the registered DRAM specs\n"
+        "  --list-maps        print the registered address maps\n"
         "  --list-keys        print every config key --set accepts\n"
         "  --list-benchmarks  print the benchmark catalogue\n"
         "\nDSARP_SET=\"key=value,...\" in the environment is applied\n"
@@ -88,12 +96,23 @@ listSpecs()
 }
 
 void
+listMaps()
+{
+    const auto &registry = AddressMapRegistry::instance();
+    for (const std::string &name : registry.names())
+        std::printf("%-12s %s\n", name.c_str(),
+                    registry.find(name)->summary.c_str());
+}
+
+void
 listAll()
 {
     std::printf("refresh mechanisms (--mech):\n");
     listMechs();
     std::printf("\nDRAM specs (--spec / --set dram.spec=...):\n");
     listSpecs();
+    std::printf("\naddress maps (--map / --set address.map=...):\n");
+    listMaps();
 }
 
 void
@@ -151,6 +170,9 @@ main(int argc, char **argv)
         } else if (arg == "--list-specs") {
             listSpecs();
             return 0;
+        } else if (arg == "--list-maps") {
+            listMaps();
+            return 0;
         } else if (arg == "--list-keys") {
             for (const std::string &key : ExperimentConfig::knownKeys())
                 std::printf("%s\n", key.c_str());
@@ -166,6 +188,10 @@ main(int argc, char **argv)
             cfg.set("policy", value());
         } else if (arg == "--spec") {
             cfg.set("dram.spec", value());
+        } else if (arg == "--map") {
+            cfg.set("address.map", value());
+        } else if (arg == "--channels") {
+            cfg.set("channels", value());
         } else if (arg == "--density") {
             cfg.set("densityGb", value());
         } else if (arg == "--cores") {
@@ -210,6 +236,11 @@ main(int argc, char **argv)
                 sim.dramSpecName().c_str(), sim.dramSpec().tCkNs.ns());
     std::printf("density    : %dGb, retention %d ms, %d subarrays/bank\n",
                 cfg.densityGb, cfg.retentionMs, cfg.subarraysPerBank);
+    const MemOrg org = sim.resolvedOrg();
+    std::printf("topology   : %d channels x %d ranks x %d banks, "
+                "map: %s\n",
+                org.channels, org.ranksPerChannel, org.banksPerRank,
+                sim.addressMapName().c_str());
     std::printf("system     : %d cores, %llu+%llu cycles\n", cfg.numCores,
                 static_cast<unsigned long long>(sim.warmupTicks()),
                 static_cast<unsigned long long>(sim.measureTicks()));
@@ -265,6 +296,12 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(res.srEnters),
                     static_cast<unsigned long long>(res.srExits),
                     static_cast<unsigned long long>(res.srTicks));
+    }
+    // Shown whenever staggering is configured (even a clean zero is
+    // the result the knob exists to produce), or when overlap occurred.
+    if (res.refOverlapTicks > 0 || cfg.channelStagger != 0) {
+        std::printf("refresh overlap    : %llu channel-ticks\n",
+                    static_cast<unsigned long long>(res.refOverlapTicks));
     }
     std::printf("energy per access  : %.2f nJ\n", res.energyPerAccessNj);
     return 0;

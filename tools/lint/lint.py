@@ -19,7 +19,8 @@ Four checks, each born from a real bug class in this codebase:
    only exact standalone literals in src/ code are flagged.
 
 3. registrar-once -- every DSARP_REGISTER_REFRESH_POLICY /
-   DSARP_REGISTER_DRAM_SPEC identifier appears in exactly one
+   DSARP_REGISTER_DRAM_SPEC / DSARP_REGISTER_ADDRESS_MAP identifier
+   appears in exactly one
    translation unit.  A copy-pasted registrar aborts at startup in
    every binary; catch it before the build does.
 
@@ -64,7 +65,8 @@ COMMENT_RE = re.compile(r"^\s*(?://|\*|/\*)")
 
 STRING_LIT_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 REGISTRAR_RE = re.compile(
-    r"DSARP_REGISTER_(?:REFRESH_POLICY|DRAM_SPEC)\(\s*(\w+)")
+    r"DSARP_REGISTER_(?:REFRESH_POLICY|DRAM_SPEC|ADDRESS_MAP)"
+    r"\(\s*(\w+)")
 
 # The audited thread-spawn point (see src/sim/parallel.hh).
 THREAD_SPAWN_TUS = {
