@@ -1,5 +1,6 @@
 #include "common/config.hh"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "common/log.hh"
@@ -305,6 +306,132 @@ MemConfig::finalize()
         DSARP_FATALF("invalid MemConfig: %s", errors.c_str());
 }
 
+std::string
+TrafficConfig::validate() const
+{
+    std::ostringstream bad;
+    const char *sep = "";
+    auto fail = [&](const std::string &msg) {
+        bad << sep << msg;
+        sep = "; ";
+    };
+
+    const bool knownMode = mode == "off" || mode == "poisson" ||
+                           mode == "bursty" || mode == "diurnal" ||
+                           mode == "trace";
+    if (!knownMode) {
+        fail(std::string("config key '") + keys::kTrafficMode +
+             "' must be one of off/poisson/bursty/diurnal/trace (got '" +
+             mode + "')");
+    }
+    if (mode != "trace" && !tracePath.empty()) {
+        // A trace path under any other mode (including "off") would be
+        // silently dead config; demand the modes agree instead of
+        // ignoring it.
+        fail(std::string("config key '") + keys::kTrafficTrace +
+             "' is set but '" + keys::kTrafficMode + "' is '" + mode +
+             "'; trace replay needs " + keys::kTrafficMode + "=trace");
+    }
+    if (!enabled())
+        return bad.str();
+
+    if (mode != "trace" &&
+        !(ratePerKilocycle > 0.0 && ratePerKilocycle <= 1e6)) {
+        fail(std::string("config key '") + keys::kTrafficRate +
+             "' must be in (0, 1e6] requests per 1000 cycles (got " +
+             std::to_string(ratePerKilocycle) + ")");
+    }
+    if (readPct < 0 || readPct > 100) {
+        fail(std::string("config key '") + keys::kTrafficReadPct +
+             "' must be within [0, 100] (got " + std::to_string(readPct) +
+             ")");
+    }
+    if (hotRowPct < 0.0 || hotRowPct > 100.0) {
+        fail(std::string("config key '") + keys::kTrafficHotRowPct +
+             "' must be within [0, 100] (got " +
+             std::to_string(hotRowPct) + ")");
+    }
+    if (hotRows < 1) {
+        fail(std::string("config key '") + keys::kTrafficHotRows +
+             "' must be >= 1 (got " + std::to_string(hotRows) + ")");
+    }
+    if (tenants < 1 || tenants > 64) {
+        fail(std::string("config key '") + keys::kTenantCount +
+             "' must be within [1, 64] (got " + std::to_string(tenants) +
+             ")");
+    }
+    if (!tenantPriorities.empty()) {
+        std::istringstream in(tenantPriorities);
+        std::string tok;
+        int parsed = 0;
+        bool ok = true;
+        while (std::getline(in, tok, ',')) {
+            char *end = nullptr;
+            const long v = std::strtol(tok.c_str(), &end, 10);
+            if (end == tok.c_str() || *end != '\0' || v < 1)
+                ok = false;
+            ++parsed;
+        }
+        if (!ok || parsed != tenants) {
+            fail(std::string("config key '") + keys::kTenantPriorities +
+                 "' must be a comma list of " + std::to_string(tenants) +
+                 " positive integers (got '" + tenantPriorities + "')");
+        }
+    }
+    if (mode == "bursty") {
+        if (burstFactor <= 1.0) {
+            fail(std::string("config key '") + keys::kTrafficBurstFactor +
+                 "' must be > 1 (got " + std::to_string(burstFactor) +
+                 ")");
+        }
+        if (burstLenCycles < 1) {
+            fail(std::string("config key '") + keys::kTrafficBurstLen +
+                 "' must be >= 1 cycle (got " +
+                 std::to_string(burstLenCycles) + ")");
+        }
+    }
+    if (mode == "diurnal") {
+        if (diurnalPeriod < 2) {
+            fail(std::string("config key '") + keys::kTrafficDiurnalPeriod +
+                 "' must be >= 2 cycles (got " +
+                 std::to_string(diurnalPeriod) + ")");
+        }
+        if (diurnalAmp < 0.0 || diurnalAmp > 1.0) {
+            fail(std::string("config key '") + keys::kTrafficDiurnalAmp +
+                 "' must be within [0, 1] (got " +
+                 std::to_string(diurnalAmp) + ")");
+        }
+    }
+    if (mode == "trace") {
+        if (tracePath.empty()) {
+            fail(std::string("config key '") + keys::kTrafficTrace +
+                 "' must name a DRAMSim-style trace file in trace mode");
+        }
+        if (tenants != 1) {
+            fail(std::string("config key '") + keys::kTenantCount +
+                 "' must be 1 in trace mode: an external trace carries "
+                 "its own address stream and cannot be partitioned (got " +
+                 std::to_string(tenants) + ")");
+        }
+    }
+    return bad.str();
+}
+
+std::vector<int>
+TrafficConfig::priorityList() const
+{
+    std::vector<int> out;
+    if (tenantPriorities.empty()) {
+        out.assign(static_cast<std::size_t>(tenants), 1);
+        return out;
+    }
+    std::istringstream in(tenantPriorities);
+    std::string tok;
+    while (std::getline(in, tok, ','))
+        out.push_back(static_cast<int>(std::strtol(tok.c_str(), nullptr, 10)));
+    return out;
+}
+
 void
 SystemConfig::finalize()
 {
@@ -324,6 +451,9 @@ SystemConfig::finalize()
                      core.cpuCyclesPerTick, core.windowSize,
                      core.retireWidth, core.mshrs);
     }
+    const std::string trafficErrors = traffic.validate();
+    if (!trafficErrors.empty())
+        DSARP_FATALF("invalid TrafficConfig: %s", trafficErrors.c_str());
     mem.finalize();
 }
 

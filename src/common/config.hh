@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -298,11 +299,108 @@ struct CoreConfig
     int mshrs = 8;             ///< Outstanding read misses per core.
 };
 
+/**
+ * Open-loop traffic front end: replaces the closed-loop core models
+ * with request generators that inject at an externally fixed rate, so
+ * queueing delay shows up in the read-latency tail instead of being
+ * absorbed by core stall (the SLO framing of the paper's refresh
+ * penalties). mode "off" (the default) keeps every closed-loop run
+ * bit-identical.
+ */
+struct TrafficConfig
+{
+    /**
+     * Arrival process (config key "traffic.mode"): "off" (closed-loop
+     * cores, the default), "poisson" (memoryless arrivals),
+     * "bursty" (two-state Markov-modulated Poisson: ON bursts at
+     * burstFactor x the mean rate separated by idle gaps, same
+     * long-run average), "diurnal" (sinusoidally modulated rate), or
+     * "trace" (replay a DRAMSim-style external trace).
+     */
+    std::string mode = "off";
+
+    /**
+     * Aggregate mean arrival rate in requests per 1000 DRAM cycles
+     * (config key "traffic.rate"), split evenly across tenants.
+     */
+    double ratePerKilocycle = 50.0;
+
+    /** Read share of generated requests, percent (key "traffic.readPct"). */
+    int readPct = 67;
+
+    /**
+     * Percent of generated requests directed at the tenant's small hot
+     * row set (config key "traffic.hotRowPct"); the rest spread
+     * uniformly over the tenant's partition. Hot-row skew is what makes
+     * the address-map axis (burst-ch vs row-ch vs perm-bank)
+     * differentiate under open-loop traffic.
+     */
+    double hotRowPct = 0.0;
+
+    /** Hot-set size in rows per tenant (config key "traffic.hotRows"). */
+    int hotRows = 16;
+
+    /**
+     * Number of tenants sharing the channels (config key
+     * "tenant.count"). Each tenant owns an equal, disjoint slice of
+     * the physical byte-address space and draws from its own RNG
+     * stream, so per-tenant latency and max-slowdown fairness are
+     * well-defined.
+     */
+    int tenants = 1;
+
+    /**
+     * Per-tenant injection priorities as a comma-separated list of
+     * positive integers, highest first served (config key
+     * "tenant.priorities"); empty means all tenants equal.
+     */
+    std::string tenantPriorities;
+
+    /** Bursty mode: ON-state rate multiplier (key
+     *  "traffic.burstFactor"). */
+    double burstFactor = 8.0;
+
+    /** Bursty mode: mean ON-burst length in cycles (key
+     *  "traffic.burstLen"). */
+    int burstLenCycles = 200;
+
+    /** Diurnal mode: modulation period in cycles (key
+     *  "traffic.diurnalPeriod"). */
+    int diurnalPeriod = 100000;
+
+    /** Diurnal mode: modulation amplitude in [0, 1] (key
+     *  "traffic.diurnalAmp"). */
+    double diurnalAmp = 0.8;
+
+    /**
+     * Trace mode: path to a DRAMSim-style trace, one request per line
+     * as `0x<addr> READ|WRITE <cycle>` (config key "traffic.trace").
+     * The trace loops with a cycle offset when exhausted.
+     */
+    std::string tracePath;
+
+    bool enabled() const { return mode != "off"; }
+
+    /**
+     * Check every field for consistency. Returns "" when valid,
+     * otherwise a ';'-separated list of errors naming the offending
+     * config key, matching MemConfig::validate()'s contract.
+     */
+    std::string validate() const;
+
+    /**
+     * The per-tenant priority vector: tenantPriorities parsed, or all
+     * ones when empty. Call only after validate() passed.
+     */
+    std::vector<int> priorityList() const;
+};
+
 /** Whole-system configuration. */
 struct SystemConfig
 {
     MemConfig mem;
     CoreConfig core;
+    TrafficConfig traffic;
     int numCores = 8;
     std::uint64_t seed = 1;
     bool enableChecker = false;  ///< Attach the timing-invariant checker.

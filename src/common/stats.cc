@@ -1,5 +1,6 @@
 #include "common/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hh"
@@ -21,18 +22,70 @@ RunningStat::add(double x)
     ++count_;
 }
 
+int
+LatencyHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<int>(value);
+    // Octave e holds [2^(e+kSubBits), 2^(e+kSubBits+1)), split into
+    // kSubBuckets linear steps of width 2^e each.
+    const int e = 63 - __builtin_clzll(value) - kSubBits;
+    const int sub = static_cast<int>((value >> e) - kSubBuckets);
+    return kSubBuckets + e * kSubBuckets + sub;
+}
+
+std::uint64_t
+LatencyHistogram::bucketLow(int i)
+{
+    if (i < kSubBuckets)
+        return static_cast<std::uint64_t>(i);
+    const int e = (i - kSubBuckets) / kSubBuckets;
+    const int sub = (i - kSubBuckets) % kSubBuckets;
+    return static_cast<std::uint64_t>(kSubBuckets + sub) << e;
+}
+
+std::uint64_t
+LatencyHistogram::bucketHigh(int i)
+{
+    if (i == kBuckets - 1)
+        return ~0ULL;
+    return bucketLow(i + 1);
+}
+
 void
 LatencyHistogram::add(std::uint64_t value)
 {
-    int bucket = 0;
-    std::uint64_t bound = 2;
-    while (bucket < kBuckets - 1 && value >= bound) {
-        bound <<= 1;
-        ++bucket;
+    ++buckets_[bucketIndex(value)];
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
     }
-    ++buckets_[bucket];
     ++count_;
     sum_ += value;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (int i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
 }
 
 double
@@ -44,15 +97,20 @@ LatencyHistogram::percentile(double p) const
     double seen = 0.0;
     for (int i = 0; i < kBuckets; ++i) {
         if (seen + buckets_[i] >= target && buckets_[i] > 0) {
-            // Interpolate linearly inside the bucket [2^i, 2^(i+1)).
-            const double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << i);
-            const double hi = static_cast<double>(1ULL << (i + 1));
+            // Interpolate linearly inside [low, high); the sub-bucket
+            // width bounds the error at kMaxRelativeError, and the
+            // tracked extremes keep the result inside the sample range.
+            const double lo = static_cast<double>(bucketLow(i));
+            const double hi = static_cast<double>(bucketHigh(i));
             const double frac = (target - seen) / buckets_[i];
-            return lo + frac * (hi - lo);
+            double v = lo + frac * (hi - lo);
+            v = std::max(v, static_cast<double>(min_));
+            v = std::min(v, static_cast<double>(max_));
+            return v;
         }
         seen += buckets_[i];
     }
-    return static_cast<double>(1ULL << kBuckets);
+    return static_cast<double>(max_);
 }
 
 void

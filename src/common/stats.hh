@@ -33,23 +33,51 @@ class RunningStat
 };
 
 /**
- * Power-of-two bucketed latency histogram: bucket i counts samples in
- * [2^i, 2^(i+1)), bucket 0 covers [0, 2). Cheap enough for the
- * controller's per-read hot path; percentile() interpolates within the
- * hit bucket.
+ * Log-linear (HDR-style) latency histogram. Values below 2^kSubBits
+ * land in exact unit-width buckets; above that, each power-of-two
+ * range [2^n, 2^(n+1)) is split into 2^kSubBits equal sub-buckets, so
+ * any reported percentile is within a relative error of
+ * kMaxRelativeError of the true sample (tracked min/max make the
+ * extremes exact). The bucket table spans the full uint64 range --
+ * there is no saturation bucket -- and add() stays O(1) for the
+ * controller's per-read hot path.
  */
 class LatencyHistogram
 {
   public:
-    static constexpr int kBuckets = 24;  ///< Up to ~16M-cycle latencies.
+    /** Sub-bucket resolution: 2^5 = 32 linear steps per octave. */
+    static constexpr int kSubBits = 5;
+    static constexpr int kSubBuckets = 1 << kSubBits;
+    /** 32 exact unit buckets + 59 octaves x 32 sub-buckets. */
+    static constexpr int kBuckets = kSubBuckets * (65 - kSubBits);
+    /** Worst-case relative error of percentile() vs the true sample. */
+    static constexpr double kMaxRelativeError = 1.0 / kSubBuckets;
 
     void add(std::uint64_t value);
+
+    /** Fold another histogram's samples into this one. */
+    void merge(const LatencyHistogram &other);
 
     std::uint64_t count() const { return count_; }
     std::uint64_t bucket(int i) const { return buckets_[i]; }
 
-    /** Approximate p-th percentile (p in [0, 100]); 0 when empty. */
+    /** Index of the bucket @p value lands in. */
+    static int bucketIndex(std::uint64_t value);
+    /** Inclusive lower bound of bucket @p i. */
+    static std::uint64_t bucketLow(int i);
+    /** Exclusive upper bound of bucket @p i (saturates for the last). */
+    static std::uint64_t bucketHigh(int i);
+
+    /**
+     * Approximate p-th percentile (p in [0, 100]); 0 when empty.
+     * Interpolated within the hit bucket and clamped to the tracked
+     * [min, max], so it is within kMaxRelativeError of the true
+     * sorted-sample value.
+     */
     double percentile(double p) const;
+
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
 
     double
     mean() const
@@ -60,9 +88,12 @@ class LatencyHistogram
     void reset();
 
   private:
-    std::uint64_t buckets_[kBuckets] = {};
+    std::vector<std::uint64_t> buckets_ =
+        std::vector<std::uint64_t>(kBuckets, 0);
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
 };
 
 /** Arithmetic mean of a sample vector (0 for empty input). */

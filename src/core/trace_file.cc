@@ -1,7 +1,8 @@
 #include "core/trace_file.hh"
 
-#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -9,11 +10,63 @@
 
 namespace dsarp {
 
+namespace {
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::uint64_t
+parseTraceHex(const std::string &token, const char *what,
+              const std::string &path, int lineno)
+{
+    std::size_t i = 0;
+    if (token.size() >= 2 && token[0] == '0' &&
+        (token[1] == 'x' || token[1] == 'X')) {
+        i = 2;
+    }
+    if (i >= token.size()) {
+        DSARP_FATALF("malformed trace line: %s '%s' is not a hex "
+                     "address (%s:%d)",
+                     what, token.c_str(), path.c_str(), lineno);
+    }
+    std::uint64_t value = 0;
+    int significant = 0;
+    for (; i < token.size(); ++i) {
+        const int d = hexDigit(token[i]);
+        if (d < 0) {
+            DSARP_FATALF("malformed trace line: %s '%s' has a non-hex "
+                         "character '%c' (%s:%d)",
+                         what, token.c_str(), token[i], path.c_str(),
+                         lineno);
+        }
+        if (significant > 0 || d != 0)
+            ++significant;
+        if (significant > 16) {
+            DSARP_FATALF("malformed trace line: %s '%s' exceeds 64 "
+                         "bits (%s:%d)",
+                         what, token.c_str(), path.c_str(), lineno);
+        }
+        value = value * 16 + static_cast<std::uint64_t>(d);
+    }
+    return value;
+}
+
 TraceFileSource::TraceFileSource(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        DSARP_FATAL("cannot open trace file");
+        DSARP_FATALF("cannot open trace file '%s'", path.c_str());
 
     std::string line;
     int lineno = 0;
@@ -23,35 +76,42 @@ TraceFileSource::TraceFileSource(const std::string &path)
         const std::size_t hash = line.find('#');
         if (hash != std::string::npos)
             line.erase(hash);
-        bool blank = true;
-        for (char c : line) {
-            if (!std::isspace(static_cast<unsigned char>(c)))
-                blank = false;
-        }
-        if (blank)
+        std::istringstream fields(line);
+        std::vector<std::string> tokens;
+        std::string tok;
+        while (fields >> tok)
+            tokens.push_back(tok);
+        if (tokens.empty())
             continue;
 
-        std::istringstream fields(line);
+        if (tokens.size() < 2 || tokens.size() > 3) {
+            DSARP_FATALF("malformed trace line: expected 'gap "
+                         "readAddrHex [writebackAddrHex]', got %zu "
+                         "field(s) (%s:%d)",
+                         tokens.size(), path.c_str(), lineno);
+        }
         TraceRecord rec;
-        std::string read_hex, wb_hex;
-        if (!(fields >> rec.gap >> read_hex)) {
-            std::fprintf(stderr, "trace %s:%d malformed\n", path.c_str(),
-                         lineno);
-            DSARP_FATAL("malformed trace line");
+        char *end = nullptr;
+        errno = 0;
+        const long long gap = std::strtoll(tokens[0].c_str(), &end, 10);
+        if (end == tokens[0].c_str() || *end != '\0' || errno == ERANGE ||
+            gap < 0) {
+            DSARP_FATALF("malformed trace line: gap '%s' is not a "
+                         "non-negative integer (%s:%d)",
+                         tokens[0].c_str(), path.c_str(), lineno);
         }
-        rec.readAddr =
-            static_cast<Addr>(std::stoull(read_hex, nullptr, 16));
-        if (fields >> wb_hex) {
+        rec.gap = gap;
+        rec.readAddr = static_cast<Addr>(
+            parseTraceHex(tokens[1], "read address", path, lineno));
+        if (tokens.size() == 3) {
             rec.hasWriteback = true;
-            rec.writebackAddr =
-                static_cast<Addr>(std::stoull(wb_hex, nullptr, 16));
+            rec.writebackAddr = static_cast<Addr>(parseTraceHex(
+                tokens[2], "writeback address", path, lineno));
         }
-        if (rec.gap < 0)
-            DSARP_FATAL("negative gap in trace");
         records_.push_back(rec);
     }
     if (records_.empty())
-        DSARP_FATAL("trace file has no records");
+        DSARP_FATALF("trace file '%s' has no records", path.c_str());
 }
 
 TraceFileSource::TraceFileSource(std::vector<TraceRecord> records)

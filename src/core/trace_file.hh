@@ -18,12 +18,22 @@
 #ifndef DSARP_CORE_TRACE_FILE_HH
 #define DSARP_CORE_TRACE_FILE_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/trace.hh"
 
 namespace dsarp {
+
+/**
+ * Checked hex parse for trace address fields: optional 0x/0X prefix,
+ * hex digits only (no sign, no trailing junk), must fit in 64 bits.
+ * Fatal with a named error carrying @p path and @p lineno context;
+ * @p what names the offending field in the message.
+ */
+std::uint64_t parseTraceHex(const std::string &token, const char *what,
+                            const std::string &path, int lineno);
 
 class TraceFileSource : public TraceSource
 {

@@ -48,6 +48,18 @@ inline constexpr char kMeasureCycles[] = "measureCycles";
 inline constexpr char kWorkloadSeed[] = "workloadSeed";
 inline constexpr char kIntensityPct[] = "intensityPct";
 inline constexpr char kSimEngine[] = "sim.engine";
+inline constexpr char kTrafficMode[] = "traffic.mode";
+inline constexpr char kTrafficRate[] = "traffic.rate";
+inline constexpr char kTrafficReadPct[] = "traffic.readPct";
+inline constexpr char kTrafficHotRowPct[] = "traffic.hotRowPct";
+inline constexpr char kTrafficHotRows[] = "traffic.hotRows";
+inline constexpr char kTrafficBurstFactor[] = "traffic.burstFactor";
+inline constexpr char kTrafficBurstLen[] = "traffic.burstLen";
+inline constexpr char kTrafficDiurnalPeriod[] = "traffic.diurnalPeriod";
+inline constexpr char kTrafficDiurnalAmp[] = "traffic.diurnalAmp";
+inline constexpr char kTrafficTrace[] = "traffic.trace";
+inline constexpr char kTenantCount[] = "tenant.count";
+inline constexpr char kTenantPriorities[] = "tenant.priorities";
 
 /** Every key, for exhaustiveness checks (tests, lint self-test). */
 inline constexpr const char *const kAllKeys[] = {
@@ -62,7 +74,11 @@ inline constexpr const char *const kAllKeys[] = {
     kSrIdleEntry,     kFgrRate,            kSelfRefreshIdle,
     kNumCores,        kSeed,               kEnableChecker,
     kWarmupCycles,    kMeasureCycles,      kWorkloadSeed,
-    kIntensityPct,    kSimEngine,
+    kIntensityPct,    kSimEngine,          kTrafficMode,
+    kTrafficRate,     kTrafficReadPct,     kTrafficHotRowPct,
+    kTrafficHotRows,  kTrafficBurstFactor, kTrafficBurstLen,
+    kTrafficDiurnalPeriod, kTrafficDiurnalAmp, kTrafficTrace,
+    kTenantCount,     kTenantPriorities,
 };
 
 } // namespace dsarp::keys

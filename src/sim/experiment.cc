@@ -116,6 +116,22 @@ boolKey(const char *key, bool ExperimentConfig::*field)
             }};
 }
 
+KeyDesc
+trafficIntKey(const char *key, int TrafficConfig::*field)
+{
+    return {key, [field](ExperimentConfig &cfg, const std::string &v) {
+                return parseInt(v, cfg.traffic.*field);
+            }};
+}
+
+KeyDesc
+trafficDoubleKey(const char *key, double TrafficConfig::*field)
+{
+    return {key, [field](ExperimentConfig &cfg, const std::string &v) {
+                return parseDouble(v, cfg.traffic.*field);
+            }};
+}
+
 const std::vector<KeyDesc> &
 keyTable()
 {
@@ -181,6 +197,41 @@ keyTable()
              if (v.empty())
                  return "expected a simulation engine name";
              cfg.engine = v;
+             return "";
+         }},
+        {keys::kTrafficMode,
+         [](ExperimentConfig &cfg, const std::string &v) -> std::string {
+             if (v.empty())
+                 return "expected an arrival-process name "
+                        "(off/poisson/bursty/diurnal/trace)";
+             cfg.traffic.mode = lowered(v);
+             return "";
+         }},
+        trafficDoubleKey(keys::kTrafficRate,
+                         &TrafficConfig::ratePerKilocycle),
+        trafficIntKey(keys::kTrafficReadPct, &TrafficConfig::readPct),
+        trafficDoubleKey(keys::kTrafficHotRowPct,
+                         &TrafficConfig::hotRowPct),
+        trafficIntKey(keys::kTrafficHotRows, &TrafficConfig::hotRows),
+        trafficDoubleKey(keys::kTrafficBurstFactor,
+                         &TrafficConfig::burstFactor),
+        trafficIntKey(keys::kTrafficBurstLen,
+                      &TrafficConfig::burstLenCycles),
+        trafficIntKey(keys::kTrafficDiurnalPeriod,
+                      &TrafficConfig::diurnalPeriod),
+        trafficDoubleKey(keys::kTrafficDiurnalAmp,
+                         &TrafficConfig::diurnalAmp),
+        {keys::kTrafficTrace,
+         [](ExperimentConfig &cfg, const std::string &v) -> std::string {
+             if (v.empty())
+                 return "expected a DRAMSim-style trace file path";
+             cfg.traffic.tracePath = v;
+             return "";
+         }},
+        trafficIntKey(keys::kTenantCount, &TrafficConfig::tenants),
+        {keys::kTenantPriorities,
+         [](ExperimentConfig &cfg, const std::string &v) -> std::string {
+             cfg.traffic.tenantPriorities = v;
              return "";
          }},
     };
@@ -330,6 +381,9 @@ ExperimentConfig::validate() const
     explicitOrDefault(keys::kWriteLowWatermark, writeLowWatermark);
     explicitOrDefault(keys::kRefabStaggerDivisor, refabStaggerDivisor);
     explicitOrDefault(keys::kMaxOverlappedRefPb, maxOverlappedRefPb);
+    const std::string trafficErrors = traffic.validate();
+    if (!trafficErrors.empty())
+        fail(trafficErrors);
     // refresh.hiraCoverage / refresh.hiraDelay are checked by the
     // delegated MemConfig::validate() below, like the other mem keys.
 
@@ -398,6 +452,7 @@ ExperimentConfig::toSystemConfig() const
     sys.mem.srIdleEntryCycles = srIdleEntry;
     sys.mem.fgrRate = fgrRate;
     sys.mem.selfRefreshIdleCycles = selfRefreshIdle;
+    sys.traffic = traffic;
     sys.numCores = numCores;
     sys.seed = seed;
     sys.enableChecker = enableChecker;

@@ -102,6 +102,17 @@ struct ExperimentConfig
      *  refresh.selfRefresh.idleEntry. */
     int selfRefreshIdle = 0;
 
+    // --- Open-loop traffic front end ---------------------------------
+    /**
+     * The traffic.* / tenant.* key family (see TrafficConfig):
+     * traffic.mode selects the arrival process ("off" keeps the
+     * closed-loop cores), traffic.rate/readPct/hotRowPct/hotRows shape
+     * it, tenant.count/tenant.priorities split the address space into
+     * prioritized partitions, and traffic.trace replays an external
+     * DRAMSim-style trace.
+     */
+    TrafficConfig traffic;
+
     // --- System ------------------------------------------------------
     int numCores = 8;
     std::uint64_t seed = 1;

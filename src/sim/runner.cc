@@ -1,5 +1,6 @@
 #include "sim/runner.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -139,6 +140,7 @@ Runner::makeSystemConfig(const RunConfig &cfg)
     sys.mem.fgrRate = cfg.fgrRate;
     if (!cfg.engine.empty())
         sys.engine = cfg.engine;
+    sys.traffic = cfg.traffic;
     sys.numCores = cfg.numCores;
     sys.seed = cfg.seed;
     return sys;
@@ -185,6 +187,7 @@ collectChannelStats(System &system, const SystemConfig &sys,
         res.refOverlapTicks += cs.refOverlapTicks;
         res.readsCompleted += system.controller(ch).stats().readsCompleted;
         res.writesIssued += system.controller(ch).stats().writesIssued;
+        res.readLatency.merge(system.controller(ch).stats().readLatency);
     }
     res.energyPerAccessNj = accesses > 0.0 ? total_nj / accesses : 0.0;
 }
@@ -303,6 +306,65 @@ Runner::run(const SystemConfig &sys,
     res.ipc = system.coreIpc();
     collectChannelStats(system, sys, res);
     return res;
+}
+
+RunResult
+Runner::runTraffic(const SystemConfig &sys)
+{
+    DSARP_ASSERT(sys.traffic.enabled(),
+                 "runTraffic needs traffic.mode != off");
+    System system(sys);
+    system.run(warmup_);
+    system.resetStats();
+    system.run(measure_);
+
+    RunResult res;
+    collectChannelStats(system, sys, res);
+
+    const TrafficInjector &inj = *system.injector();
+    double minMean = 0.0;
+    bool haveMean = false;
+    res.tenants.resize(static_cast<std::size_t>(inj.tenants()));
+    for (int i = 0; i < inj.tenants(); ++i) {
+        TenantResult &t = res.tenants[static_cast<std::size_t>(i)];
+        const TrafficInjector::TenantStats &ts = inj.tenantStats(i);
+        const LatencyHistogram &lat = system.tenantLatency(i);
+        t.priority = inj.tenantPriority(i);
+        t.generated = ts.generated;
+        t.injected = ts.injected;
+        t.reads = lat.count();
+        t.avgBacklog = ts.ticks
+            ? static_cast<double>(ts.backlogSum) /
+                static_cast<double>(ts.ticks)
+            : 0.0;
+        t.meanLatency = lat.mean();
+        t.p50 = lat.percentile(50.0);
+        t.p99 = lat.percentile(99.0);
+        t.p999 = lat.percentile(99.9);
+        if (lat.count() > 0 &&
+            (!haveMean || t.meanLatency < minMean)) {
+            minMean = t.meanLatency;
+            haveMean = true;
+        }
+    }
+    // Max-slowdown fairness: every tenant's mean latency against the
+    // best-served tenant's. 1.0 = perfectly fair; tenants that
+    // completed no reads are left at slowdown 0.
+    res.tenantFairness = 0.0;
+    for (TenantResult &t : res.tenants) {
+        if (t.reads > 0 && haveMean && minMean > 0.0) {
+            t.slowdown = t.meanLatency / minMean;
+            res.tenantFairness =
+                std::max(res.tenantFairness, t.slowdown);
+        }
+    }
+    return res;
+}
+
+RunResult
+Runner::runTraffic(const RunConfig &cfg)
+{
+    return runTraffic(makeSystemConfig(cfg));
 }
 
 } // namespace dsarp

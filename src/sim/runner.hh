@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/stats.hh"
 #include "sim/energy.hh"
 #include "sim/system.hh"
 #include "workload/workload.hh"
@@ -96,6 +97,14 @@ struct RunConfig
 
     std::uint64_t seed = 1;
 
+    /**
+     * Open-loop traffic front end (traffic.* / tenant.* keys); mode
+     * "off" keeps the closed-loop cores and every legacy result
+     * bit-identical. When enabled, run the point through
+     * Runner::runTraffic().
+     */
+    TrafficConfig traffic;
+
     /** The paper's mechanism names (REFab, REFpb, DARP, SARPab, ...). */
     std::string mechanismName() const;
 };
@@ -110,6 +119,22 @@ RunConfig mechSarpPb(Density d);
 RunConfig mechDsarp(Density d);
 RunConfig mechNoRef(Density d);
 
+/** Per-tenant figures of an open-loop (traffic) run. */
+struct TenantResult
+{
+    int priority = 1;
+    std::uint64_t generated = 0;   ///< Arrivals produced.
+    std::uint64_t injected = 0;    ///< Accepted by a controller.
+    std::uint64_t reads = 0;       ///< Reads completed (delivered).
+    double avgBacklog = 0.0;       ///< Mean injector-backlog occupancy.
+    double meanLatency = 0.0;      ///< Mean read latency, cycles.
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    /** meanLatency / min over tenants of meanLatency (>= 1). */
+    double slowdown = 0.0;
+};
+
 struct RunResult
 {
     std::vector<double> ipc;       ///< Shared-run per-core IPC.
@@ -118,6 +143,21 @@ struct RunResult
     double hs = 0.0;
     double maxSlowdown = 0.0;
     double energyPerAccessNj = 0.0;
+
+    /**
+     * Aggregate read-latency distribution, merged across every
+     * channel controller (arrival-to-delivery in DRAM cycles; under
+     * open-loop traffic the arrival stamp is the generation tick, so
+     * injector-backlog queueing is included). Populated on every run
+     * path -- closed-loop runs report it too.
+     */
+    LatencyHistogram readLatency;
+
+    /** Per-tenant breakdown (open-loop multi-tenant runs only). */
+    std::vector<TenantResult> tenants;
+
+    /** Max-slowdown fairness across tenants (1.0 = perfectly fair). */
+    double tenantFairness = 0.0;
     std::uint64_t readsCompleted = 0;
     std::uint64_t writesIssued = 0;
     std::uint64_t refAb = 0;
@@ -157,6 +197,16 @@ class Runner
      */
     RunResult run(const SystemConfig &sys,
                   const std::vector<TraceSource *> &traces);
+
+    /**
+     * Open-loop traffic run: sys.traffic must be enabled. No cores,
+     * so ipc/ws/hs stay empty/0; the latency histogram, per-tenant
+     * breakdown, and fairness figure carry the result.
+     */
+    RunResult runTraffic(const SystemConfig &sys);
+
+    /** Same, from a compact sweep point (cfg.traffic enabled). */
+    RunResult runTraffic(const RunConfig &cfg);
 
     /**
      * Single-core refresh-free IPC for a benchmark under the same

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "dram/address.hh"
+#include "sim/config_keys.hh"
 #include "refresh/registry.hh"
 #include "sim/parallel.hh"
 
@@ -176,6 +177,15 @@ Simulation::Builder::build()
     if (!errors.empty())
         DSARP_FATALF("invalid experiment: %s", errors.c_str());
 
+    if (cfg_.traffic.enabled()) {
+        if (haveWorkload_ || !traces_.empty()) {
+            DSARP_FATALF("Simulation: workload()/traces() are mutually "
+                         "exclusive with config key '%s'=%s",
+                         keys::kTrafficMode, cfg_.traffic.mode.c_str());
+        }
+        return Simulation(cfg_, Workload{}, {});
+    }
+
     if (!traces_.empty()) {
         if (haveWorkload_)
             DSARP_FATAL("Simulation: workload() and traces() are "
@@ -244,6 +254,8 @@ RunResult
 Simulation::run()
 {
     const SystemConfig sys = cfg_.toSystemConfig();
+    if (cfg_.traffic.enabled())
+        return runner_.runTraffic(sys);
     if (!traces_.empty())
         return runner_.run(sys, traces_);
     return runner_.run(sys, workload_);
@@ -252,7 +264,8 @@ Simulation::run()
 void
 Simulation::prewarmBaselines(int jobs)
 {
-    if (!traces_.empty())
+    // Traffic runs have no cores, so no alone-IPC baseline to warm.
+    if (cfg_.traffic.enabled() || !traces_.empty())
         return;
     const SystemConfig sys = cfg_.toSystemConfig();
     parallelFor(jobs, workload_.benchIdx.size(), [&](std::size_t i) {

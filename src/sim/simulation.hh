@@ -19,6 +19,12 @@
  * Custom trace sources (instead of catalogue benchmarks) plug in via
  * .traces(); those runs report IPC, refresh counters, and energy, but
  * no alone-baseline metrics (ws/hs/maxSlowdown stay 0).
+ *
+ * Setting traffic.mode (see TrafficConfig) replaces the closed-loop
+ * cores with the open-loop TrafficInjector front end: run() routes to
+ * Runner::runTraffic() and the result carries the read-latency
+ * distribution, per-tenant breakdown, and fairness instead of IPC.
+ * Mutually exclusive with .workload() and .traces().
  */
 
 #ifndef DSARP_SIM_SIMULATION_HH

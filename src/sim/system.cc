@@ -29,6 +29,9 @@ System::System(const SystemConfig &cfg, const std::vector<int> &bench_idx)
 {
     DSARP_ASSERT(static_cast<int>(bench_idx.size()) == cfg_.numCores,
                  "one benchmark per core required");
+    DSARP_ASSERT(!cfg_.traffic.enabled(),
+                 "closed-loop ctor with traffic enabled; use "
+                 "System(cfg)");
 
     // Cores share the row space in eight fixed partitions so footprints
     // are comparable across core counts (Table 3 sweeps 2/4/8 cores).
@@ -55,12 +58,29 @@ System::System(const SystemConfig &cfg,
 {
     DSARP_ASSERT(static_cast<int>(traces_.size()) == cfg_.numCores,
                  "one trace per core required");
+    DSARP_ASSERT(!cfg_.traffic.enabled(),
+                 "closed-loop ctor with traffic enabled; use "
+                 "System(cfg)");
+    build();
+}
+
+System::System(const SystemConfig &cfg)
+    : cfg_(finalized(cfg)), timing_(TimingParams::forConfig(cfg_.mem)),
+      map_(AddressMapRegistry::instance().make(cfg_.mem.addressMap,
+                                               cfg_.mem.org))
+{
+    DSARP_ASSERT(cfg_.traffic.enabled(),
+                 "open-loop ctor needs traffic.mode != off");
     build();
 }
 
 void
 System::build()
 {
+    const bool openLoop = cfg_.traffic.enabled();
+    if (openLoop)
+        tenantLat_.resize(cfg_.traffic.tenants);
+
     cmdLogs_.resize(cfg_.mem.org.channels);
     refBusyUntil_.assign(cfg_.mem.org.channels, 0);
     for (ChannelId ch = 0; ch < cfg_.mem.org.channels; ++ch) {
@@ -72,6 +92,18 @@ System::build()
             [this, ch](Tick start, Tick end) {
                 onRefreshSpan(ch, start, end);
             });
+        if (openLoop) {
+            // Open-loop deliveries only feed the per-tenant latency
+            // tally (req.core carries the tenant id, req.arrival the
+            // generation tick, so backlog queueing is included). A
+            // completion cannot enable any injection, so the injector
+            // needs no wake here.
+            controllers_.back()->setReadCallback(
+                [this](const Request &req, Tick done) {
+                    tenantLat_[req.core].add(done - req.arrival);
+                });
+            continue;
+        }
         controllers_.back()->setReadCallback(
             [this](const Request &req, Tick) {
                 // A delivery voids the target core's dormant certificate:
@@ -87,6 +119,41 @@ System::build()
                 }
                 cores_[req.core]->onReadComplete(req.id);
             });
+    }
+
+    if (openLoop) {
+        injector_ = std::make_unique<TrafficInjector>(cfg_.traffic,
+                                                      *map_, cfg_.seed);
+        injector_->bind(
+            [this](const Request &reqIn) {
+                Request req = reqIn;
+                req.loc = map_->decode(req.addr);
+                const std::size_t ch =
+                    static_cast<std::size_t>(req.loc.channel);
+                // Same dance as the core bind hooks: the injector runs
+                // in the core phase, so the dormant target controller
+                // must account through now_ + 1 before mutating, then
+                // wake for the first tick that can see the request.
+                if (eventRun_)
+                    ctlCatchUp(ch, now_ + 1);
+                const bool ok = controllers_[ch]->enqueueRead(req, now_);
+                if (ok && eventRun_)
+                    ctlWake_[ch] = std::min(ctlWake_[ch], now_ + 1);
+                return ok;
+            },
+            [this](const Request &reqIn) {
+                Request req = reqIn;
+                req.loc = map_->decode(req.addr);
+                const std::size_t ch =
+                    static_cast<std::size_t>(req.loc.channel);
+                if (eventRun_)
+                    ctlCatchUp(ch, now_ + 1);
+                const bool ok = controllers_[ch]->enqueueWrite(req, now_);
+                if (ok && eventRun_)
+                    ctlWake_[ch] = std::min(ctlWake_[ch], now_ + 1);
+                return ok;
+            });
+        return;
     }
 
     for (int c = 0; c < cfg_.numCores; ++c) {
@@ -153,6 +220,8 @@ System::runCycle(Tick end)
     while (now_ < end) {
         for (auto &ctl : controllers_)
             ctl->tick(now_);
+        if (injector_)
+            injector_->tick(now_);
         for (auto &core : cores_)
             core->tick();
         ++now_;
@@ -175,8 +244,11 @@ System::runEvent(Tick end)
     // the read callback, queue-slot frees via poppedWithRejection), so
     // commands, stats, and random streams stay bit-identical to
     // runCycle().
+    // The open-loop injector occupies the single core slot: it ticks
+    // in the core phase, pop-wakes re-arm its blocked backlog heads,
+    // and its nextWake() certificate is the next arrival instant.
     const std::size_t ncs = controllers_.size();
-    const std::size_t nks = cores_.size();
+    const std::size_t nks = injector_ ? 1 : cores_.size();
     ctlWake_.assign(ncs, now_);
     ctlNext_.assign(ncs, now_);
     coreWake_.assign(nks, now_);
@@ -204,7 +276,10 @@ System::runEvent(Tick end)
             if (coreWake_[j] > t)
                 continue;
             coreCatchUp(j, t);
-            cores_[j]->tick();
+            if (injector_)
+                injector_->tick(t);
+            else
+                cores_[j]->tick();
             coreNext_[j] = t + 1;
             coreRan_[j] = 1;
         }
@@ -222,7 +297,8 @@ System::runEvent(Tick end)
         for (std::size_t j = 0; j < nks; ++j) {
             if (coreRan_[j]) {
                 coreRan_[j] = 0;
-                const Tick w = cores_[j]->nextWake(t);
+                const Tick w = injector_ ? injector_->nextWake(t)
+                                         : cores_[j]->nextWake(t);
                 coreWake_[j] = w <= t ? t + 1 : w;
             }
             next = std::min(next, coreWake_[j]);
@@ -251,7 +327,10 @@ void
 System::coreCatchUp(std::size_t j, Tick t)
 {
     if (coreNext_[j] < t) {
-        cores_[j]->skipTicks(t - coreNext_[j]);
+        if (injector_)
+            injector_->skipTicks(t - coreNext_[j]);
+        else
+            cores_[j]->skipTicks(t - coreNext_[j]);
         coreNext_[j] = t;
     }
 }
@@ -283,6 +362,10 @@ System::resetStats()
 {
     for (auto &core : cores_)
         core->resetStats();
+    if (injector_)
+        injector_->resetStats();
+    for (auto &hist : tenantLat_)
+        hist.reset();
     for (auto &ctl : controllers_)
         ctl->resetStats();
 }

@@ -17,12 +17,14 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "controller/controller.hh"
 #include "core/core.hh"
 #include "core/trace.hh"
 #include "dram/address.hh"
 #include "dram/timing.hh"
+#include "workload/arrival.hh"
 #include "workload/benchmark.hh"
 
 namespace dsarp {
@@ -42,6 +44,13 @@ class System
      */
     System(const SystemConfig &cfg,
            const std::vector<TraceSource *> &traces);
+
+    /**
+     * Build an open-loop system: cfg.traffic must be enabled. The
+     * TrafficInjector replaces the core models; per-tenant read
+     * latencies accumulate in tenantLatency().
+     */
+    explicit System(const SystemConfig &cfg);
 
     /**
      * Advance the simulation by @p ticks DRAM cycles using the engine
@@ -70,6 +79,15 @@ class System
     const AddressMap &addressMap() const { return *map_; }
     const TimingParams &timing() const { return timing_; }
     const SystemConfig &config() const { return cfg_; }
+
+    /** The open-loop front end (null in closed-loop runs). */
+    const TrafficInjector *injector() const { return injector_.get(); }
+
+    /** Per-tenant read-latency histogram (open-loop runs only). */
+    const LatencyHistogram &tenantLatency(int i) const
+    {
+        return tenantLat_[i];
+    }
 
     /** Per-core IPC over the current measurement window. */
     std::vector<double> coreIpc() const;
@@ -106,6 +124,8 @@ class System
     std::vector<std::unique_ptr<SyntheticTrace>> ownedTraces_;
     std::vector<TraceSource *> traces_;
     std::vector<std::unique_ptr<Core>> cores_;
+    std::unique_ptr<TrafficInjector> injector_;
+    std::vector<LatencyHistogram> tenantLat_;
     std::vector<std::unique_ptr<ChannelController>> controllers_;
     std::vector<std::vector<TimedCommand>> cmdLogs_;
 

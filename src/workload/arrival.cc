@@ -1,0 +1,323 @@
+#include "workload/arrival.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/strings.hh"
+#include "core/trace_file.hh"
+
+namespace dsarp {
+
+namespace {
+
+/** Standard exponential variate (mean 1); u in [0,1) keeps log finite. */
+double
+expDraw(Rng &rng)
+{
+    return -std::log(1.0 - rng.uniform());
+}
+
+} // namespace
+
+std::vector<TrafficRecord>
+readDramSimTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        DSARP_FATALF("cannot open trace file '%s'", path.c_str());
+
+    std::vector<TrafficRecord> records;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::vector<std::string> tokens;
+        std::string tok;
+        while (fields >> tok)
+            tokens.push_back(tok);
+        if (tokens.empty())
+            continue;
+
+        if (tokens.size() != 3) {
+            DSARP_FATALF("malformed trace line: expected '0x<addr> "
+                         "READ|WRITE <cycle>', got %zu field(s) (%s:%d)",
+                         tokens.size(), path.c_str(), lineno);
+        }
+        TrafficRecord rec;
+        rec.addr = static_cast<Addr>(
+            parseTraceHex(tokens[0], "address", path, lineno));
+        const std::string op = lowered(tokens[1]);
+        if (op == "read") {
+            rec.isWrite = false;
+        } else if (op == "write") {
+            rec.isWrite = true;
+        } else {
+            DSARP_FATALF("malformed trace line: op '%s' must be READ or "
+                         "WRITE (%s:%d)",
+                         tokens[1].c_str(), path.c_str(), lineno);
+        }
+        char *end = nullptr;
+        errno = 0;
+        const long long cycle = std::strtoll(tokens[2].c_str(), &end, 10);
+        if (end == tokens[2].c_str() || *end != '\0' ||
+            errno == ERANGE || cycle < 0) {
+            DSARP_FATALF("malformed trace line: cycle '%s' is not a "
+                         "non-negative integer (%s:%d)",
+                         tokens[2].c_str(), path.c_str(), lineno);
+        }
+        rec.cycle = static_cast<Tick>(cycle);
+        if (!records.empty() && rec.cycle < records.back().cycle) {
+            DSARP_FATALF("malformed trace line: cycle %lld goes "
+                         "backwards (previous %llu) (%s:%d)",
+                         cycle,
+                         static_cast<unsigned long long>(
+                             records.back().cycle),
+                         path.c_str(), lineno);
+        }
+        records.push_back(rec);
+    }
+    if (records.empty())
+        DSARP_FATALF("trace file '%s' has no records", path.c_str());
+    return records;
+}
+
+void
+writeDramSimTrace(const std::string &path,
+                  const std::vector<TrafficRecord> &records)
+{
+    std::ofstream out(path);
+    if (!out)
+        DSARP_FATALF("cannot write trace file '%s'", path.c_str());
+    out << "# dramsim trace: 0x<addr> READ|WRITE <cycle>\n";
+    for (const TrafficRecord &rec : records) {
+        out << "0x" << std::hex << rec.addr << std::dec << " "
+            << (rec.isWrite ? "WRITE" : "READ") << " " << rec.cycle
+            << "\n";
+    }
+}
+
+TrafficInjector::TrafficInjector(const TrafficConfig &cfg,
+                                 const AddressMap &map,
+                                 std::uint64_t seed)
+    : cfg_(cfg), rowBytes_(map.org().rowBytes),
+      lineBytes_(map.org().lineBytes)
+{
+    DSARP_ASSERT(cfg_.enabled(), "TrafficInjector needs traffic.mode");
+
+    const Addr capacity = map.capacityBytes();
+    const Addr rowBytes = static_cast<Addr>(rowBytes_);
+    Addr slice = capacity / static_cast<Addr>(cfg_.tenants);
+    slice -= slice % rowBytes;
+    DSARP_ASSERT(slice >= rowBytes,
+                 "tenant partition smaller than one row");
+
+    const std::vector<int> prios = cfg_.priorityList();
+    tenants_.resize(static_cast<std::size_t>(cfg_.tenants));
+    for (int i = 0; i < cfg_.tenants; ++i) {
+        Tenant &t = tenants_[static_cast<std::size_t>(i)];
+        t.id = i;
+        t.priority = prios[static_cast<std::size_t>(i)];
+        t.base = static_cast<Addr>(i) * slice;
+        t.size = slice;
+        t.rng = Rng(seed + 0x2000 * static_cast<std::uint64_t>(i + 1));
+        const Addr rows = slice / rowBytes;
+        t.hotRows.reserve(static_cast<std::size_t>(cfg_.hotRows));
+        for (int h = 0; h < cfg_.hotRows; ++h)
+            t.hotRows.push_back(t.base + t.rng.below(rows) * rowBytes);
+        if (cfg_.mode == "bursty") {
+            // Start inside an ON window beginning at time 0.
+            t.burstEnd = expDraw(t.rng) * cfg_.burstLenCycles;
+        }
+        if (cfg_.mode != "trace")
+            t.nextArrival = drawGap(t);
+    }
+
+    if (cfg_.mode == "trace") {
+        trace_ = readDramSimTrace(cfg_.tracePath);
+        traceSpan_ = trace_.back().cycle + 1;
+        tenants_[0].nextArrival =
+            static_cast<double>(trace_.front().cycle);
+    }
+
+    drainOrder_.resize(tenants_.size());
+    for (std::size_t i = 0; i < tenants_.size(); ++i)
+        drainOrder_[i] = static_cast<int>(i);
+    std::stable_sort(drainOrder_.begin(), drainOrder_.end(),
+                     [this](int a, int b) {
+                         return tenants_[static_cast<std::size_t>(a)]
+                                    .priority >
+                             tenants_[static_cast<std::size_t>(b)]
+                                 .priority;
+                     });
+}
+
+void
+TrafficInjector::bind(Enqueue enqueueRead, Enqueue enqueueWrite)
+{
+    enqueueRead_ = std::move(enqueueRead);
+    enqueueWrite_ = std::move(enqueueWrite);
+}
+
+double
+TrafficInjector::drawGap(Tenant &t)
+{
+    // Per-tenant mean rate in requests per cycle: the aggregate key is
+    // split evenly across tenants.
+    const double rate =
+        cfg_.ratePerKilocycle / 1000.0 / cfg_.tenants;
+    if (cfg_.mode == "poisson")
+        return t.nextArrival + expDraw(t.rng) / rate;
+    if (cfg_.mode == "bursty") {
+        // Two-state MMPP: ON windows at burstFactor x the mean rate,
+        // OFF gaps sized so the long-run average stays `rate`.
+        const double onRate = rate * cfg_.burstFactor;
+        const double meanOn = cfg_.burstLenCycles;
+        const double meanOff = meanOn * (cfg_.burstFactor - 1.0);
+        double cur = t.nextArrival;
+        for (;;) {
+            const double gap = expDraw(t.rng) / onRate;
+            if (cur + gap <= t.burstEnd)
+                return cur + gap;
+            // Crossed the ON end (memoryless, so redrawing in the
+            // next window keeps the process exact): jump the OFF gap
+            // and open the next ON window.
+            cur = t.burstEnd + expDraw(t.rng) * meanOff;
+            t.burstEnd = cur + expDraw(t.rng) * meanOn;
+        }
+    }
+    // Diurnal: inhomogeneous Poisson by thinning against the peak
+    // rate, so the instantaneous rate tracks the sinusoid exactly.
+    const double peak = rate * (1.0 + cfg_.diurnalAmp);
+    double cur = t.nextArrival;
+    for (;;) {
+        cur += expDraw(t.rng) / peak;
+        const double phase =
+            2.0 * M_PI * cur / cfg_.diurnalPeriod;
+        const double inst =
+            rate * (1.0 + cfg_.diurnalAmp * std::sin(phase));
+        if (t.rng.uniform() * peak <= inst)
+            return cur;
+    }
+}
+
+Request
+TrafficInjector::makeRequest(Tenant &t, Tick now)
+{
+    Request req;
+    req.id = nextId_++;
+    req.core = t.id;
+    req.arrival = now;
+    if (cfg_.mode == "trace") {
+        const TrafficRecord &rec = trace_[traceCursor_];
+        req.addr = rec.addr;
+        req.isWrite = rec.isWrite;
+        if (++traceCursor_ >= trace_.size()) {
+            traceCursor_ = 0;
+            traceOffset_ += traceSpan_;
+        }
+        return req;
+    }
+    const Addr lineBytes = static_cast<Addr>(lineBytes_);
+    const bool hot = t.rng.uniform() * 100.0 < cfg_.hotRowPct;
+    if (hot) {
+        const Addr rowBase = t.hotRows[t.rng.below(t.hotRows.size())];
+        const Addr lines = static_cast<Addr>(rowBytes_) / lineBytes;
+        req.addr = rowBase + t.rng.below(lines) * lineBytes;
+    } else {
+        req.addr = t.base + t.rng.below(t.size / lineBytes) * lineBytes;
+    }
+    req.isWrite = t.rng.uniform() * 100.0 >= cfg_.readPct;
+    return req;
+}
+
+void
+TrafficInjector::generate(Tenant &t, Tick now)
+{
+    while (t.nextArrival <= static_cast<double>(now)) {
+        t.backlog.push_back(makeRequest(t, now));
+        ++t.stats.generated;
+        if (cfg_.mode == "trace") {
+            t.nextArrival = static_cast<double>(
+                trace_[traceCursor_].cycle + traceOffset_);
+        } else {
+            t.nextArrival = drawGap(t);
+        }
+    }
+}
+
+void
+TrafficInjector::tick(Tick now)
+{
+    for (auto &t : tenants_)
+        generate(t, now);
+    for (int id : drainOrder_) {
+        Tenant &t = tenants_[static_cast<std::size_t>(id)];
+        while (!t.backlog.empty()) {
+            const Request &req = t.backlog.front();
+            const bool ok = req.isWrite ? enqueueWrite_(req)
+                                        : enqueueRead_(req);
+            if (!ok)
+                break;  // Head-of-line per tenant; retry on pop-wake.
+            ++t.stats.injected;
+            if (!req.isWrite)
+                ++t.stats.reads;
+            t.backlog.pop_front();
+        }
+    }
+    for (auto &t : tenants_) {
+        t.stats.backlogSum += t.backlog.size();
+        ++t.stats.ticks;
+    }
+}
+
+Tick
+TrafficInjector::nextWake(Tick now) const
+{
+    Tick wake = kTickNever;
+    for (const auto &t : tenants_) {
+        const Tick w =
+            static_cast<Tick>(std::ceil(t.nextArrival));
+        wake = std::min(wake, w);
+    }
+    return std::max(wake, now + 1);
+}
+
+void
+TrafficInjector::skipTicks(Tick ticks)
+{
+    // Dormant spans cannot change any backlog: no arrivals are due
+    // (nextWake certifies it) and blocked heads only unblock at pops,
+    // which re-wake the injector. Occupancy accrues linearly.
+    for (auto &t : tenants_) {
+        t.stats.backlogSum +=
+            ticks * static_cast<std::uint64_t>(t.backlog.size());
+        t.stats.ticks += ticks;
+    }
+}
+
+void
+TrafficInjector::resetStats()
+{
+    for (auto &t : tenants_)
+        t.stats = TenantStats{};
+}
+
+std::size_t
+TrafficInjector::backlog() const
+{
+    std::size_t n = 0;
+    for (const auto &t : tenants_)
+        n += t.backlog.size();
+    return n;
+}
+
+} // namespace dsarp

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Open-loop traffic front end: arrival processes, tenant partitions,
+ * and the injector that replaces the closed-loop core models.
+ *
+ * The closed-loop cores absorb memory pressure in stall time, which
+ * hides exactly the signal the paper's refresh mechanisms differ on:
+ * the read-latency tail. The TrafficInjector generates requests at an
+ * externally fixed rate -- Poisson, bursty (two-state Markov-modulated
+ * Poisson), diurnal (sinusoidally modulated), or an external
+ * DRAMSim-style trace -- and keeps injecting regardless of
+ * backpressure, so queueing delay lands in the latency distribution
+ * where an SLO analysis can see it.
+ *
+ * Determinism contract: every stochastic choice flows through one Rng
+ * per tenant, and draws happen only at arrival-generation instants
+ * (never per tick), so the cycle and event engines -- and any
+ * `--jobs` sharding -- produce bit-identical request streams.
+ */
+
+#ifndef DSARP_WORKLOAD_ARRIVAL_HH
+#define DSARP_WORKLOAD_ARRIVAL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "controller/request.hh"
+#include "dram/address.hh"
+
+namespace dsarp {
+
+/** One request of a DRAMSim-style external trace. */
+struct TrafficRecord
+{
+    Addr addr = 0;
+    bool isWrite = false;
+    Tick cycle = 0;
+};
+
+/**
+ * Parse a DRAMSim-style trace: one request per line as
+ * `0x<addr> READ|WRITE <cycle>` (op case-insensitive, cycles
+ * non-negative and non-decreasing), '#' comments and blank lines
+ * ignored. Fatal named errors with file:line context on malformed
+ * input, matching TraceFileSource's contract.
+ */
+std::vector<TrafficRecord> readDramSimTrace(const std::string &path);
+
+/** Serialize records to @p path in the same format. */
+void writeDramSimTrace(const std::string &path,
+                       const std::vector<TrafficRecord> &records);
+
+/**
+ * The open-loop request generator. Occupies the System's core slot:
+ * it ticks after the controllers, exposes the same
+ * nextWake()/skipTicks() certificates the event engine needs, and
+ * injects through bound callbacks that mirror Core::bind().
+ */
+class TrafficInjector
+{
+  public:
+    /**
+     * Inject one request (arrival tick and tenant id pre-set by the
+     * injector); returns false when the target queue rejected it.
+     */
+    using Enqueue = std::function<bool(const Request &)>;
+
+    /** Per-tenant measurement counters. */
+    struct TenantStats
+    {
+        std::uint64_t generated = 0;  ///< Arrivals produced.
+        std::uint64_t injected = 0;   ///< Accepted by a controller.
+        std::uint64_t reads = 0;      ///< Read share of `injected`.
+        std::uint64_t backlogSum = 0; ///< Backlog occupancy integral.
+        Tick ticks = 0;               ///< Measurement ticks observed.
+    };
+
+    /**
+     * @p cfg must already be validated (TrafficConfig::validate()).
+     * Tenant partitions, hot sets, and RNG streams derive from
+     * @p map's capacity and @p seed at construction.
+     */
+    TrafficInjector(const TrafficConfig &cfg, const AddressMap &map,
+                    std::uint64_t seed);
+
+    /** Bind the read/write injection paths (System::build()). */
+    void bind(Enqueue enqueueRead, Enqueue enqueueWrite);
+
+    /**
+     * Generate the arrivals due at @p now, then drain backlogs in
+     * (priority desc, tenant id asc) order, head-of-line per tenant.
+     */
+    void tick(Tick now);
+
+    /**
+     * Earliest future tick this injector could act differently on its
+     * own: the next arrival instant of any tenant. Blocked backlog
+     * heads need no self-wake -- the only event that unblocks them is
+     * a queue pop, and the engine re-wakes the core slot on every pop
+     * from a rejected channel.
+     */
+    Tick nextWake(Tick now) const;
+
+    /** Bulk-account @p ticks dormant ticks (backlog occupancy). */
+    void skipTicks(Tick ticks);
+
+    void resetStats();
+
+    int tenants() const { return static_cast<int>(tenants_.size()); }
+    const TenantStats &tenantStats(int i) const
+    {
+        return tenants_[i].stats;
+    }
+    int tenantPriority(int i) const { return tenants_[i].priority; }
+
+    /** [base, base+size) byte partition of tenant @p i. */
+    Addr tenantBase(int i) const { return tenants_[i].base; }
+    Addr tenantSize(int i) const { return tenants_[i].size; }
+
+    /** Total queued requests across tenants (tests, debugging). */
+    std::size_t backlog() const;
+
+  private:
+    struct Tenant
+    {
+        int id = 0;
+        int priority = 1;
+        Addr base = 0;
+        Addr size = 0;
+        std::vector<Addr> hotRows;  ///< Hot-set row base addresses.
+        Rng rng{0};
+        double nextArrival = 0.0;   ///< Continuous-time cursor.
+        double burstEnd = 0.0;      ///< Bursty: current ON span end.
+        std::deque<Request> backlog;
+        TenantStats stats;
+    };
+
+    void generate(Tenant &t, Tick now);
+    double drawGap(Tenant &t);
+    Request makeRequest(Tenant &t, Tick now);
+
+    TrafficConfig cfg_;
+    int rowBytes_;
+    int lineBytes_;
+    std::vector<Tenant> tenants_;
+    std::vector<int> drainOrder_;  ///< Tenant ids, priority desc.
+    Enqueue enqueueRead_;
+    Enqueue enqueueWrite_;
+    std::uint64_t nextId_ = 1;
+
+    /** Trace replay state (mode "trace"; single tenant). */
+    std::vector<TrafficRecord> trace_;
+    std::size_t traceCursor_ = 0;
+    Tick traceOffset_ = 0;
+    Tick traceSpan_ = 0;
+};
+
+} // namespace dsarp
+
+#endif // DSARP_WORKLOAD_ARRIVAL_HH

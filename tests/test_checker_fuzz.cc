@@ -135,6 +135,56 @@ fuzzOne(const std::string &spec, const std::string &mech,
     EXPECT_GT(refreshes + sr_enters, 0u) << ctx.str();
 }
 
+/** One randomized open-loop (traffic-driven) case: the TrafficInjector
+ *  replaces the cores, so the command streams under checker scrutiny
+ *  come from externally-paced arrivals with hot-row skew and tenant
+ *  partitioning instead of the closed-loop core models. */
+void
+fuzzTrafficOne(const std::string &spec, const std::string &mech,
+               std::uint64_t seed)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 5);
+
+    SystemConfig cfg;
+    cfg.mem.dramSpec = spec;
+    cfg.mem.policy = mech;
+    cfg.traffic.mode = rng.chance(0.5) ? "poisson" : "bursty";
+    cfg.traffic.ratePerKilocycle =
+        20.0 + static_cast<double>(rng.below(120));
+    cfg.traffic.hotRowPct = rng.chance(0.5) ? 60.0 : 0.0;
+    cfg.traffic.tenants = 1 + static_cast<int>(rng.below(3));
+    cfg.seed = seed;
+    cfg.enableChecker = true;
+
+    System sys(cfg);
+    sys.run(Tick(0) + 8 * sys.timing().tRefiAb);
+
+    std::ostringstream ctx;
+    ctx << "spec=" << spec << " mech=" << mech << " seed=" << seed
+        << " traffic=" << cfg.traffic.mode
+        << " rate=" << cfg.traffic.ratePerKilocycle
+        << " hotRowPct=" << cfg.traffic.hotRowPct
+        << " tenants=" << cfg.traffic.tenants;
+
+    std::uint64_t refreshes = 0;
+    for (int ch = 0; ch < sys.numChannels(); ++ch) {
+        const CheckerReport report = verifyCommandLog(
+            sys.commandLog(ch), sys.config().mem, sys.timing(),
+            sys.now());
+        std::ostringstream detail;
+        for (std::size_t i = 0;
+             i < report.violations.size() && i < 3; ++i) {
+            detail << "\n  " << report.violations[i];
+        }
+        EXPECT_TRUE(report.ok())
+            << ctx.str() << " channel=" << ch << detail.str();
+        EXPECT_GT(report.commandsChecked, 0u) << ctx.str();
+        const ChannelStats &cs = sys.controller(ch).channel().stats();
+        refreshes += cs.refAb + cs.refPb + cs.refSb;
+    }
+    EXPECT_GT(refreshes, 0u) << ctx.str();
+}
+
 } // namespace
 
 class CheckerFuzz : public ::testing::TestWithParam<std::string>
@@ -159,6 +209,19 @@ TEST_P(CheckerFuzz, RandomWorkloadsProduceLegalCommandStreams)
         // refresh.
         for (std::uint64_t s = 1; s <= seeds; ++s)
             fuzzOne(spec, mech, s, /*self_refresh=*/true);
+    }
+}
+
+TEST_P(CheckerFuzz, TrafficDrivenStreamsStayLegal)
+{
+    // The open-loop axis: externally-paced arrivals (Poisson or bursty
+    // by seed, hot-row skew, 1-3 tenants) must keep every channel's
+    // command stream as legal as the closed-loop cores do.
+    const std::string spec = GetParam();
+    const std::uint64_t seeds = envKnob("DSARP_FUZZ_SEEDS", 2);
+    for (const char *mech : {"REFab", "DSARP"}) {
+        for (std::uint64_t s = 1; s <= seeds; ++s)
+            fuzzTrafficOne(spec, mech, s);
     }
 }
 

@@ -120,6 +120,57 @@ TEST_F(TraceFileTest, RejectsEmptyFile)
                 "no records");
 }
 
+TEST_F(TraceFileTest, RejectsGarbageHex)
+{
+    const std::string path = writeTemp("1 0xZZ\n");
+    EXPECT_EXIT(TraceFileSource trace(path), testing::ExitedWithCode(1),
+                "read address");
+}
+
+TEST_F(TraceFileTest, RejectsTrailingJunkInAddress)
+{
+    const std::string path = writeTemp("1 0x10junk\n");
+    EXPECT_EXIT(TraceFileSource trace(path), testing::ExitedWithCode(1),
+                "read address");
+}
+
+TEST_F(TraceFileTest, RejectsOversizedAddress)
+{
+    // 17 significant hex digits: one bit past uint64.
+    const std::string path = writeTemp("1 0x1ffffffffffffffff\n");
+    EXPECT_EXIT(TraceFileSource trace(path), testing::ExitedWithCode(1),
+                "exceeds 64 bits");
+}
+
+TEST_F(TraceFileTest, RejectsSignedAddress)
+{
+    // std::stoull would silently accept (and negate) this.
+    const std::string path = writeTemp("1 -0x40\n");
+    EXPECT_EXIT(TraceFileSource trace(path), testing::ExitedWithCode(1),
+                "read address");
+}
+
+TEST_F(TraceFileTest, RejectsNegativeGap)
+{
+    const std::string path = writeTemp("-3 0x40\n");
+    EXPECT_EXIT(TraceFileSource trace(path), testing::ExitedWithCode(1),
+                "gap");
+}
+
+TEST_F(TraceFileTest, RejectsWrongFieldCount)
+{
+    const std::string path = writeTemp("1 0x40 0x80 0xc0\n");
+    EXPECT_EXIT(TraceFileSource trace(path), testing::ExitedWithCode(1),
+                "field");
+}
+
+TEST_F(TraceFileTest, ErrorsNameFileAndLine)
+{
+    const std::string path = writeTemp("1 0x40\n2 bogus!\n");
+    EXPECT_EXIT(TraceFileSource trace(path), testing::ExitedWithCode(1),
+                ":2");
+}
+
 TEST(LatencyHistogram, EmptyIsZero)
 {
     LatencyHistogram h;
@@ -128,19 +179,35 @@ TEST(LatencyHistogram, EmptyIsZero)
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
-TEST(LatencyHistogram, BucketsByPowerOfTwo)
+TEST(LatencyHistogram, SmallValuesAreExact)
 {
+    // Values below kSubBuckets land in unit-width buckets: value ==
+    // bucket index, so the low range carries no quantization at all.
     LatencyHistogram h;
     h.add(0);
-    h.add(1);   // Bucket 0: [0, 2).
+    h.add(1);
     h.add(2);
-    h.add(3);   // Bucket 1: [2, 4).
-    h.add(100); // Bucket 6: [64, 128).
-    EXPECT_EQ(h.bucket(0), 2u);
-    EXPECT_EQ(h.bucket(1), 2u);
-    EXPECT_EQ(h.bucket(6), 1u);
+    h.add(3);
+    h.add(3);
+    for (int v = 0; v < 4; ++v)
+        EXPECT_EQ(h.bucket(v), v == 3 ? 2u : 1u);
     EXPECT_EQ(h.count(), 5u);
-    EXPECT_DOUBLE_EQ(h.mean(), 106.0 / 5.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 9.0 / 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 3.0);
+}
+
+TEST(LatencyHistogram, BucketBoundsBracketEveryValue)
+{
+    for (const std::uint64_t v :
+         {0ull, 1ull, 31ull, 32ull, 33ull, 100ull, 1000ull, 123456789ull,
+          (1ull << 62), ~0ull}) {
+        const int i = LatencyHistogram::bucketIndex(v);
+        ASSERT_GE(i, 0);
+        ASSERT_LT(i, LatencyHistogram::kBuckets);
+        EXPECT_LE(LatencyHistogram::bucketLow(i), v);
+        EXPECT_GE(LatencyHistogram::bucketHigh(i), v);
+    }
 }
 
 TEST(LatencyHistogram, PercentilesOrdered)
@@ -153,9 +220,44 @@ TEST(LatencyHistogram, PercentilesOrdered)
     const double p99 = h.percentile(99);
     EXPECT_LT(p50, p90);
     EXPECT_LE(p90, p99);
-    // Median of 1..1000 should land within its power-of-2 bucket.
-    EXPECT_GE(p50, 256.0);
-    EXPECT_LE(p50, 1024.0);
+    // The log-linear buckets bound the relative error at 1/32.
+    EXPECT_NEAR(p50, 500.0, 500.0 * LatencyHistogram::kMaxRelativeError);
+    EXPECT_NEAR(p99, 990.0, 990.0 * LatencyHistogram::kMaxRelativeError);
+}
+
+TEST(LatencyHistogram, ExtremesAreExact)
+{
+    LatencyHistogram h;
+    h.add(7);
+    h.add(123456);
+    h.add(~0ull);  // Must not overflow the bucket math.
+    EXPECT_EQ(h.min(), 7u);
+    EXPECT_EQ(h.max(), ~0ull);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), static_cast<double>(~0ull));
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedAdds)
+{
+    LatencyHistogram a;
+    LatencyHistogram b;
+    LatencyHistogram both;
+    for (std::uint64_t v = 1; v <= 200; ++v) {
+        ((v % 2) ? a : b).add(v * 3);
+        both.add(v * 3);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.min(), both.min());
+    EXPECT_EQ(a.max(), both.max());
+    EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+    for (const double p : {10.0, 50.0, 99.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), both.percentile(p));
+
+    LatencyHistogram empty;
+    a.merge(empty);  // Merging an empty histogram is a no-op.
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.min(), both.min());
 }
 
 TEST(LatencyHistogram, ResetClears)

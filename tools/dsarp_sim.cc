@@ -23,6 +23,9 @@
  * Prints the workload composition, per-core IPC against the alone-run
  * baseline, WS/HS/max-slowdown, refresh counters, and the energy
  * breakdown -- the same numbers the paper's tables are built from.
+ * Every run also reports the read-latency distribution (mean and
+ * p50/p99/p99.9); --traffic switches to the open-loop front end and
+ * adds the per-tenant table and fairness figure.
  */
 
 #include <chrono>
@@ -61,6 +64,14 @@ usage()
         "  --workload-seed N  workload mix seed                 [1]\n"
         "  --intensity PCT    0|25|50|75|100 intensive mix      [100]\n"
         "  --engine NAME      cycle | event, = sim.engine       [cycle]\n"
+        "  --traffic MODE     open-loop arrivals, = traffic.mode\n"
+        "                     (poisson|bursty|diurnal|trace)     [off]\n"
+        "  --rate R           arrivals per kilocycle, = traffic.rate "
+        "[50]\n"
+        "  --tenants N        address-partitioned tenants, = tenant.count "
+        "[1]\n"
+        "  --trace FILE       DRAMSim-style trace, = traffic.trace\n"
+        "                     (implies --traffic trace)\n"
         "  --jobs N           threads for the alone-IPC baselines [1]\n"
         "  --config FILE      key=value config file (layered first)\n"
         "  --set key=value    one config override (repeatable)\n"
@@ -212,6 +223,15 @@ main(int argc, char **argv)
             cfg.set("intensityPct", value());
         } else if (arg == "--engine") {
             cfg.set("sim.engine", value());
+        } else if (arg == "--traffic") {
+            cfg.set("traffic.mode", value());
+        } else if (arg == "--rate") {
+            cfg.set("traffic.rate", value());
+        } else if (arg == "--tenants") {
+            cfg.set("tenant.count", value());
+        } else if (arg == "--trace") {
+            cfg.set("traffic.trace", value());
+            cfg.set("traffic.mode", "trace");
         } else if (arg == "--jobs") {
             const char *v = value();
             char *end = nullptr;
@@ -244,6 +264,19 @@ main(int argc, char **argv)
     std::printf("system     : %d cores, %llu+%llu cycles\n", cfg.numCores,
                 static_cast<unsigned long long>(sim.warmupTicks()),
                 static_cast<unsigned long long>(sim.measureTicks()));
+    if (cfg.traffic.enabled()) {
+        if (cfg.traffic.mode == "trace") {
+            std::printf("traffic    : trace replay of %s\n",
+                        cfg.traffic.tracePath.c_str());
+        } else {
+            std::printf("traffic    : %s, %.1f req/kcycle, %d%% reads, "
+                        "%d tenant%s\n",
+                        cfg.traffic.mode.c_str(),
+                        cfg.traffic.ratePerKilocycle, cfg.traffic.readPct,
+                        cfg.traffic.tenants,
+                        cfg.traffic.tenants == 1 ? "" : "s");
+        }
+    }
 
     // Baselines first (sharded when --jobs > 1) so the timed run below
     // measures only the constrained simulation.
@@ -261,18 +294,45 @@ main(int argc, char **argv)
                 sim.config().engine.c_str(), jobs, wall,
                 wall > 0 ? simCycles / wall : 0.0);
 
-    std::printf("\n%-20s %8s %8s %9s\n", "core/benchmark", "IPC",
-                "alone", "slowdown");
-    for (std::size_t c = 0; c < res.ipc.size(); ++c) {
-        std::printf("%-20s %8.3f %8.3f %8.2fx\n",
-                    benchmarkTable()[sim.workload().benchIdx[c]]
-                        .name.c_str(),
-                    res.ipc[c], res.aloneIpc[c],
-                    res.aloneIpc[c] / res.ipc[c]);
+    if (!res.ipc.empty()) {
+        std::printf("\n%-20s %8s %8s %9s\n", "core/benchmark", "IPC",
+                    "alone", "slowdown");
+        for (std::size_t c = 0; c < res.ipc.size(); ++c) {
+            std::printf("%-20s %8.3f %8.3f %8.2fx\n",
+                        benchmarkTable()[sim.workload().benchIdx[c]]
+                            .name.c_str(),
+                        res.ipc[c], res.aloneIpc[c],
+                        res.aloneIpc[c] / res.ipc[c]);
+        }
+        std::printf("\nweighted speedup   : %.3f\n", res.ws);
+        std::printf("harmonic speedup   : %.3f\n", res.hs);
+        std::printf("max slowdown       : %.2fx\n", res.maxSlowdown);
     }
-    std::printf("\nweighted speedup   : %.3f\n", res.ws);
-    std::printf("harmonic speedup   : %.3f\n", res.hs);
-    std::printf("max slowdown       : %.2fx\n", res.maxSlowdown);
+    if (!res.tenants.empty()) {
+        std::printf("\n%-8s %4s %9s %9s %8s %8s %8s %8s %9s\n", "tenant",
+                    "prio", "generated", "injected", "mean", "p50",
+                    "p99", "p99.9", "slowdown");
+        for (std::size_t t = 0; t < res.tenants.size(); ++t) {
+            const TenantResult &tr = res.tenants[t];
+            std::printf("%-8zu %4d %9llu %9llu %8.1f %8.0f %8.0f %8.0f "
+                        "%8.2fx\n",
+                        t, tr.priority,
+                        static_cast<unsigned long long>(tr.generated),
+                        static_cast<unsigned long long>(tr.injected),
+                        tr.meanLatency, tr.p50, tr.p99, tr.p999,
+                        tr.slowdown);
+        }
+        std::printf("\ntenant fairness    : %.2fx max-slowdown\n",
+                    res.tenantFairness);
+    }
+    if (res.readLatency.count() > 0) {
+        std::printf("%sread latency       : mean %.1f, p50 %.0f, "
+                    "p99 %.0f, p99.9 %.0f cycles\n",
+                    res.tenants.empty() ? "\n" : "",
+                    res.readLatency.mean(), res.readLatency.percentile(50),
+                    res.readLatency.percentile(99),
+                    res.readLatency.percentile(99.9));
+    }
     std::printf("reads / writes     : %llu / %llu\n",
                 static_cast<unsigned long long>(res.readsCompleted),
                 static_cast<unsigned long long>(res.writesIssued));
