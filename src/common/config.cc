@@ -1,6 +1,8 @@
 #include "common/config.hh"
 
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "common/log.hh"
@@ -367,9 +369,14 @@ TrafficConfig::validate() const
         bool ok = true;
         while (std::getline(in, tok, ',')) {
             char *end = nullptr;
+            errno = 0;
             const long v = std::strtol(tok.c_str(), &end, 10);
-            if (end == tok.c_str() || *end != '\0' || v < 1)
+            // The INT_MAX cap matters: priorityList() narrows to int,
+            // so an accepted long must survive that cast unchanged.
+            if (end == tok.c_str() || *end != '\0' || errno == ERANGE ||
+                v < 1 || v > std::numeric_limits<int>::max()) {
                 ok = false;
+            }
             ++parsed;
         }
         if (!ok || parsed != tenants) {

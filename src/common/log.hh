@@ -25,10 +25,37 @@ panicImpl(const char *file, int line, const char *msg)
     std::abort();
 }
 
+/**
+ * Optional interception point for fatal(): a harness (the fuzz
+ * targets, primarily) installs a handler that throws instead of
+ * exiting, so malformed-input rejection is observable in-process. The
+ * handler must not return; if it does, the default exit(1) follows.
+ * Returns the previously installed handler (nullptr = default).
+ */
+using FatalHandler = void (*)(const char *file, int line,
+                              const char *msg);
+
+inline FatalHandler &
+fatalHandlerSlot()
+{
+    static FatalHandler handler = nullptr;
+    return handler;
+}
+
+inline FatalHandler
+setFatalHandler(FatalHandler handler)
+{
+    FatalHandler prev = fatalHandlerSlot();
+    fatalHandlerSlot() = handler;
+    return prev;
+}
+
 /** Exit due to a user error (bad configuration or arguments). */
 [[noreturn]] inline void
 fatalImpl(const char *file, int line, const char *msg)
 {
+    if (FatalHandler handler = fatalHandlerSlot())
+        handler(file, line, msg);
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
     std::exit(1);
 }

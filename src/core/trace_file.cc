@@ -67,7 +67,11 @@ TraceFileSource::TraceFileSource(const std::string &path)
     std::ifstream in(path);
     if (!in)
         DSARP_FATALF("cannot open trace file '%s'", path.c_str());
+    *this = TraceFileSource(in, path);
+}
 
+TraceFileSource::TraceFileSource(std::istream &in, const std::string &path)
+{
     std::string line;
     int lineno = 0;
     while (std::getline(in, line)) {

@@ -19,6 +19,7 @@
 #define DSARP_CORE_TRACE_FILE_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,14 @@ class TraceFileSource : public TraceSource
   public:
     /** Load a trace file; fatal on unreadable files or malformed lines. */
     explicit TraceFileSource(const std::string &path);
+
+    /**
+     * Parse trace lines from @p in; @p name labels malformed-line
+     * errors the way a path would. The parsing layer of the path
+     * constructor with the I/O separated, so tests and the fuzz
+     * harnesses can drive it from memory.
+     */
+    TraceFileSource(std::istream &in, const std::string &name);
 
     /** Build from in-memory records (testing, programmatic traces). */
     explicit TraceFileSource(std::vector<TraceRecord> records);

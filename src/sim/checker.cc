@@ -329,6 +329,8 @@ class Verifier
         const double slots = static_cast<double>(to - from) /
             static_cast<double>(t_.tRefiAb.count());
         for (BankModel &bank : rank.banks)
+            // dsarp-analyze: allow(fp-accumulation-order): each bank
+            // owns its accumulator; nothing is reduced across banks.
             bank.slotsCovered += slots;
     }
 

@@ -1,0 +1,138 @@
+#include "sim/cli.hh"
+
+#include <cstdlib>
+
+#include "sim/config_keys.hh"
+
+namespace dsarp {
+
+namespace {
+
+/** Flags that are plain sugar for one config key. */
+struct KeyFlag
+{
+    const char *flag;
+    const char *key;
+};
+
+constexpr KeyFlag kKeyFlags[] = {
+    {"--mech", keys::kPolicy},
+    {"--spec", keys::kDramSpec},
+    {"--map", keys::kAddressMap},
+    {"--channels", keys::kChannels},
+    {"--density", keys::kDensityGb},
+    {"--cores", keys::kNumCores},
+    {"--retention", keys::kRetentionMs},
+    {"--subarrays", keys::kSubarraysPerBank},
+    {"--cycles", keys::kMeasureCycles},
+    {"--warmup", keys::kWarmupCycles},
+    {"--seed", keys::kSeed},
+    {"--workload-seed", keys::kWorkloadSeed},
+    {"--intensity", keys::kIntensityPct},
+    {"--engine", keys::kSimEngine},
+    {"--traffic", keys::kTrafficMode},
+    {"--rate", keys::kTrafficRate},
+    {"--tenants", keys::kTenantCount},
+};
+
+} // namespace
+
+CliResult
+parseCommandLine(const std::vector<std::string> &args)
+{
+    CliResult res;
+    auto fail = [&](std::string msg, bool unknown = false) {
+        res.action = CliAction::Error;
+        res.error = std::move(msg);
+        res.unknownOption = unknown;
+        return res;
+    };
+
+    // Two passes keep the layering honest regardless of flag order:
+    // the config file first, then DSARP_SET, then every other flag.
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--config") {
+            if (i + 1 >= args.size())
+                return fail("--config needs a value");
+            res.config.applyFile(args[i + 1]);
+        }
+    }
+    res.config.applyEnv();
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        bool missingValue = false;
+        auto value = [&]() -> const std::string & {
+            static const std::string empty;
+            if (i + 1 >= args.size()) {
+                missingValue = true;
+                return empty;
+            }
+            return args[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            res.action = CliAction::Help;
+            return res;
+        } else if (arg == "--list") {
+            res.action = CliAction::ListAll;
+            return res;
+        } else if (arg == "--list-mechs") {
+            res.action = CliAction::ListMechs;
+            return res;
+        } else if (arg == "--list-specs") {
+            res.action = CliAction::ListSpecs;
+            return res;
+        } else if (arg == "--list-maps") {
+            res.action = CliAction::ListMaps;
+            return res;
+        } else if (arg == "--list-keys") {
+            res.action = CliAction::ListKeys;
+            return res;
+        } else if (arg == "--list-benchmarks") {
+            res.action = CliAction::ListBenchmarks;
+            return res;
+        } else if (arg == "--config") {
+            value(); // Already applied in the first pass.
+        } else if (arg == "--set") {
+            const std::string &v = value();
+            if (!missingValue)
+                res.config.applyOverride(v);
+        } else if (arg == "--trace") {
+            const std::string &v = value();
+            if (!missingValue) {
+                res.config.set(keys::kTrafficTrace, v);
+                res.config.set(keys::kTrafficMode, "trace");
+            }
+        } else if (arg == "--jobs") {
+            const std::string &v = value();
+            if (!missingValue) {
+                char *end = nullptr;
+                const long jobs = std::strtol(v.c_str(), &end, 10);
+                if (end == v.c_str() || *end != '\0' || jobs < 1 ||
+                    jobs > 1 << 16) {
+                    return fail("--jobs: '" + v +
+                                "' is not a positive integer");
+                }
+                res.jobs = static_cast<int>(jobs);
+            }
+        } else {
+            bool matched = false;
+            for (const KeyFlag &kf : kKeyFlags) {
+                if (arg == kf.flag) {
+                    const std::string &v = value();
+                    if (!missingValue)
+                        res.config.set(kf.key, v);
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched)
+                return fail("unknown option '" + arg + "'", true);
+        }
+        if (missingValue)
+            return fail(arg + " needs a value");
+    }
+    return res;
+}
+
+} // namespace dsarp

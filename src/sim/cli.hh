@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Command-line parsing for dsarp_sim, as a library.
+ *
+ * The flag sugar (--mech, --channels, ...) and the layering order
+ * (defaults < --config file < DSARP_SET env < CLI) live here so they
+ * can be unit-tested and fuzzed without spawning the binary. The
+ * dsarp_sim tool delegates to parseCommandLine() and only keeps the
+ * printing.
+ */
+
+#ifndef DSARP_SIM_CLI_HH
+#define DSARP_SIM_CLI_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace dsarp {
+
+/** What the parsed command line asks the tool to do. */
+enum class CliAction
+{
+    Run,            ///< Run the experiment described by `config`.
+    Help,           ///< --help / -h.
+    ListAll,        ///< --list.
+    ListMechs,      ///< --list-mechs.
+    ListSpecs,      ///< --list-specs.
+    ListMaps,       ///< --list-maps.
+    ListKeys,       ///< --list-keys.
+    ListBenchmarks, ///< --list-benchmarks.
+    Error,          ///< Malformed command line; see `error`.
+};
+
+struct CliResult
+{
+    CliAction action = CliAction::Run;
+    ExperimentConfig config;
+    /** Threads for the alone-IPC baselines (--jobs). */
+    int jobs = 1;
+    /** Non-empty exactly when action == Error. */
+    std::string error;
+    /** The unknown option that produced Error, when that was the
+     *  cause (the caller prints usage in that case). */
+    bool unknownOption = false;
+};
+
+/**
+ * Parse dsarp_sim arguments (argv[1..argc), i.e. without the program
+ * name). Layering is two-pass regardless of flag order: every
+ * --config file first, then the DSARP_SET environment variable, then
+ * the remaining flags left to right.
+ *
+ * Flag-syntax problems (missing value, unknown option, bad --jobs)
+ * come back as CliAction::Error with a message; bad *values* routed
+ * into ExperimentConfig keep that layer's contract and raise fatal
+ * named-key errors (DSARP_FATAL), as does an unreadable --config file.
+ */
+CliResult parseCommandLine(const std::vector<std::string> &args);
+
+} // namespace dsarp
+
+#endif // DSARP_SIM_CLI_HH

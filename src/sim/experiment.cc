@@ -284,6 +284,12 @@ ExperimentConfig::applyFile(const std::string &path)
     std::ifstream in(path);
     if (!in)
         DSARP_FATALF("cannot open config file '%s'", path.c_str());
+    applyStream(in, path);
+}
+
+void
+ExperimentConfig::applyStream(std::istream &in, const std::string &path)
+{
     std::string line;
     int lineno = 0;
     while (std::getline(in, line)) {
@@ -313,7 +319,13 @@ ExperimentConfig::applyEnv()
     const char *env = std::getenv("DSARP_SET");
     if (!env || !*env)
         return;
-    std::istringstream stream(env);
+    applyEnvString(env);
+}
+
+void
+ExperimentConfig::applyEnvString(const std::string &overrides)
+{
+    std::istringstream stream(overrides);
     std::string item;
     while (std::getline(stream, item, ',')) {
         item = trimmed(item);

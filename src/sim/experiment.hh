@@ -27,6 +27,7 @@
 #define DSARP_SIM_EXPERIMENT_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -151,10 +152,25 @@ struct ExperimentConfig
     void applyFile(const std::string &path);
 
     /**
+     * Apply config-file-format lines from @p in; @p name labels error
+     * messages the way a path would. The file layer of applyFile()
+     * with the I/O separated, so tests and the fuzz harnesses can
+     * drive the parser from memory.
+     */
+    void applyStream(std::istream &in, const std::string &name);
+
+    /**
      * Apply overrides from the DSARP_SET environment variable, a
      * comma-separated list of "key=value" pairs. No-op when unset.
      */
     void applyEnv();
+
+    /**
+     * Apply a DSARP_SET-format list ("key=value,key=value"). The env
+     * layer of applyEnv() with the getenv separated, for tests and
+     * the fuzz harnesses.
+     */
+    void applyEnvString(const std::string &overrides);
 
     /** Every override key, sorted (for help text and error messages). */
     static std::vector<std::string> knownKeys();

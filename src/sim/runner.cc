@@ -1,6 +1,7 @@
 #include "sim/runner.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -21,9 +22,14 @@ envKnob(const char *name, std::uint64_t fallback)
     if (!value || !*value)
         return fallback;
     char *end = nullptr;
+    errno = 0;
     const unsigned long long parsed = std::strtoull(value, &end, 10);
-    if (end == value || parsed == 0)
-        return fallback;
+    if (end == value || *end != '\0' || errno == ERANGE ||
+        *value == '-' || parsed == 0) {
+        DSARP_FATALF("environment knob %s: '%s' is not a positive "
+                     "integer",
+                     name, value);
+    }
     return parsed;
 }
 
@@ -175,7 +181,11 @@ collectChannelStats(System &system, const SystemConfig &sys,
     double accesses = 0.0;
     for (int ch = 0; ch < system.numChannels(); ++ch) {
         const ChannelStats &cs = system.controller(ch).channel().stats();
+        // dsarp-analyze: allow(fp-accumulation-order): the channel
+        // index order is fixed, so this fp fold is bit-stable.
         total_nj += channelEnergy(cs, system.timing(), energy).totalNj();
+        // dsarp-analyze: allow(fp-accumulation-order): same fixed
+        // channel order as above.
         accesses += static_cast<double>(cs.reads + cs.writes);
         res.refAb += cs.refAb;
         res.refPb += cs.refPb;

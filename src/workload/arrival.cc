@@ -30,7 +30,12 @@ readDramSimTrace(const std::string &path)
     std::ifstream in(path);
     if (!in)
         DSARP_FATALF("cannot open trace file '%s'", path.c_str());
+    return readDramSimTrace(in, path);
+}
 
+std::vector<TrafficRecord>
+readDramSimTrace(std::istream &in, const std::string &path)
+{
     std::vector<TrafficRecord> records;
     std::string line;
     int lineno = 0;
@@ -199,6 +204,9 @@ TrafficInjector::drawGap(Tenant &t)
     const double peak = rate * (1.0 + cfg_.diurnalAmp);
     double cur = t.nextArrival;
     for (;;) {
+        // dsarp-analyze: allow(fp-accumulation-order): one tenant's
+        // arrival instants are a single serial stream; the sum order
+        // is the stream order and cannot be resharded.
         cur += expDraw(t.rng) / peak;
         const double phase =
             2.0 * M_PI * cur / cfg_.diurnalPeriod;

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,15 @@ struct TrafficRecord
  * input, matching TraceFileSource's contract.
  */
 std::vector<TrafficRecord> readDramSimTrace(const std::string &path);
+
+/**
+ * Parse DRAMSim-style trace lines from @p in; @p name labels
+ * malformed-line errors the way a path would. The parsing layer of
+ * the path overload with the I/O separated, so tests and the fuzz
+ * harnesses can drive it from memory.
+ */
+std::vector<TrafficRecord> readDramSimTrace(std::istream &in,
+                                            const std::string &name);
 
 /** Serialize records to @p path in the same format. */
 void writeDramSimTrace(const std::string &path,

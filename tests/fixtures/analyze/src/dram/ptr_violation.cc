@@ -1,0 +1,7 @@
+// Fixture: rule 5 (pointer-ordered-containers).  Pointer order is
+// allocator order; it varies under ASLR and across --jobs shards.
+#include <map>
+
+struct Bank;
+
+std::map<Bank *, int> pendingByBank_;

@@ -1,0 +1,12 @@
+// Fixture: rule 2 (blessed-rng-sites).  A DRAM-layer draw is outside
+// every blessed site and desynchronizes skipTicks replay.
+struct Rng
+{
+    double uniform();
+};
+
+double
+refreshJitter(Rng &rng)
+{
+    return rng.uniform();
+}

@@ -1,0 +1,10 @@
+// Fixture: rule 3 (fp-accumulation-order).  A double reduction in a
+// loop outside the blessed accumulation points.
+double
+totalEnergy(const double *per_shard, int shards)
+{
+    double nj = 0.0;
+    for (int s = 0; s < shards; ++s)
+        nj += per_shard[s];
+    return nj;
+}

@@ -1,0 +1,20 @@
+// Fixture: rule 1 (ordered-iteration).  Iterating an unordered map
+// into an accumulator leaks hash order into results.
+#include <unordered_map>
+
+struct RunResult
+{
+    long long hits = 0;
+};
+
+struct HistBuckets
+{
+    std::unordered_map<unsigned long long, long long> buckets_;
+};
+
+void
+fold(const HistBuckets &h, RunResult &res)
+{
+    for (const auto &kv : h.buckets_)
+        res.hits += kv.second;
+}

@@ -1,0 +1,17 @@
+// Fixture: rule 4 (stat-write-outside-accounting).  A foreign TU
+// poking a component's counters.
+struct ChannelStats
+{
+    unsigned long long reads = 0;
+};
+
+struct Channel
+{
+    ChannelStats stats_;
+};
+
+void
+fixupReads(Channel &ch)
+{
+    ++ch.stats_.reads;
+}

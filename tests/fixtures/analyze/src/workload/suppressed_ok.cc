@@ -1,0 +1,13 @@
+// Fixture: a documented suppression must silence the finding; this
+// file contributes no expected lines.
+double
+serialStream(const double *gaps, int n)
+{
+    double at = 0.0;
+    for (int i = 0; i < n; ++i) {
+        // dsarp-analyze: allow(fp-accumulation-order): one serial
+        // stream; the order cannot be resharded.
+        at += gaps[i];
+    }
+    return at;
+}

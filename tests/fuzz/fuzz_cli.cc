@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fuzz the dsarp_sim command-line front end (sim/cli.hh).
+ *
+ * The input is split on newlines into an argv vector, except that
+ * --config (and its value) is dropped: it names a file to read, and a
+ * fuzzer feeding it arbitrary paths would only measure the
+ * filesystem. The file-parsing layer behind it is covered separately
+ * by fuzz_experiment_config. DSARP_SET is cleared once so the real
+ * environment cannot leak into the parse.
+ *
+ * Malformed flag syntax must come back as CliAction::Error with a
+ * message; bad values routed into ExperimentConfig must be named
+ * DSARP_FATAL errors (thrown by the FatalCatcher). Anything else is a
+ * bug.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/cli.hh"
+#include "tests/fuzz/fuzz_common.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    static const bool envCleared = [] {
+        unsetenv("DSARP_SET");
+        return true;
+    }();
+    (void)envCleared;
+
+    const std::string text(reinterpret_cast<const char *>(data), size);
+    std::vector<std::string> args;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        const std::size_t end = nl == std::string::npos ? text.size() : nl;
+        if (end > start) {
+            std::string arg = text.substr(start, end - start);
+            if (arg == "--config") {
+                // Skip the flag and its value (see file comment).
+                if (nl == std::string::npos)
+                    break;
+                const std::size_t vnl = text.find('\n', nl + 1);
+                start = vnl == std::string::npos ? text.size() + 1
+                                                 : vnl + 1;
+                continue;
+            }
+            args.push_back(std::move(arg));
+        }
+        if (nl == std::string::npos)
+            break;
+        start = nl + 1;
+    }
+
+    dsarp::fuzz::FatalCatcher catcher;
+    try {
+        const dsarp::CliResult res = dsarp::parseCommandLine(args);
+        if (res.action == dsarp::CliAction::Error &&
+            res.error.empty())
+            DSARP_PANIC("CLI error without a message");
+        if (res.action != dsarp::CliAction::Error &&
+            !res.error.empty())
+            DSARP_PANIC("CLI message without an error");
+    } catch (const dsarp::fuzz::FatalError &) {
+        // Named rejection of bad input: the expected failure mode.
+    }
+    return 0;
+}

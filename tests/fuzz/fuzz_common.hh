@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared scaffolding for the libFuzzer harnesses.
+ *
+ * Two pieces:
+ *
+ *  - FatalCatcher installs a FatalHandler (common/log.hh) that throws
+ *    instead of exit(1), so DSARP_FATAL -- the *expected* rejection
+ *    path for malformed input -- is an observable non-crash. Anything
+ *    else that escapes (abort from DSARP_PANIC, a sanitizer report, a
+ *    real crash) is a finding.
+ *
+ *  - A standalone main() for toolchains without libFuzzer (the
+ *    container's gcc): it replays every file or directory of files
+ *    named on the command line through LLVMFuzzerTestOneInput, which
+ *    is exactly what the ctest corpus-regression entries need. When
+ *    the target is built with clang's -fsanitize=fuzzer, CMake defines
+ *    DSARP_FUZZ_LIBFUZZER and libFuzzer's own main takes over.
+ */
+
+#ifndef DSARP_TESTS_FUZZ_COMMON_HH
+#define DSARP_TESTS_FUZZ_COMMON_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/log.hh"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+namespace dsarp::fuzz {
+
+/** Thrown by the installed handler in place of exit(1). */
+struct FatalError
+{
+    std::string message;
+};
+
+[[noreturn]] inline void
+throwingFatalHandler(const char *, int, const char *msg)
+{
+    throw FatalError{msg};
+}
+
+/**
+ * RAII guard a harness creates at the top of LLVMFuzzerTestOneInput:
+ * while alive, DSARP_FATAL throws FatalError instead of exiting.
+ */
+class FatalCatcher
+{
+  public:
+    FatalCatcher() : prev_(setFatalHandler(&throwingFatalHandler)) {}
+    ~FatalCatcher() { setFatalHandler(prev_); }
+    FatalCatcher(const FatalCatcher &) = delete;
+    FatalCatcher &operator=(const FatalCatcher &) = delete;
+
+  private:
+    FatalHandler prev_;
+};
+
+} // namespace dsarp::fuzz
+
+#ifndef DSARP_FUZZ_LIBFUZZER
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+int
+main(int argc, char **argv)
+{
+    namespace fs = std::filesystem;
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s CORPUS_FILE_OR_DIR...\n"
+                     "(standalone corpus replayer; build with clang "
+                     "-fsanitize=fuzzer for real fuzzing)\n",
+                     argv[0]);
+        return 2;
+    }
+    std::vector<fs::path> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const fs::path arg(argv[i]);
+        if (fs::is_directory(arg)) {
+            for (const auto &entry : fs::directory_iterator(arg)) {
+                if (entry.is_regular_file())
+                    inputs.push_back(entry.path());
+            }
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    // Directory iteration order is filesystem-dependent; sort so the
+    // replay order (and any crash it surfaces) is reproducible.
+    std::sort(inputs.begin(), inputs.end());
+    for (const fs::path &path : inputs) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n", path.c_str());
+            return 2;
+        }
+        const std::vector<char> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        LLVMFuzzerTestOneInput(
+            reinterpret_cast<const std::uint8_t *>(bytes.data()),
+            bytes.size());
+        std::printf("ok %s (%zu bytes)\n", path.c_str(), bytes.size());
+    }
+    std::printf("replayed %zu input(s)\n", inputs.size());
+    return 0;
+}
+
+#endif // DSARP_FUZZ_LIBFUZZER
+
+#endif // DSARP_TESTS_FUZZ_COMMON_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fuzz the ExperimentConfig override layers.
+ *
+ * The first input byte selects the layer -- 0: config-file lines via
+ * applyStream(), 1: DSARP_SET-format list via applyEnvString(), other:
+ * a single key=value via trySet() -- and the rest is the payload.
+ * Malformed input must come back as a named DSARP_FATAL (thrown by the
+ * FatalCatcher) or a trySet() error string; anything else (panic,
+ * sanitizer report, crash) is a bug.
+ */
+
+#include <sstream>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "tests/fuzz/fuzz_common.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (size < 1)
+        return 0;
+    const std::uint8_t mode = data[0];
+    const std::string payload(reinterpret_cast<const char *>(data + 1),
+                              size - 1);
+
+    dsarp::fuzz::FatalCatcher catcher;
+    dsarp::ExperimentConfig cfg;
+    try {
+        if (mode == 0) {
+            std::istringstream in(payload);
+            cfg.applyStream(in, "<fuzz>");
+        } else if (mode == 1) {
+            cfg.applyEnvString(payload);
+        } else {
+            const std::size_t eq = payload.find('=');
+            if (eq == std::string::npos)
+                return 0;
+            // trySet() reports bad keys/values as a string; only an
+            // escape from that contract can throw here.
+            (void)cfg.trySet(payload.substr(0, eq),
+                             payload.substr(eq + 1));
+        }
+        // A config the layers accepted must survive validation without
+        // crashing (errors are fine; they are the point of validate()).
+        (void)cfg.validate();
+    } catch (const dsarp::fuzz::FatalError &) {
+        // Named rejection of bad input: the expected failure mode.
+    }
+    return 0;
+}

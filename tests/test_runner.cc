@@ -8,6 +8,7 @@
 
 #include <cstdlib>
 
+#include "common/log.hh"
 #include "sim/runner.hh"
 
 using namespace dsarp;
@@ -80,9 +81,28 @@ TEST(RunnerConfig, EnvKnob)
     EXPECT_EQ(envKnob("DSARP_TEST_KNOB", 7), 7u);
     setenv("DSARP_TEST_KNOB", "123", 1);
     EXPECT_EQ(envKnob("DSARP_TEST_KNOB", 7), 123u);
-    setenv("DSARP_TEST_KNOB", "garbage", 1);
-    EXPECT_EQ(envKnob("DSARP_TEST_KNOB", 7), 7u);
     unsetenv("DSARP_TEST_KNOB");
+}
+
+TEST(RunnerConfig, EnvKnobRejectsMalformedValues)
+{
+    // A set-but-broken knob is a named fatal error, not a silent
+    // fallback: "100x" used to run a 100-cycle benchmark without a
+    // word. Trailing junk, out-of-range, negative, and non-numeric
+    // values must all be rejected.
+    struct Catcher
+    {
+        static void handler(const char *, int, const char *) { throw 1; }
+    };
+    const FatalHandler prev = setFatalHandler(&Catcher::handler);
+    for (const char *bad :
+         {"garbage", "100x", "-5", "0", "99999999999999999999"}) {
+        setenv("DSARP_TEST_KNOB", bad, 1);
+        EXPECT_THROW(envKnob("DSARP_TEST_KNOB", 7), int)
+            << "value '" << bad << "' should be fatal";
+    }
+    unsetenv("DSARP_TEST_KNOB");
+    setFatalHandler(prev);
 }
 
 namespace {

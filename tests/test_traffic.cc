@@ -74,6 +74,24 @@ TEST(TrafficConfig, RejectsTracePathWithoutTraceMode)
     EXPECT_NE(cfg.validate().find("traffic.trace"), std::string::npos);
 }
 
+TEST(TrafficConfig, RejectsOutOfRangePriorities)
+{
+    // An out-of-long-range priority used to pass the `v < 1` check
+    // (strtol saturates to LONG_MAX) and then truncate to a garbage
+    // int in priorityList(); anything that cannot survive the int
+    // narrowing must fail validation by name.
+    TrafficConfig cfg = poissonConfig(2);
+    cfg.tenantPriorities = "99999999999999999999,1";
+    EXPECT_NE(cfg.validate().find("tenant.priorities"),
+              std::string::npos);
+    cfg.tenantPriorities = "2147483648,1"; // INT_MAX + 1.
+    EXPECT_NE(cfg.validate().find("tenant.priorities"),
+              std::string::npos);
+    cfg.tenantPriorities = "2147483647,1"; // INT_MAX itself is fine.
+    EXPECT_EQ(cfg.validate(), "");
+    EXPECT_EQ(cfg.priorityList()[0], 2147483647);
+}
+
 std::string
 writeTemp(const std::string &name, const std::string &content)
 {

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Golden test for dsarp-analyze.
+
+Runs the analyzer over tests/fixtures/analyze -- a tree seeding
+exactly one violation per rule plus a suppressed counterexample -- and
+asserts the exact ``file:line: rule`` output against expected.txt.
+Registered as the ``analyze_golden`` ctest entry; a rule whose line
+numbers drift, whose detection breaks, or whose suppression parsing
+regresses fails here with a readable diff.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import dsarp_analyze  # noqa: E402
+
+FIXTURES = (Path(__file__).resolve().parent.parent.parent /
+            "tests/fixtures/analyze")
+
+
+def main():
+    findings = dsarp_analyze.analyze(FIXTURES)
+    got = sorted(re.sub(r"(: [a-z-]+): .*", r"\1", f) for f in findings)
+    expected = [line for line in
+                (FIXTURES / "expected.txt").read_text().splitlines()
+                if line.strip()]
+    if got != expected:
+        print("analyze golden mismatch:")
+        for line in expected:
+            if line not in got:
+                print(f"  missing: {line}")
+        for line in got:
+            if line not in expected:
+                print(f"  extra:   {line}")
+        return 1
+    print(f"analyze golden: {len(got)} finding(s) match expected.txt")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over src/ for the ctest suite.
+
+Workflow (see the `coverage` CMake preset):
+
+    cmake --preset coverage
+    cmake --build build-coverage -j
+    ctest --test-dir build-coverage -j
+    python3 tools/coverage/coverage_gate.py --build build-coverage
+
+The build instruments every target with ``--coverage``; running the
+tests drops one .gcda note per object.  This script runs ``gcov
+--json-format`` over all of them, merges the per-TU reports (a header
+exercised by any TU counts as covered), restricts to files under
+src/, writes the aggregate to ``coverage.json`` in the build dir, and
+exits 1 when the line rate falls below the ratchet threshold.
+
+The threshold only ratchets up: measure, then raise DEFAULT_THRESHOLD
+toward the measured rate (leave a point or two of slack for run-to-run
+jitter in death tests).  Lowering it needs a written justification in
+the PR.
+
+Clang's gcov-compatible profiling works through ``llvm-cov gcov``;
+pass ``--gcov-tool "llvm-cov-14 gcov"`` (or similar) for such builds.
+
+Exit status: 0 at/above threshold, 1 below, 2 on usage/tooling errors.
+"""
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+# The ratchet.  Raise toward the measured rate when coverage improves;
+# never lower it without a written justification.
+DEFAULT_THRESHOLD = 80.0
+
+
+def gcov_json_reports(build_dir, gcov_tool):
+    """Run gcov over every .gcda in the build tree; yield parsed JSON."""
+    gcda = sorted(build_dir.rglob("*.gcda"))
+    if not gcda:
+        sys.exit(f"coverage_gate: no .gcda files under {build_dir}; "
+                 "configure with -DDSARP_COVERAGE=ON and run ctest "
+                 "first (exit 2)")
+    reports = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for chunk_start in range(0, len(gcda), 64):
+            chunk = gcda[chunk_start:chunk_start + 64]
+            cmd = [*gcov_tool, "--json-format", "--stdout",
+                   *[str(p) for p in chunk]]
+            proc = subprocess.run(cmd, capture_output=True, cwd=tmp)
+            if proc.returncode != 0:
+                sys.exit(f"coverage_gate: {' '.join(cmd[:2])} failed: "
+                         f"{proc.stderr.decode(errors='replace')[:500]} "
+                         "(exit 2)")
+            # One JSON document per line per input file.
+            for line in proc.stdout.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    reports.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    return reports
+
+
+def merge_line_coverage(reports, source_root):
+    """(file -> line -> hit) merged across TUs, src/ files only."""
+    merged = {}
+    for report in reports:
+        for f in report.get("files", []):
+            path = Path(f.get("file", ""))
+            if not path.is_absolute():
+                path = (source_root / path).resolve()
+            try:
+                rel = path.resolve().relative_to(REPO)
+            except ValueError:
+                continue
+            if rel.parts[:1] != ("src",):
+                continue
+            lines = merged.setdefault(str(rel), {})
+            for line in f.get("lines", []):
+                no = line.get("line_number")
+                if no is None:
+                    continue
+                hit = line.get("count", 0) > 0
+                lines[no] = lines.get(no, False) or hit
+    return merged
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build", type=Path,
+                        default=REPO / "build-coverage",
+                        help="instrumented build dir (default: "
+                             "build-coverage)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="minimum src/ line rate in percent "
+                             f"(default: the ratchet, "
+                             f"{DEFAULT_THRESHOLD})")
+    parser.add_argument("--gcov-tool", default="gcov",
+                        help="gcov executable, possibly with "
+                             "arguments, e.g. 'llvm-cov-14 gcov' for "
+                             "clang builds (default: gcov)")
+    parser.add_argument("--json-out", type=Path, default=None,
+                        help="where to write coverage.json (default: "
+                             "<build>/coverage.json)")
+    args = parser.parse_args()
+
+    # gcov runs from a scratch cwd, so the build path must be absolute.
+    args.build = args.build.resolve()
+    gcov_tool = args.gcov_tool.split()
+    if shutil.which(gcov_tool[0]) is None:
+        sys.exit(f"coverage_gate: '{gcov_tool[0]}' not found (exit 2)")
+    if not args.build.is_dir():
+        sys.exit(f"coverage_gate: build dir {args.build} does not "
+                 "exist (exit 2)")
+
+    reports = gcov_json_reports(args.build, gcov_tool)
+    merged = merge_line_coverage(reports, args.build)
+    if not merged:
+        sys.exit("coverage_gate: gcov reported no src/ lines; wrong "
+                 "--gcov-tool for this compiler? (exit 2)")
+
+    total = sum(len(lines) for lines in merged.values())
+    covered = sum(sum(1 for hit in lines.values() if hit)
+                  for lines in merged.values())
+    rate = 100.0 * covered / total
+
+    per_file = {
+        path: {
+            "lines_total": len(lines),
+            "lines_covered": sum(1 for hit in lines.values() if hit),
+        }
+        for path, lines in sorted(merged.items())
+        if lines  # Headers with no executable lines carry no signal.
+    }
+    out_path = args.json_out or args.build / "coverage.json"
+    out_path.write_text(json.dumps({
+        "line_rate_pct": round(rate, 2),
+        "lines_covered": covered,
+        "lines_total": total,
+        "threshold_pct": args.threshold,
+        "files": per_file,
+    }, indent=2) + "\n")
+
+    worst = sorted(per_file.items(),
+                   key=lambda kv: kv[1]["lines_covered"] /
+                                  max(1, kv[1]["lines_total"]))[:5]
+    print(f"coverage: {covered}/{total} src/ lines = {rate:.2f}% "
+          f"(threshold {args.threshold:.2f}%)")
+    for path, stats in worst:
+        pct = 100.0 * stats["lines_covered"] / max(1, stats["lines_total"])
+        print(f"  lowest: {path}: {pct:.1f}% "
+              f"({stats['lines_covered']}/{stats['lines_total']})")
+    print(f"wrote {out_path}")
+
+    if rate < args.threshold:
+        print(f"coverage_gate: {rate:.2f}% is below the "
+              f"{args.threshold:.2f}% ratchet (exit 1)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

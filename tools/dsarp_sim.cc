@@ -30,12 +30,12 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "dram/address.hh"
 #include "refresh/registry.hh"
+#include "sim/cli.hh"
 #include "sim/simulation.hh"
 #include "workload/workload.hh"
 
@@ -144,110 +144,41 @@ listBenchmarks()
 int
 main(int argc, char **argv)
 {
-    ExperimentConfig cfg;
-    int jobs = 1;
-
-    // Two passes keep the layering honest regardless of flag order:
-    // the config file first, then DSARP_SET, then every other flag.
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--config") {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "--config needs a value\n");
-                return 1;
-            }
-            cfg.applyFile(argv[i + 1]);
-        }
-    }
-    cfg.applyEnv();
-
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
-                std::exit(1);
-            }
-            return argv[++i];
-        };
-        if (arg == "--help" || arg == "-h") {
+    CliResult cli =
+        parseCommandLine(std::vector<std::string>(argv + 1, argv + argc));
+    switch (cli.action) {
+      case CliAction::Help:
+        usage();
+        return 0;
+      case CliAction::ListAll:
+        listAll();
+        return 0;
+      case CliAction::ListMechs:
+        listMechs();
+        return 0;
+      case CliAction::ListSpecs:
+        listSpecs();
+        return 0;
+      case CliAction::ListMaps:
+        listMaps();
+        return 0;
+      case CliAction::ListKeys:
+        for (const std::string &key : ExperimentConfig::knownKeys())
+            std::printf("%s\n", key.c_str());
+        return 0;
+      case CliAction::ListBenchmarks:
+        listBenchmarks();
+        return 0;
+      case CliAction::Error:
+        std::fprintf(stderr, "%s\n", cli.error.c_str());
+        if (cli.unknownOption)
             usage();
-            return 0;
-        } else if (arg == "--list") {
-            listAll();
-            return 0;
-        } else if (arg == "--list-mechs") {
-            listMechs();
-            return 0;
-        } else if (arg == "--list-specs") {
-            listSpecs();
-            return 0;
-        } else if (arg == "--list-maps") {
-            listMaps();
-            return 0;
-        } else if (arg == "--list-keys") {
-            for (const std::string &key : ExperimentConfig::knownKeys())
-                std::printf("%s\n", key.c_str());
-            return 0;
-        } else if (arg == "--list-benchmarks") {
-            listBenchmarks();
-            return 0;
-        } else if (arg == "--config") {
-            value();  // Already applied in the first pass.
-        } else if (arg == "--set") {
-            cfg.applyOverride(value());
-        } else if (arg == "--mech") {
-            cfg.set("policy", value());
-        } else if (arg == "--spec") {
-            cfg.set("dram.spec", value());
-        } else if (arg == "--map") {
-            cfg.set("address.map", value());
-        } else if (arg == "--channels") {
-            cfg.set("channels", value());
-        } else if (arg == "--density") {
-            cfg.set("densityGb", value());
-        } else if (arg == "--cores") {
-            cfg.set("numCores", value());
-        } else if (arg == "--retention") {
-            cfg.set("retentionMs", value());
-        } else if (arg == "--subarrays") {
-            cfg.set("subarraysPerBank", value());
-        } else if (arg == "--cycles") {
-            cfg.set("measureCycles", value());
-        } else if (arg == "--warmup") {
-            cfg.set("warmupCycles", value());
-        } else if (arg == "--seed") {
-            cfg.set("seed", value());
-        } else if (arg == "--workload-seed") {
-            cfg.set("workloadSeed", value());
-        } else if (arg == "--intensity") {
-            cfg.set("intensityPct", value());
-        } else if (arg == "--engine") {
-            cfg.set("sim.engine", value());
-        } else if (arg == "--traffic") {
-            cfg.set("traffic.mode", value());
-        } else if (arg == "--rate") {
-            cfg.set("traffic.rate", value());
-        } else if (arg == "--tenants") {
-            cfg.set("tenant.count", value());
-        } else if (arg == "--trace") {
-            cfg.set("traffic.trace", value());
-            cfg.set("traffic.mode", "trace");
-        } else if (arg == "--jobs") {
-            const char *v = value();
-            char *end = nullptr;
-            jobs = static_cast<int>(std::strtol(v, &end, 10));
-            if (end == v || *end != '\0' || jobs < 1) {
-                std::fprintf(stderr,
-                             "--jobs: '%s' is not a positive integer\n",
-                             v);
-                return 1;
-            }
-        } else {
-            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-            usage();
-            return 1;
-        }
+        return 1;
+      case CliAction::Run:
+        break;
     }
+    const ExperimentConfig &cfg = cli.config;
+    const int jobs = cli.jobs;
 
     Simulation sim = Simulation::builder().config(cfg).build();
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lint for invariants the compiler cannot see.
 
-Four checks, each born from a real bug class in this codebase:
+Five checks, each born from a real bug class in this codebase:
 
 1. unit-honest-conversion -- no raw arithmetic against the clock
    period (``/ tCkNs`` or ``* tCkNs``) outside the two blessed
@@ -33,6 +33,15 @@ Four checks, each born from a real bug class in this codebase:
    data race waiting for a TSan run to find it.  Static queries
    (``std::thread::hardware_concurrency``) and tests/ (which probe
    thread-cleanliness on purpose) are exempt.
+
+5. selftest-coverage -- every mechanically-checked contract carries
+   the seed that proves its checker still fires: each rule in
+   tools/analyze/dsarp_analyze.py RULES has a SELF_TEST_SEEDS entry,
+   each tests/fuzz/fuzz_*.cc harness has a non-empty seed corpus
+   under tests/fuzz/corpus/<name>/, and each ``#define
+   DSARP_REGISTER_*`` registrar family under src/ is matched by this
+   linter's REGISTRAR_RE (check 3).  A checker without a seed rots
+   silently: the gate keeps passing after the check stops firing.
 
 Exit status 0 when clean, 1 with findings (one ``file:line: message``
 per line), 2 on usage errors.  ``--self-test`` seeds one violation of
@@ -190,12 +199,73 @@ def check_thread_spawns(root, findings):
                     "SweepRunner (the audited spawn point)")
 
 
+ANALYZER_REL = Path("tools/analyze/dsarp_analyze.py")
+RULES_NAME_RE = re.compile(r'^\s*"([a-z][a-z-]*)"')
+REGISTRAR_DEFINE_RE = re.compile(r"#define\s+DSARP_REGISTER_(\w+)\s*\(")
+
+
+def _block_names(text, opener, closer):
+    """String names inside a top-level ``NAME = (``/``{`` block."""
+    names, active = [], False
+    for line in text.splitlines():
+        if line.startswith(opener):
+            active = True
+            continue
+        if active and line.startswith(closer):
+            break
+        if active:
+            m = RULES_NAME_RE.match(line)
+            if m:
+                names.append(m.group(1))
+    return names
+
+
+def check_selftest_coverage(root, findings):
+    # a) Every analyzer rule has a seeded self-test violation.
+    analyzer = root / ANALYZER_REL
+    if analyzer.exists():
+        text = analyzer.read_text()
+        rules = _block_names(text, "RULES = (", ")")
+        seeds = set(_block_names(text, "SELF_TEST_SEEDS = {", "}"))
+        for rule in rules:
+            if rule not in seeds:
+                findings.append(
+                    f"{ANALYZER_REL}: rule '{rule}' has no "
+                    "SELF_TEST_SEEDS entry; a rule without a seeded "
+                    "violation can silently stop firing")
+
+    # b) Every fuzz harness has a non-empty seed corpus to replay.
+    for harness in sorted(root.glob("tests/fuzz/fuzz_*.cc")):
+        rel = harness.relative_to(root)
+        corpus = root / "tests/fuzz/corpus" / harness.stem[len("fuzz_"):]
+        seeded = corpus.is_dir() and any(
+            p.is_file() for p in corpus.glob("*"))
+        if not seeded:
+            findings.append(
+                f"{rel}: no seed corpus at "
+                f"tests/fuzz/corpus/{harness.stem[len('fuzz_'):]}/; "
+                "the ctest replay entry would assert nothing")
+
+    # c) Every registrar macro family is known to check 3 above.
+    for path in sorted(root.glob("src/**/*.hh")):
+        rel = path.relative_to(root)
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            m = REGISTRAR_DEFINE_RE.search(line)
+            if m and m.group(1) not in REGISTRAR_RE.pattern:
+                findings.append(
+                    f"{rel}:{lineno}: registrar family "
+                    f"'DSARP_REGISTER_{m.group(1)}' is not covered by "
+                    "lint.py REGISTRAR_RE; duplicate registrations "
+                    "would go unlinted")
+
+
 def run_checks(root):
     findings = []
     check_unit_conversions(root, findings)
     check_config_keys(root, findings)
     check_registrars(root, findings)
     check_thread_spawns(root, findings)
+    check_selftest_coverage(root, findings)
     return findings
 
 
@@ -227,13 +297,44 @@ def self_test():
         # 4. A raw thread spawn outside the audited spawn point.
         (root / "src/sim/bad_spawn.cc").write_text(
             "void f() { std::thread t([] {}); t.join(); }\n")
+        # 5a. An analyzer rule with no seeded self-test violation.
+        (root / "tools/analyze").mkdir(parents=True)
+        (root / "tools/analyze/dsarp_analyze.py").write_text(
+            'RULES = (\n    "seeded-rule",\n    "orphan-rule",\n)\n'
+            'SELF_TEST_SEEDS = {\n'
+            '    "seeded-rule": ("src/x.cc", "int x;"),\n'
+            '}\n')
+        # 5b. A fuzz harness with no seed corpus.
+        (root / "tests/fuzz").mkdir(parents=True)
+        (root / "tests/fuzz/fuzz_orphan.cc").write_text(
+            "extern int LLVMFuzzerTestOneInput();\n")
+        # 5c. A registrar family REGISTRAR_RE does not know about.
+        (root / "src/sim/new_registry.hh").write_text(
+            "#define DSARP_REGISTER_FROBNICATOR(ident, ...) x\n")
 
         findings = run_checks(root)
         for needle in ("raw tCK arithmetic", "respelled",
-                       "exactly one TU", "raw thread spawn"):
+                       "exactly one TU", "raw thread spawn",
+                       "no SELF_TEST_SEEDS entry", "no seed corpus",
+                       "not covered by lint.py REGISTRAR_RE"):
             if not any(needle in f for f in findings):
                 failures.append(f"self-test: no finding matching "
                                 f"'{needle}' in {findings}")
+        # The seeded rule must NOT be flagged (counterexample for 5a),
+        # and known registrar families stay clean (5c).
+        for f in findings:
+            if "'seeded-rule'" in f:
+                failures.append(f"self-test: covered rule flagged: {f}")
+            if "DSARP_REGISTER_REFRESH_POLICY" in f:
+                failures.append(
+                    f"self-test: known registrar family flagged: {f}")
+
+        # A harness with a seeded corpus is clean (counterexample 5b).
+        (root / "tests/fuzz/corpus/orphan").mkdir(parents=True)
+        (root / "tests/fuzz/corpus/orphan/seed1").write_text("x")
+        for f in run_checks(root):
+            if "no seed corpus" in f:
+                failures.append(f"self-test: seeded corpus flagged: {f}")
 
         # The blessed TUs must stay allowed.
         (root / "src/dram/bad_convert.cc").unlink()
